@@ -1,0 +1,107 @@
+// E12 — ablations on the design choices DESIGN.md calls out.
+//
+//  (a) Eviction policy: Belady vs LRU across cache sizes — how much of
+//      the measured I/O headroom is policy, not schedule.
+//  (b) Schedule: DFS vs BFS vs random — the DFS order is what makes
+//      the upper bound match the lower bound.
+//  (c) Segment quota: Equation (2) is checked for quotas other than the
+//      paper's 36M; the 1/12 constant survives (footnote 1: constants
+//      were not optimised).
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/bounds/segment_certifier.hpp"
+#include "pathrouting/pebble/cache_sim.hpp"
+#include "pathrouting/schedule/schedules.hpp"
+#include "pathrouting/support/table.hpp"
+
+namespace {
+using namespace pathrouting;  // NOLINT
+using support::fmt_count;
+using support::fmt_fixed;
+}  // namespace
+
+int main() {
+  const auto alg = bilinear::strassen();
+  const cdag::Cdag graph(alg, 6, {.with_coefficients = false});
+  const auto is_out = [&](cdag::VertexId v) {
+    return graph.layout().is_output(v);
+  };
+
+  bench::print_banner(
+      "E12a: eviction policy ablation (Strassen r=6, DFS schedule)",
+      "Belady (offline optimal replacement) vs LRU: the gap quantifies\n"
+      "how much replacement policy matters relative to schedule choice.");
+  {
+    support::Table table({"M", "IO Belady", "IO LRU", "LRU/Belady"});
+    const auto order = schedule::dfs_schedule(graph);
+    for (const std::uint64_t m : {16ull, 64ull, 256ull, 1024ull}) {
+      const auto belady = pebble::simulate(
+          graph.graph(), order,
+          {.cache_size = m, .eviction = pebble::Eviction::Belady}, is_out);
+      const auto lru = pebble::simulate(
+          graph.graph(), order,
+          {.cache_size = m, .eviction = pebble::Eviction::Lru}, is_out);
+      table.add_row({fmt_count(m), fmt_count(belady.io()), fmt_count(lru.io()),
+                     fmt_fixed(static_cast<double>(lru.io()) /
+                                   static_cast<double>(belady.io()),
+                               3)});
+    }
+    table.print(std::cout);
+  }
+
+  bench::print_banner(
+      "E12b: schedule ablation (Strassen r=6, Belady)",
+      "The recursive DFS order attains the lower bound within a constant;\n"
+      "BFS streams whole ranks and random orders thrash.");
+  {
+    support::Table table({"M", "IO dfs", "IO bfs", "IO random", "bfs/dfs",
+                          "random/dfs"});
+    const auto dfs = schedule::dfs_schedule(graph);
+    const auto bfs = schedule::bfs_schedule(graph);
+    const auto rnd = schedule::random_topological_schedule(graph.graph(), 5);
+    for (const std::uint64_t m : {64ull, 256ull, 1024ull}) {
+      const auto rd = pebble::simulate(graph.graph(), dfs, {.cache_size = m},
+                                       is_out);
+      const auto rb = pebble::simulate(graph.graph(), bfs, {.cache_size = m},
+                                       is_out);
+      const auto rr = pebble::simulate(graph.graph(), rnd, {.cache_size = m},
+                                       is_out);
+      table.add_row(
+          {fmt_count(m), fmt_count(rd.io()), fmt_count(rb.io()),
+           fmt_count(rr.io()),
+           fmt_fixed(static_cast<double>(rb.io()) / rd.io(), 2),
+           fmt_fixed(static_cast<double>(rr.io()) / rd.io(), 2)});
+    }
+    table.print(std::cout);
+  }
+
+  bench::print_banner(
+      "E12c: segment quota sensitivity (Equation 2)",
+      "min |delta'(S')| / |S_bar| over complete segments, for varying\n"
+      "quotas (paper: 36M with ratio >= 1/12 = 0.083). The inequality\n"
+      "holds with slack at every quota, confirming the constants are\n"
+      "conservative rather than tight.");
+  {
+    support::Table table({"quota", "k", "segments", "min ratio", "paper 1/12"});
+    const auto order = schedule::random_topological_schedule(graph.graph(), 9);
+    // Quotas above 72 would need k > r-2 at r = 6 (Lemma 1's hypothesis).
+    for (const std::uint64_t quota : {4ull, 8ull, 16ull, 36ull, 72ull}) {
+      const auto cert = bounds::certify_segments(
+          graph, order, {.cache_size = 1, .s_bar_target = quota});
+      double min_ratio = 1e18;
+      for (const auto& seg : cert.segments) {
+        if (!seg.complete) continue;
+        min_ratio = std::min(min_ratio, static_cast<double>(seg.boundary) /
+                                            static_cast<double>(seg.s_bar));
+      }
+      table.add_row({fmt_count(quota), std::to_string(cert.k),
+                     fmt_count(cert.complete_segments()),
+                     fmt_fixed(min_ratio, 3), "0.083"});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// E1 — CDAG construction and semantics.
+//
+// For every catalog algorithm: build G_r, report its size, copy
+// structure, and base-graph properties, and validate that evaluating
+// the CDAG reproduces the matrix product computed independently.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pathrouting/bilinear/analysis.hpp"
+#include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/cdag/cdag.hpp"
+#include "pathrouting/cdag/evaluate.hpp"
+#include "pathrouting/cdag/meta.hpp"
+#include "pathrouting/matmul/classical.hpp"
+#include "pathrouting/support/table.hpp"
+
+namespace {
+
+using namespace pathrouting;  // NOLINT
+using support::fmt_count;
+using support::fmt_fixed;
+
+bool evaluation_matches(const cdag::Cdag& graph) {
+  const std::uint64_t n = graph.layout().n();
+  support::Xoshiro256 rng(12345);
+  const auto a = matmul::random_matrix<std::int64_t>(n, rng, -3, 3);
+  const auto b = matmul::random_matrix<std::int64_t>(n, rng, -3, 3);
+  const auto am = cdag::to_morton<std::int64_t>(
+      graph, std::span<const std::int64_t>(a.data()));
+  const auto bm = cdag::to_morton<std::int64_t>(
+      graph, std::span<const std::int64_t>(b.data()));
+  const auto c_flat = cdag::from_morton<std::int64_t>(
+      graph, cdag::evaluate<std::int64_t>(graph, am, bm));
+  const auto ref = matmul::naive_multiply(a, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (ref(i, j) != c_flat[i * n + j]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "E1: CDAG construction and semantics",
+      "Claim: G_r (Section 3) computes C = AB for every Strassen-like base;\n"
+      "copying appears exactly at trivial encoding rows (meta-vertices).");
+
+  support::Table table(
+      {"algorithm", "n0", "b", "omega0", "r", "n", "|V|", "|E|", "dup",
+       "multi-copy", "enc-cc", "dec-cc", "single-use", "eval", "build-s"});
+  for (const auto& name : bilinear::catalog_names()) {
+    const auto alg = bilinear::by_name(name);
+    const int r = alg.n0() == 2 ? 5 : (alg.b() <= 27 ? 3 : 2);
+    bench::Stopwatch timer;
+    const cdag::Cdag graph(alg, r);
+    const double build = timer.seconds();
+    table.add_row(
+        {name, std::to_string(alg.n0()), std::to_string(alg.b()),
+         fmt_fixed(alg.omega0(), 4), std::to_string(r),
+         std::to_string(graph.layout().n()),
+         fmt_count(graph.graph().num_vertices()),
+         fmt_count(graph.graph().num_edges()),
+         fmt_count(cdag::count_duplicated_vertices(graph)),
+         cdag::has_multiple_copying(graph) ? "yes" : "no",
+         std::to_string(bilinear::encoding_components(alg, bilinear::Side::A)),
+         std::to_string(bilinear::decoding_components(alg)),
+         bilinear::satisfies_single_use_assumption(alg) ? "yes" : "no",
+         evaluation_matches(graph) ? "OK" : "FAIL", fmt_fixed(build, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nNote: classical bases are omega0 = 3 (excluded from Theorem "
+               "1) and exhibit\nthe multiple copying of Figure 2; "
+               "classical2_x_strassen is the disconnected-\ndecoding case "
+               "that defeats the edge-expansion proof of [6].\n";
+  return 0;
+}

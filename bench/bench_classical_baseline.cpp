@@ -1,0 +1,138 @@
+// E7 — classical baseline and crossover.
+//
+// (a) The flat classical CDAG under blocked schedules follows
+//     Hong-Kung's Theta(n^3 / sqrt(M)) — slope 3 in n, slope -1/2 in M
+//     — with the blocked tile ~ sqrt(M/3) far better than the naive
+//     order.
+// (b) Crossover: at fixed M, Strassen's CDAG costs more I/O than
+//     classical for small n (bigger constants) and wins as n grows
+//     (exponent 2.81 vs 3).
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/bounds/formulas.hpp"
+#include "pathrouting/cdag/cdag.hpp"
+#include "pathrouting/cdag/flat_classical.hpp"
+#include "pathrouting/pebble/cache_sim.hpp"
+#include "pathrouting/schedule/schedules.hpp"
+#include "pathrouting/support/table.hpp"
+
+namespace {
+using namespace pathrouting;  // NOLINT
+using support::fmt_count;
+using support::fmt_fixed;
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "E7a: Hong-Kung baseline — blocked classical matmul",
+      "Flat classical CDAG, blocked schedule with tile ~ sqrt(M/3),\n"
+      "Belady eviction. IO should track c * n^3 / sqrt(M); the naive\n"
+      "(tile = n) order pays ~n^3.");
+  {
+    support::Table table({"n", "M", "tile", "IO blocked", "IO naive",
+                          "n^3/sqrt(M)", "ratio", "HK bound"});
+    for (const int n : {16, 32, 48, 64}) {
+      const cdag::FlatClassicalCdag flat(n);
+      const auto is_out = [&](cdag::VertexId v) {
+        return flat.graph().out_degree(v) == 0 && flat.graph().in_degree(v) > 0;
+      };
+      for (const std::uint64_t m : {48ull, 192ull, 768ull}) {
+        if (m >= static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n)) {
+          continue;
+        }
+        const int tile = std::max(
+            1, static_cast<int>(std::sqrt(static_cast<double>(m) / 3.0)));
+        const auto blocked =
+            pebble::simulate(flat.graph(), flat.blocked_schedule(tile),
+                             {.cache_size = m}, is_out);
+        const auto naive =
+            pebble::simulate(flat.graph(), flat.blocked_schedule(n),
+                             {.cache_size = m}, is_out);
+        const double model =
+            std::pow(n, 3) / std::sqrt(static_cast<double>(m));
+        table.add_row({std::to_string(n), fmt_count(m), std::to_string(tile),
+                       fmt_count(blocked.io()), fmt_count(naive.io()),
+                       fmt_count(static_cast<std::uint64_t>(model)),
+                       fmt_fixed(blocked.io() / model, 2),
+                       fmt_count(static_cast<std::uint64_t>(std::max(
+                           0.0, bounds::hong_kung_classical(
+                                    n, static_cast<double>(m)))))});
+      }
+    }
+    table.print(std::cout);
+  }
+
+  bench::print_banner(
+      "E7c: loop-order ablation (flat classical, n = 48)",
+      "The six classical loop nestings differ only in traversal order;\n"
+      "their pebble-game I/O differs by which operand streams and which\n"
+      "reuses — the textbook locality effect, reproduced on the exact\n"
+      "model. All are far above the blocked schedule.");
+  {
+    using LO = cdag::FlatClassicalCdag::LoopOrder;
+    const int n = 48;
+    const cdag::FlatClassicalCdag flat(n);
+    const auto is_out = [&](cdag::VertexId v) {
+      return flat.graph().out_degree(v) == 0 && flat.graph().in_degree(v) > 0;
+    };
+    const std::uint64_t m = 192;
+    support::Table table({"order", "IO", "vs blocked"});
+    const auto blocked = pebble::simulate(flat.graph(), flat.blocked_schedule(8),
+                                          {.cache_size = m}, is_out);
+    struct Named {
+      const char* name;
+      LO order;
+    };
+    for (const Named c : {Named{"ijk", LO::kIJK}, Named{"ikj", LO::kIKJ},
+                          Named{"jik", LO::kJIK}, Named{"jki", LO::kJKI},
+                          Named{"kij", LO::kKIJ}, Named{"kji", LO::kKJI}}) {
+      const auto res = pebble::simulate(flat.graph(), flat.loop_schedule(c.order),
+                                        {.cache_size = m}, is_out);
+      table.add_row({c.name, fmt_count(res.io()),
+                     fmt_fixed(static_cast<double>(res.io()) /
+                                   static_cast<double>(blocked.io()),
+                               2)});
+    }
+    table.add_row({"blocked(8)", fmt_count(blocked.io()), "1.00"});
+    table.print(std::cout);
+  }
+
+  bench::print_banner(
+      "E7b: classical vs Strassen I/O crossover",
+      "Both run as recursive CDAGs (DFS schedule, Belady) at fixed M.\n"
+      "classical2 has omega0 = 3, strassen 2.81: the ratio\n"
+      "IO(classical)/IO(strassen) grows with n and crosses 1.");
+  {
+    support::Table table(
+        {"r", "n", "M", "IO classical2", "IO strassen", "classical/strassen"});
+    const auto cls = bilinear::classical(2);
+    const auto str = bilinear::strassen();
+    for (const int r : {4, 5, 6, 7}) {
+      const cdag::Cdag gc(cls, r, {.with_coefficients = false});
+      const cdag::Cdag gs(str, r, {.with_coefficients = false});
+      const auto oc = schedule::dfs_schedule(gc);
+      const auto os = schedule::dfs_schedule(gs);
+      const std::uint64_t m = 64;
+      const auto rc = pebble::simulate(
+          gc.graph(), oc, {.cache_size = m},
+          [&](cdag::VertexId v) { return gc.layout().is_output(v); });
+      const auto rs = pebble::simulate(
+          gs.graph(), os, {.cache_size = m},
+          [&](cdag::VertexId v) { return gs.layout().is_output(v); });
+      table.add_row({std::to_string(r), fmt_count(gc.layout().n()),
+                     fmt_count(m), fmt_count(rc.io()), fmt_count(rs.io()),
+                     fmt_fixed(static_cast<double>(rc.io()) /
+                                   static_cast<double>(rs.io()),
+                               3)});
+    }
+    table.print(std::cout);
+    std::cout << "\nThe last column increases by ~(8/7) per recursion level\n"
+                 "(= 2^3 / 2^{log2 7}), the asymptotic separation Theorem 1\n"
+                 "proves is unavoidable for classical but beatable by\n"
+                 "Strassen-like algorithms.\n";
+  }
+  return 0;
+}

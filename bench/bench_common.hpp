@@ -1,0 +1,29 @@
+// Shared helpers for the experiment benches: consistent headers and
+// wall-clock timing.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace pathrouting::bench {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void print_banner(const std::string& experiment,
+                         const std::string& claim) {
+  std::printf("\n=== %s ===\n%s\n\n", experiment.c_str(), claim.c_str());
+}
+
+}  // namespace pathrouting::bench

@@ -1,0 +1,71 @@
+// E15 — why the paper's technique is needed: spectral expansion of the
+// decoding graphs.
+//
+// The edge-expansion proof of [6] needs the decoding graph D_k to be a
+// (connected) expander. This table estimates the conductance of D_k via
+// the lazy-walk spectral gap: Strassen-like bases with connected
+// decoders keep lambda2 bounded away from 1, while the tensor products
+// with a classical factor have DISCONNECTED decoders — lambda2 = 1,
+// Cheeger bound 0, and the edge-expansion argument yields nothing. The
+// path-routing certificate (bench_segment, bench_extension) covers
+// those bases regardless: that is precisely the paper's contribution.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/bounds/expansion.hpp"
+#include "pathrouting/cdag/cdag.hpp"
+#include "pathrouting/support/table.hpp"
+
+namespace {
+using namespace pathrouting;  // NOLINT
+using support::fmt_count;
+using support::fmt_fixed;
+
+std::vector<cdag::VertexId> decode_vertices(const cdag::Cdag& graph) {
+  const auto& layout = graph.layout();
+  std::vector<cdag::VertexId> out;
+  for (int t = 0; t <= layout.r(); ++t) {
+    const std::uint64_t num_q = layout.pow_b()(layout.r() - t);
+    const std::uint64_t num_p = layout.pow_a()(t);
+    for (std::uint64_t q = 0; q < num_q; ++q) {
+      for (std::uint64_t p = 0; p < num_p; ++p) {
+        out.push_back(layout.dec(t, q, p));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "E15: spectral expansion of decoding graphs (the [6] prerequisite)",
+      "lambda2 of the lazy random walk on D_k; conductance >= (1-l2)/2\n"
+      "by Cheeger. Disconnected decoders (classical tensor factors) give\n"
+      "lambda2 = 1: the edge-expansion technique is empty there, while\n"
+      "the path-routing certificate still applies (E9/E13).");
+  support::Table table({"algorithm", "k", "|D_k|", "components", "lambda2",
+                        "Cheeger lower", "[6] applies"});
+  struct Case {
+    const char* name;
+    int k;
+  };
+  for (const Case c :
+       {Case{"strassen", 2}, Case{"strassen", 3}, Case{"winograd", 3},
+        Case{"laderman", 2}, Case{"strassen_squared", 2},
+        Case{"classical2", 3}, Case{"classical2_x_strassen", 2},
+        Case{"strassen_x_classical2", 2}}) {
+    const auto alg = bilinear::by_name(c.name);
+    const cdag::Cdag graph(alg, c.k, {.with_coefficients = false});
+    const auto verts = decode_vertices(graph);
+    const auto est = bounds::estimate_expansion(graph.graph(), verts, 7, 400);
+    table.add_row({c.name, std::to_string(c.k), fmt_count(verts.size()),
+                   std::to_string(est.components), fmt_fixed(est.lambda2, 4),
+                   fmt_fixed(est.cheeger_lower(), 4),
+                   est.components == 1 ? "yes" : "NO (disconnected)"});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,100 @@
+// E6 — Theorem 1 (sequential): I/O of the recursive schedule vs the
+// lower bound, across n and M.
+//
+// The paper proves IO >= Omega((n/sqrt(M))^{omega0} * M) for every
+// schedule, and [3] shows the recursive (DFS) schedule attains it. We
+// measure the DFS schedule under Belady eviction on the exact machine
+// model and report the ratio to the asymptotic form: it must stay in a
+// constant band (no drift in n or M), with log-slopes matching omega0
+// in n and 1 - omega0/2 in M. The paper-constant closed form
+// (Theorem 1's floor expression) is also shown where non-vacuous.
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "pathrouting/bilinear/analysis.hpp"
+#include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/bounds/formulas.hpp"
+#include "pathrouting/cdag/cdag.hpp"
+#include "pathrouting/pebble/cache_sim.hpp"
+#include "pathrouting/schedule/schedules.hpp"
+#include "pathrouting/support/table.hpp"
+
+namespace {
+
+using namespace pathrouting;  // NOLINT
+using support::fmt_count;
+using support::fmt_fixed;
+
+struct Case {
+  const char* name;
+  int rmin, rmax;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "E6: Theorem 1 — I/O scaling of Strassen-like algorithms",
+      "Measured: DFS schedule + Belady eviction on the red-blue pebble\n"
+      "game. Bound: (n/sqrt(M))^{omega0} * M. The ratio column must stay\n"
+      "in a constant band as n grows (per fixed M); 'slope(n)' is the\n"
+      "fitted exponent between consecutive r at fixed M and should\n"
+      "approach omega0.");
+
+  for (const Case c : {Case{"strassen", 4, 8}, Case{"winograd", 4, 6},
+                       Case{"laderman", 2, 4}, Case{"strassen_squared", 2, 3}}) {
+    const auto alg = bilinear::by_name(c.name);
+    const double w0 = alg.omega0();
+    std::printf("--- %s (omega0 = %.4f) ---\n", c.name, w0);
+    support::Table table({"r", "n", "M", "IO (measured)", "asym bound",
+                          "ratio", "slope(n)", "DFS model", "meas/model",
+                          "paper-form"});
+    const auto adds = bilinear::addition_counts(alg);
+    const std::uint64_t e_u = static_cast<std::uint64_t>(adds.encode_a + alg.b());
+    const std::uint64_t e_v = static_cast<std::uint64_t>(adds.encode_b + alg.b());
+    const std::uint64_t e_w = static_cast<std::uint64_t>(adds.decode + alg.a());
+    std::map<std::uint64_t, double> prev_io;  // by M
+    for (int r = c.rmin; r <= c.rmax; ++r) {
+      const cdag::Cdag graph(alg, r, {.with_coefficients = false});
+      const auto order = schedule::dfs_schedule(graph);
+      const auto is_out = [&](cdag::VertexId v) {
+        return graph.layout().is_output(v);
+      };
+      const double n = static_cast<double>(graph.layout().n());
+      for (const std::uint64_t m : {64ull, 256ull, 1024ull}) {
+        if (static_cast<double>(m) > n * n / 2) continue;  // M = o(n^2)
+        const auto res = pebble::simulate(graph.graph(), order,
+                                          {.cache_size = m}, is_out);
+        const double bound = bounds::asymptotic_io(n, static_cast<double>(m), w0);
+        std::string slope = "-";
+        if (const auto it = prev_io.find(m); it != prev_io.end()) {
+          slope = fmt_fixed(std::log(static_cast<double>(res.io()) / it->second) /
+                                std::log(static_cast<double>(alg.n0())),
+                            3);
+        }
+        prev_io[m] = static_cast<double>(res.io());
+        const std::uint64_t paper =
+            bounds::theorem1_io_lower_bound(alg.a(), alg.b(), r, m);
+        const double model =
+            bounds::dfs_io_model(alg.a(), alg.b(), e_u, e_v, e_w, r, m);
+        table.add_row({std::to_string(r), fmt_count(static_cast<std::uint64_t>(n)),
+                       fmt_count(m), fmt_count(res.io()), fmt_count(static_cast<std::uint64_t>(bound)),
+                       fmt_fixed(res.io() / bound, 2), slope,
+                       fmt_count(static_cast<std::uint64_t>(model)),
+                       fmt_fixed(res.io() / model, 2),
+                       paper == 0 ? "(vacuous)" : fmt_count(paper)});
+      }
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout
+      << "Reading the table: ratios converge to a constant per M (the DFS\n"
+         "schedule is within a constant factor of optimal), and slope(n)\n"
+         "approaches omega0 as r grows. The paper-constant form is vacuous\n"
+         "at these scales because k = ceil(log_a 72M) exceeds r-2 — its\n"
+         "content is carried by the segment certifier (bench_segment).\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Performance microbenchmarks (google-benchmark): construction and
+// simulation throughput of the core components. These are engineering
+// benchmarks, not experiment tables — they keep regressions visible.
+#include <benchmark/benchmark.h>
+
+#include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/cdag/cdag.hpp"
+#include "pathrouting/cdag/evaluate.hpp"
+#include "pathrouting/pebble/cache_sim.hpp"
+#include "pathrouting/routing/concat_routing.hpp"
+#include "pathrouting/schedule/schedules.hpp"
+#include "pathrouting/support/prng.hpp"
+
+namespace {
+
+using namespace pathrouting;  // NOLINT
+
+void BM_CdagBuild(benchmark::State& state) {
+  const auto alg = bilinear::strassen();
+  const int r = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const cdag::Cdag graph(alg, r, {.with_coefficients = false});
+    benchmark::DoNotOptimize(graph.graph().num_edges());
+  }
+  const cdag::Cdag graph(alg, r, {.with_coefficients = false});
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(graph.graph().num_edges()));
+}
+BENCHMARK(BM_CdagBuild)->Arg(3)->Arg(5)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_PebbleSimulate(benchmark::State& state) {
+  const auto alg = bilinear::strassen();
+  const cdag::Cdag graph(alg, static_cast<int>(state.range(0)),
+                         {.with_coefficients = false});
+  const auto order = schedule::dfs_schedule(graph);
+  const auto is_out = [&](cdag::VertexId v) {
+    return graph.layout().is_output(v);
+  };
+  for (auto _ : state) {
+    const auto res =
+        pebble::simulate(graph.graph(), order, {.cache_size = 256}, is_out);
+    benchmark::DoNotOptimize(res.reads);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(order.size()));
+}
+BENCHMARK(BM_PebbleSimulate)->Arg(4)->Arg(5)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PebbleSimulateLru(benchmark::State& state) {
+  const auto alg = bilinear::strassen();
+  const cdag::Cdag graph(alg, 5, {.with_coefficients = false});
+  const auto order = schedule::dfs_schedule(graph);
+  const auto is_out = [&](cdag::VertexId v) {
+    return graph.layout().is_output(v);
+  };
+  for (auto _ : state) {
+    const auto res = pebble::simulate(
+        graph.graph(), order,
+        {.cache_size = 256, .eviction = pebble::Eviction::Lru}, is_out);
+    benchmark::DoNotOptimize(res.reads);
+  }
+}
+BENCHMARK(BM_PebbleSimulateLru)->Unit(benchmark::kMillisecond);
+
+void BM_ChainRouting(benchmark::State& state) {
+  const auto alg = bilinear::strassen();
+  const routing::ChainRouter router(alg);
+  const int k = static_cast<int>(state.range(0));
+  const cdag::Cdag graph(alg, k, {.with_coefficients = false});
+  const cdag::SubComputation sub(graph, k, 0);
+  for (auto _ : state) {
+    const auto counts = routing::count_chain_hits(router, sub);
+    benchmark::DoNotOptimize(counts.max_hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(sub.inputs_per_side()));
+}
+BENCHMARK(BM_ChainRouting)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_BaseMatching(benchmark::State& state) {
+  const auto alg = bilinear::laderman();
+  for (auto _ : state) {
+    const auto matching =
+        routing::compute_base_matching(alg, routing::Side::A);
+    benchmark::DoNotOptimize(matching.has_value());
+  }
+}
+BENCHMARK(BM_BaseMatching)->Unit(benchmark::kMicrosecond);
+
+void BM_CdagEvaluate(benchmark::State& state) {
+  const auto alg = bilinear::strassen();
+  const cdag::Cdag graph(alg, static_cast<int>(state.range(0)));
+  const std::uint64_t in = graph.layout().inputs_per_side();
+  support::Xoshiro256 rng(1);
+  std::vector<std::int64_t> a(in), b(in);
+  for (auto& x : a) x = rng.range(-3, 3);
+  for (auto& x : b) x = rng.range(-3, 3);
+  for (auto _ : state) {
+    const auto out = cdag::evaluate<std::int64_t>(graph, a, b);
+    benchmark::DoNotOptimize(out.front());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(graph.graph().num_vertices()));
+}
+BENCHMARK(BM_CdagEvaluate)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

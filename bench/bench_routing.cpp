@@ -1,0 +1,88 @@
+// E2-E5 — the routing theorems, verified by exhaustive counting.
+//
+//   E2 (Theorem 2): 6 a^k-routing between In and Out of G_k.
+//   E3 (Lemma 3):   2 n0^k-routing of chains for guaranteed deps.
+//   E4 (Lemma 4):   every chain reused exactly 3 n0^k times.
+//   E5 (Claim 1):   |D_1| * b^k-routing inside the decoding graph.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pathrouting/bilinear/analysis.hpp"
+#include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/routing/concat_routing.hpp"
+#include "pathrouting/routing/decode_routing.hpp"
+#include "pathrouting/support/table.hpp"
+
+namespace {
+
+using namespace pathrouting;  // NOLINT
+using support::fmt_count;
+using support::fmt_fixed;
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "E2/E3/E4: Lemma 3, Lemma 4 and the Routing Theorem (Theorem 2)",
+      "Claim: chains for all guaranteed dependencies hit every vertex at\n"
+      "most 2 n0^k times; the Lemma-4 concatenation uses every chain\n"
+      "exactly 3 n0^k times; the composed routing hits every vertex and\n"
+      "every meta-vertex at most 6 a^k times.");
+
+  support::Table table({"algorithm", "k", "chains", "L3 max", "L3 bound",
+                        "L4 exact", "T2 max", "T2 meta", "T2 bound", "ok",
+                        "sec"});
+  struct Case {
+    const char* name;
+    int kmax;
+  };
+  for (const Case c : {Case{"strassen", 6}, Case{"winograd", 6},
+                       Case{"laderman", 3}, Case{"strassen_squared", 3},
+                       Case{"strassen_x_classical2", 3}}) {
+    const auto alg = bilinear::by_name(c.name);
+    const routing::ChainRouter router(alg);
+    for (int k = 1; k <= c.kmax; ++k) {
+      bench::Stopwatch timer;
+      const cdag::Cdag graph(alg, k, {.with_coefficients = false});
+      const cdag::SubComputation sub(graph, k, 0);
+      const auto l3 = routing::verify_chain_routing(router, sub);
+      const bool l4 = routing::verify_chain_multiplicities(router, sub);
+      const auto t2 = routing::verify_full_routing_aggregated(router, sub);
+      const bool ok = l3.ok() && l4 && t2.ok();
+      table.add_row({c.name, std::to_string(k), fmt_count(l3.num_paths),
+                     fmt_count(l3.max_hits), fmt_count(l3.bound),
+                     l4 ? "yes" : "NO", fmt_count(t2.max_vertex_hits),
+                     fmt_count(t2.max_meta_hits), fmt_count(t2.bound),
+                     ok ? "OK" : "VIOLATED", fmt_fixed(timer.seconds(), 2)});
+    }
+  }
+  table.print(std::cout);
+
+  bench::print_banner(
+      "E5: Claim 1 — the decoding-graph routing of Section 5",
+      "Claim: for bases with a connected decoding graph there is an\n"
+      "(|D_1| * max(a,b)^k)-routing between the inputs and outputs of D_k\n"
+      "(11 * 7^k for Strassen). Paths are enumerated exhaustively.");
+  support::Table claim1({"algorithm", "k", "paths", "max hits", "bound",
+                         "slack", "ok", "sec"});
+  for (const Case c : {Case{"strassen", 5}, Case{"winograd", 5},
+                       Case{"laderman", 3}}) {
+    const auto alg = bilinear::by_name(c.name);
+    const routing::DecodeRouter router(alg);
+    for (int k = 1; k <= c.kmax; ++k) {
+      bench::Stopwatch timer;
+      const cdag::Cdag graph(alg, k, {.with_coefficients = false});
+      const cdag::SubComputation sub(graph, k, 0);
+      const auto stats = routing::verify_decode_routing(router, sub);
+      claim1.add_row(
+          {c.name, std::to_string(k), fmt_count(stats.num_paths),
+           fmt_count(stats.max_hits), fmt_count(stats.bound),
+           fmt_fixed(static_cast<double>(stats.bound) /
+                         static_cast<double>(stats.max_hits),
+                     1),
+           stats.ok() ? "OK" : "VIOLATED", fmt_fixed(timer.seconds(), 2)});
+    }
+  }
+  claim1.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,177 @@
+// figures: regenerate the paper's illustrative figures as Graphviz DOT.
+//
+//   ./figures --out=figures/
+//
+//   fig1_base_graph.dot   - G_1 of Strassen (Figure 1)
+//   fig2_meta_vertex.dot  - a multiple-copying meta-vertex in classical
+//                           G_2 (Figure 2)
+//   fig3_zigzag.dot       - D_1 of Strassen with an indirect
+//                           product-output path highlighted (Figure 3)
+//   fig8_matching.dot     - G'_1 with the middle-rank vertices adjacent
+//                           to the guaranteed dependence (a12, c11)
+//                           highlighted (Figure 8)
+//   fig9_pruned.dot       - the reduced graph G_1-degree for row i = 2
+//                           with removed vertices greyed (Figure 9)
+//
+// Render with: dot -Tpng fig1_base_graph.dot -o fig1.png
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/cdag/cdag.hpp"
+#include "pathrouting/cdag/meta.hpp"
+#include "pathrouting/routing/decode_routing.hpp"
+#include "pathrouting/routing/hall.hpp"
+#include "pathrouting/support/cli.hpp"
+#include "pathrouting/support/dot.hpp"
+
+using namespace pathrouting;  // NOLINT: example brevity
+
+namespace {
+
+std::string vertex_label(const cdag::Cdag& graph, cdag::VertexId v) {
+  const auto& layout = graph.layout();
+  const cdag::VertexRef ref = layout.ref(v);
+  const int n0 = layout.n0();
+  char buf[64];
+  if (ref.layer == cdag::LayerKind::Dec && ref.rank == 0) {
+    std::snprintf(buf, sizeof(buf), "M%llu",
+                  static_cast<unsigned long long>(ref.q) + 1);
+  } else if (ref.layer == cdag::LayerKind::Dec &&
+             ref.rank == layout.r()) {
+    std::snprintf(buf, sizeof(buf), "c%llu%llu",
+                  static_cast<unsigned long long>(ref.p) / n0 + 1,
+                  static_cast<unsigned long long>(ref.p) % n0 + 1);
+  } else if (ref.rank == 0) {
+    std::snprintf(buf, sizeof(buf), "%c%llu%llu",
+                  ref.layer == cdag::LayerKind::EncA ? 'a' : 'b',
+                  static_cast<unsigned long long>(ref.p) / n0 + 1,
+                  static_cast<unsigned long long>(ref.p) % n0 + 1);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%llu.%llu",
+                  ref.layer == cdag::LayerKind::EncA   ? "TA"
+                  : ref.layer == cdag::LayerKind::EncB ? "TB"
+                                                       : "D",
+                  static_cast<unsigned long long>(ref.q),
+                  static_cast<unsigned long long>(ref.p));
+  }
+  return buf;
+}
+
+void write_cdag_dot(const cdag::Cdag& graph, const std::string& path,
+                    const std::string& name,
+                    const std::set<cdag::VertexId>& highlight,
+                    const std::set<cdag::VertexId>& removed = {}) {
+  support::DotWriter writer(name, graph.graph().num_vertices());
+  writer.set_preamble("rankdir=BT; node [shape=ellipse, fontsize=10];");
+  std::ofstream os(path);
+  writer.write(
+      os,
+      [&](cdag::VertexId v) {
+        std::string attr = "label=\"" + vertex_label(graph, v) + "\"";
+        if (highlight.contains(v)) {
+          attr += ", style=filled, fillcolor=\"#e41a1c\", fontcolor=white";
+        } else if (removed.contains(v)) {
+          attr += ", style=dashed, color=gray, fontcolor=gray";
+        }
+        return attr;
+      },
+      [&](const auto& emit) {
+        for (cdag::VertexId v = 0; v < graph.graph().num_vertices(); ++v) {
+          for (const cdag::VertexId p : graph.graph().in(v)) {
+            const bool hot = highlight.contains(v) && highlight.contains(p);
+            emit(p, v, hot ? "color=\"#e41a1c\", penwidth=2" : "");
+          }
+        }
+      });
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::Cli cli(argc, argv);
+  const std::string out = cli.flag_str("out", "figures", "output directory");
+  cli.finish("Regenerate the paper's figures as Graphviz DOT files.");
+  std::filesystem::create_directories(out);
+
+  // Figure 1: Strassen's base graph G_1.
+  {
+    const cdag::Cdag g1(bilinear::strassen(), 1);
+    write_cdag_dot(g1, out + "/fig1_base_graph.dot", "strassen_G1", {});
+  }
+
+  // Figure 2: a meta-vertex under multiple copying (classical, G_2):
+  // highlight the whole meta-vertex of input a11.
+  {
+    const cdag::Cdag g2(bilinear::classical(2), 2);
+    const cdag::VertexId root = g2.layout().input(bilinear::Side::A, 0);
+    std::set<cdag::VertexId> meta;
+    for (const cdag::VertexId v : cdag::meta_members(g2, root)) {
+      meta.insert(v);
+    }
+    write_cdag_dot(g2, out + "/fig2_meta_vertex.dot", "classical_meta", meta);
+  }
+
+  // Figure 3/4 spirit: D_1 with an indirect path from a product to an
+  // output it is not adjacent to (the "zag").
+  {
+    const bilinear::BilinearAlgorithm alg = bilinear::strassen();
+    const cdag::Cdag g1(alg, 1);
+    const routing::DecodeRouter router(alg);
+    // M4 feeds c11 and c21; route it to c12 instead (not adjacent).
+    const auto& path = router.d1_path(3, 1);
+    std::set<cdag::VertexId> hot;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      hot.insert(i % 2 == 0
+                     ? g1.layout().product(static_cast<std::uint64_t>(path[i]))
+                     : g1.layout().output(static_cast<std::uint64_t>(path[i])));
+    }
+    write_cdag_dot(g1, out + "/fig3_zigzag.dot", "strassen_D1_zigzag", hot);
+  }
+
+  // Figure 8: middle-rank vertices through which a chain for the
+  // guaranteed dependence (a12 -> c11) may pass: encoding rows with
+  // U[q, a12] != 0 and W[c11, q] != 0.
+  {
+    const bilinear::BilinearAlgorithm alg = bilinear::strassen();
+    const cdag::Cdag g1(alg, 1);
+    std::set<cdag::VertexId> hot;
+    hot.insert(g1.layout().input(bilinear::Side::A, 1));  // a12
+    hot.insert(g1.layout().output(0));                    // c11
+    for (int q = 0; q < alg.b(); ++q) {
+      if (routing::h_edge(alg, bilinear::Side::A, 1, 0, q)) {
+        hot.insert(g1.layout().enc(bilinear::Side::A, 1,
+                                   static_cast<std::uint64_t>(q), 0));
+      }
+    }
+    write_cdag_dot(g1, out + "/fig8_matching.dot", "strassen_H_neighbours",
+                   hot);
+  }
+
+  // Figure 9: the reduced graph for i = 2 — A-inputs outside row 2 are
+  // zeroed (greyed) along with the encoding rows that die with them.
+  {
+    const bilinear::BilinearAlgorithm alg = bilinear::strassen();
+    const cdag::Cdag g1(alg, 1);
+    std::set<cdag::VertexId> removed;
+    removed.insert(g1.layout().input(bilinear::Side::A, 0));  // a11
+    removed.insert(g1.layout().input(bilinear::Side::A, 1));  // a12
+    for (int q = 0; q < alg.b(); ++q) {
+      bool row2_support = false;
+      for (int j = 0; j < alg.n0(); ++j) {
+        row2_support = row2_support || !alg.u(q, 1 * alg.n0() + j).is_zero();
+      }
+      if (!row2_support) {
+        removed.insert(g1.layout().enc(bilinear::Side::A, 1,
+                                       static_cast<std::uint64_t>(q), 0));
+      }
+    }
+    write_cdag_dot(g1, out + "/fig9_pruned.dot", "strassen_G1_row2", {},
+                   removed);
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// io_bounds: the "calculator" — sweep (r, M) for a chosen algorithm,
+// simulate the pebble game, and print measured I/O against every bound
+// form in the paper.
+//
+//   ./io_bounds --alg=strassen --rmax=6 --schedule=dfs
+//   ./io_bounds --alg=laderman --rmax=4 --policy=lru
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/bounds/formulas.hpp"
+#include "pathrouting/cdag/cdag.hpp"
+#include "pathrouting/pebble/cache_sim.hpp"
+#include "pathrouting/schedule/schedules.hpp"
+#include "pathrouting/support/cli.hpp"
+#include "pathrouting/support/table.hpp"
+
+using namespace pathrouting;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  support::Cli cli(argc, argv);
+  const std::string name = cli.flag_str("alg", "strassen", "catalog algorithm");
+  const int rmin = static_cast<int>(cli.flag_int("rmin", 3, "smallest depth"));
+  const int rmax = static_cast<int>(cli.flag_int("rmax", 6, "largest depth"));
+  const std::string sched =
+      cli.flag_str("schedule", "dfs", "dfs | bfs | random");
+  const std::string policy = cli.flag_str("policy", "belady", "belady | lru");
+  cli.finish("Sweep (r, M), simulate the pebble game, compare with bounds.");
+
+  const auto alg = bilinear::by_name(name);
+  const double w0 = alg.omega0();
+  std::printf("%s: omega0 = %.4f, schedule = %s, eviction = %s\n",
+              alg.name().c_str(), w0, sched.c_str(), policy.c_str());
+  support::Table table({"r", "n", "M", "IO", "asym (n/sqrtM)^w0*M", "ratio",
+                        "Section5 form", "Theorem1 form"});
+  for (int r = rmin; r <= rmax; ++r) {
+    const cdag::Cdag graph(alg, r, {.with_coefficients = false});
+    std::vector<cdag::VertexId> order;
+    if (sched == "bfs") {
+      order = schedule::bfs_schedule(graph);
+    } else if (sched == "random") {
+      order = schedule::random_topological_schedule(graph.graph(), 1);
+    } else {
+      order = schedule::dfs_schedule(graph);
+    }
+    const double n = static_cast<double>(graph.layout().n());
+    for (const std::uint64_t m : {64ull, 256ull, 1024ull}) {
+      if (static_cast<double>(m) > n * n / 2) continue;
+      const auto res = pebble::simulate(
+          graph.graph(), order,
+          {.cache_size = m,
+           .eviction = policy == "lru" ? pebble::Eviction::Lru
+                                       : pebble::Eviction::Belady},
+          [&](cdag::VertexId v) { return graph.layout().is_output(v); });
+      const double asym = bounds::asymptotic_io(n, static_cast<double>(m), w0);
+      const std::uint64_t t1 =
+          bounds::theorem1_io_lower_bound(alg.a(), alg.b(), r, m);
+      const std::uint64_t s5 =
+          alg.n0() == 2 && alg.b() == 7 ? bounds::section5_io_lower_bound(r, m)
+                                        : 0;
+      table.add_row({std::to_string(r),
+                     support::fmt_count(static_cast<std::uint64_t>(n)),
+                     support::fmt_count(m), support::fmt_count(res.io()),
+                     support::fmt_count(static_cast<std::uint64_t>(asym)),
+                     support::fmt_fixed(res.io() / asym, 2),
+                     s5 == 0 ? "(vacuous)" : support::fmt_count(s5),
+                     t1 == 0 ? "(vacuous)" : support::fmt_count(t1)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,152 @@
+// paper_checklist: run every checkable statement of the paper in one
+// sitting and print a pass/fail checklist. The definitive smoke test —
+// takes a couple of minutes single-threaded.
+#include <cstdio>
+#include <string>
+
+#include "pathrouting/pathrouting.hpp"
+
+using namespace pathrouting;  // NOLINT: example brevity
+
+namespace {
+
+int failures = 0;
+
+void check(const std::string& what, bool ok) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  failures += ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Scott-Holtz-Schwartz, SPAA'15 — executable checklist\n");
+
+  std::printf("\nSection 3 (preliminaries):\n");
+  for (const char* name : {"strassen", "winograd", "laderman"}) {
+    const auto alg = bilinear::by_name(name);
+    check(std::string(name) + ": Brent equations (the base multiplies)",
+          alg.verify_brent());
+    check(std::string(name) + ": single-use assumption holds",
+          bilinear::satisfies_single_use_assumption(alg));
+  }
+  {
+    const cdag::Cdag g(bilinear::classical(2), 2);
+    check("classical shows multiple copying (Figure 2)",
+          cdag::has_multiple_copying(g));
+    check("classical2 x strassen has a disconnected decoding graph",
+          bilinear::decoding_components(bilinear::classical2_x_strassen()) >
+              1);
+  }
+
+  std::printf("\nSection 7.2-7.3 (Lemma 5 / Theorem 3):\n");
+  for (const auto& name : bilinear::catalog_names()) {
+    const auto alg = bilinear::by_name(name);
+    check(name + ": Hall condition both sides",
+          routing::hall_condition_flow(alg, bilinear::Side::A) &&
+              routing::hall_condition_flow(alg, bilinear::Side::B));
+  }
+
+  std::printf("\nSection 7 (Lemma 3, Lemma 4, Theorem 2):\n");
+  for (const char* name : {"strassen", "winograd", "laderman"}) {
+    const auto alg = bilinear::by_name(name);
+    const routing::ChainRouter router(alg);
+    const int k = alg.n0() == 2 ? 4 : 3;
+    const cdag::Cdag g(alg, k, {.with_coefficients = false});
+    const cdag::SubComputation sub(g, k, 0);
+    const auto l3 = routing::verify_chain_routing(router, sub);
+    check(std::string(name) + ": Lemma 3 (2*n0^k chain routing, k=" +
+              std::to_string(k) + ")",
+          l3.ok());
+    check(std::string(name) + ": Lemma 4 (each chain used exactly 3*n0^k)",
+          routing::verify_chain_multiplicities(router, sub));
+    const auto t2 = routing::verify_full_routing_aggregated(router, sub);
+    check(std::string(name) + ": Theorem 2 (6*a^k routing, meta-vertices too)",
+          t2.ok());
+  }
+
+  std::printf("\nSection 5 (Claim 1 and Equation 1):\n");
+  {
+    const auto alg = bilinear::strassen();
+    const routing::DecodeRouter dr(alg);
+    const cdag::Cdag g(alg, 4, {.with_coefficients = false});
+    check("Claim 1: 11*7^k routing in D_k",
+          routing::verify_decode_routing(dr, cdag::SubComputation(g, 4, 0))
+              .ok());
+    const cdag::Cdag g6(alg, 6, {.with_coefficients = false});
+    const auto cert = bounds::certify_segments_decode_only(
+        g6, schedule::dfs_schedule(g6), {.cache_size = 2});
+    check("Equation (1): |delta(S)| >= |S_bar|/22 on a real schedule",
+          cert.complete_segments() > 0 && cert.eq_holds(22));
+  }
+
+  std::printf("\nSection 6 (Lemmas 1-2, Equation 2, Theorem 1):\n");
+  {
+    const auto alg = bilinear::strassen();
+    const cdag::Cdag g(alg, 7, {.with_coefficients = false});
+    const auto family = bounds::build_disjoint_family(g, 5);
+    check("Lemma 1: input-disjoint family of >= b^{r-k-2}",
+          family.meets_lemma1());
+    bool all = true;
+    for (const auto& order :
+         {schedule::dfs_schedule(g),
+          schedule::random_topological_schedule(g.graph(), 17)}) {
+      const auto cert = bounds::certify_segments(g, order, {.cache_size = 8});
+      all = all && cert.complete_segments() > 0 && cert.eq_holds(12) &&
+            cert.boundary_ge(24);
+    }
+    check("Equation (2): |delta'(S')| >= |S_bar|/12 >= 3M on real schedules",
+          all);
+    const auto order = schedule::dfs_schedule(g);
+    const auto cert = bounds::certify_segments(g, order, {.cache_size = 8});
+    const auto sim = pebble::simulate(
+        g.graph(), order, {.cache_size = 8},
+        [&](cdag::VertexId v) { return g.layout().is_output(v); });
+    check("Theorem 1 (serial): certified bound <= simulated I/O",
+          cert.io_lower_bound(8) <= sim.io());
+  }
+
+  std::printf("\nTheorem 1 (parallel):\n");
+  {
+    const auto alg = bilinear::strassen();
+    const double w0 = alg.omega0();
+    bool both = true;
+    for (const int l : {2, 3}) {
+      const auto res = parallel::simulate_caps(
+          alg, 10, {.bfs_levels = l, .local_memory = 1ull << 40});
+      const double n = 1024.0;
+      both = both &&
+             res.bandwidth_cost >
+                 bounds::memory_independent_lb(n, res.procs, w0) / 36.0 &&
+             res.bandwidth_cost >
+                 bounds::parallel_bandwidth_lb(n, res.peak_memory, res.procs,
+                                               w0) /
+                     36.0;
+    }
+    check("bandwidth >= both parallel lower bounds (CAPS simulation)", both);
+    support::Xoshiro256 rng(3);
+    const auto a = matmul::random_matrix<std::int64_t>(28, rng);
+    const auto b = matmul::random_matrix<std::int64_t>(28, rng);
+    parallel::Machine machine(7, 1ull << 30);
+    check("value-level one-BFS-level distributed Strassen is correct",
+          parallel::run_distributed_strassen_like(alg, a, b, machine, 7)
+              .correct);
+  }
+
+  std::printf("\nSection 8 (the conjecture, empirically):\n");
+  {
+    const auto alg = bilinear::classical2_x_strassen();
+    const cdag::Cdag g(alg, 3, {.with_coefficients = false,
+                                .group_duplicate_rows = true});
+    const auto cert = bounds::certify_segments(
+        g, schedule::random_topological_schedule(g.graph(), 5),
+        {.cache_size = 1, .k = 1, .s_bar_target = 8});
+    check("Equation (2) survives without the single-use assumption",
+          cert.complete_segments() > 0 && cert.eq_holds(12));
+  }
+
+  std::printf("\n%s (%d failure%s)\n",
+              failures == 0 ? "ALL CLAIMS CHECK OUT" : "FAILURES PRESENT",
+              failures, failures == 1 ? "" : "s");
+  return failures == 0 ? 0 : 1;
+}

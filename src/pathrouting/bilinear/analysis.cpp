@@ -1,0 +1,136 @@
+#include "pathrouting/bilinear/analysis.hpp"
+
+#include <numeric>
+
+#include "pathrouting/support/check.hpp"
+
+namespace pathrouting::bilinear {
+
+namespace {
+
+const Rational& coeff(const BilinearAlgorithm& alg, Side side, int q, int e) {
+  return side == Side::A ? alg.u(q, e) : alg.v(q, e);
+}
+
+/// Union-find over `n` elements; small and local to this translation
+/// unit (the CDAG module has its own, richer one).
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(static_cast<std::size_t>(n)) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void unite(int x, int y) { parent_[static_cast<std::size_t>(find(x))] = find(y); }
+  int components() {
+    int count = 0;
+    for (int x = 0; x < static_cast<int>(parent_.size()); ++x) {
+      if (find(x) == x) ++count;
+    }
+    return count;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+bool is_trivial_row(const BilinearAlgorithm& alg, Side side, int q) {
+  int nonzeros = 0;
+  bool unit = false;
+  for (int e = 0; e < alg.a(); ++e) {
+    const Rational& c = coeff(alg, side, q, e);
+    if (!c.is_zero()) {
+      ++nonzeros;
+      unit = c.is_one();
+    }
+  }
+  return nonzeros == 1 && unit;
+}
+
+std::vector<int> trivial_rows(const BilinearAlgorithm& alg, Side side) {
+  std::vector<int> out;
+  for (int q = 0; q < alg.b(); ++q) {
+    if (is_trivial_row(alg, side, q)) out.push_back(q);
+  }
+  return out;
+}
+
+bool satisfies_single_use_assumption(const BilinearAlgorithm& alg) {
+  for (const Side side : {Side::A, Side::B}) {
+    for (int q1 = 0; q1 < alg.b(); ++q1) {
+      if (is_trivial_row(alg, side, q1)) continue;
+      for (int q2 = q1 + 1; q2 < alg.b(); ++q2) {
+        bool equal = true;
+        for (int e = 0; e < alg.a() && equal; ++e) {
+          equal = coeff(alg, side, q1, e) == coeff(alg, side, q2, e);
+        }
+        if (equal) return false;
+      }
+    }
+  }
+  return true;
+}
+
+int encoding_components(const BilinearAlgorithm& alg, Side side) {
+  // Vertices 0..a-1 are inputs, a..a+b-1 are the operand vertices.
+  UnionFind uf(alg.a() + alg.b());
+  for (int q = 0; q < alg.b(); ++q) {
+    for (int e = 0; e < alg.a(); ++e) {
+      if (!coeff(alg, side, q, e).is_zero()) uf.unite(e, alg.a() + q);
+    }
+  }
+  return uf.components();
+}
+
+int decoding_components(const BilinearAlgorithm& alg) {
+  // Vertices 0..b-1 are products, b..b+a-1 are outputs.
+  UnionFind uf(alg.b() + alg.a());
+  for (int d = 0; d < alg.a(); ++d) {
+    for (int q = 0; q < alg.b(); ++q) {
+      if (!alg.w(d, q).is_zero()) uf.unite(q, alg.b() + d);
+    }
+  }
+  return uf.components();
+}
+
+bool lemma1_precondition(const BilinearAlgorithm& alg) {
+  for (const Side side : {Side::A, Side::B}) {
+    bool has_nontrivial = false;
+    for (int q = 0; q < alg.b() && !has_nontrivial; ++q) {
+      has_nontrivial = !is_trivial_row(alg, side, q);
+    }
+    if (!has_nontrivial) return false;
+  }
+  return true;
+}
+
+AdditionCounts addition_counts(const BilinearAlgorithm& alg) {
+  AdditionCounts counts;
+  for (int q = 0; q < alg.b(); ++q) {
+    int nnz_u = 0, nnz_v = 0;
+    for (int e = 0; e < alg.a(); ++e) {
+      if (!alg.u(q, e).is_zero()) ++nnz_u;
+      if (!alg.v(q, e).is_zero()) ++nnz_v;
+    }
+    if (nnz_u > 1) counts.encode_a += nnz_u - 1;
+    if (nnz_v > 1) counts.encode_b += nnz_v - 1;
+  }
+  for (int d = 0; d < alg.a(); ++d) {
+    int nnz_w = 0;
+    for (int q = 0; q < alg.b(); ++q) {
+      if (!alg.w(d, q).is_zero()) ++nnz_w;
+    }
+    if (nnz_w > 1) counts.decode += nnz_w - 1;
+  }
+  return counts;
+}
+
+}  // namespace pathrouting::bilinear

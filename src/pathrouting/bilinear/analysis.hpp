@@ -1,0 +1,68 @@
+// Structural analysis of base algorithms: the properties the paper's
+// hypotheses are stated in terms of.
+//
+//  * trivial rows  — a combination that is a single entry with
+//    coefficient 1; in the CDAG these become *copy* vertices and induce
+//    meta-vertices (Section 3 / Figure 2).
+//  * single-use assumption — "every nontrivial linear combination of
+//    elements of the input matrices is used in only one multiplication"
+//    (Theorem 1). With per-product rows this fails exactly when two
+//    products share an identical nontrivial row.
+//  * encoding/decoding connectivity — the case split that defeats the
+//    edge-expansion proof of [6] (Section 6, nuance 1).
+//  * Lemma 1 precondition — each encoding graph has at least one
+//    non-duplicated vertex (some product operand is a nontrivial
+//    combination).
+#pragma once
+
+#include <vector>
+
+#include "pathrouting/bilinear/bilinear.hpp"
+
+namespace pathrouting::bilinear {
+
+enum class Side { A, B };
+
+/// True iff row q of the side's encoding matrix is a single entry with
+/// coefficient exactly 1 (the operand is a verbatim copy of an input).
+bool is_trivial_row(const BilinearAlgorithm& alg, Side side, int q);
+
+/// Indices of products whose operand on `side` is a trivial row.
+std::vector<int> trivial_rows(const BilinearAlgorithm& alg, Side side);
+
+/// True iff no nontrivial encoding row (on either side) appears twice.
+/// This is the Theorem 1 assumption in the canonical per-product CDAG:
+/// each combination vertex feeds exactly one multiplication, and a
+/// repeated nontrivial row would mean recomputing the same value.
+bool satisfies_single_use_assumption(const BilinearAlgorithm& alg);
+
+/// Number of connected components of the (undirected) depth-1 encoding
+/// graph for `side`: vertices = a inputs + b operand vertices, edges
+/// where the coefficient is nonzero. Isolated vertices (inputs unused by
+/// every product) each count as a component.
+int encoding_components(const BilinearAlgorithm& alg, Side side);
+
+/// Number of connected components of the depth-1 decoding graph:
+/// vertices = b products + a outputs, edges where W is nonzero.
+int decoding_components(const BilinearAlgorithm& alg);
+
+/// Lemma 1 precondition: not every vertex in the encoding graph for A is
+/// duplicated, and similarly for B. In base-graph terms: each side has
+/// at least one nontrivial row. (If it fails, the algorithm computes
+/// linear combinations of only one input matrix and cannot be o(n^3);
+/// see the discussion after Lemma 1.)
+bool lemma1_precondition(const BilinearAlgorithm& alg);
+
+/// Counts of base-graph arithmetic: additions to form all encoding
+/// combinations plus additions in the decoding, assuming each row is
+/// computed independently as a fan-in tree (nnz-1 additions per row; a
+/// scalar multiple is not counted as an addition).
+struct AdditionCounts {
+  int encode_a = 0;
+  int encode_b = 0;
+  int decode = 0;
+  [[nodiscard]] int total() const { return encode_a + encode_b + decode; }
+};
+AdditionCounts addition_counts(const BilinearAlgorithm& alg);
+
+}  // namespace pathrouting::bilinear

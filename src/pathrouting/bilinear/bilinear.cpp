@@ -1,0 +1,93 @@
+#include "pathrouting/bilinear/bilinear.hpp"
+
+#include <cmath>
+
+namespace pathrouting::bilinear {
+
+BilinearAlgorithm::BilinearAlgorithm(std::string name, int n0,
+                                     int num_products, std::vector<Rational> u,
+                                     std::vector<Rational> v,
+                                     std::vector<Rational> w)
+    : name_(std::move(name)), n0_(n0), b_(num_products), u_(std::move(u)),
+      v_(std::move(v)), w_(std::move(w)) {
+  PR_REQUIRE(n0_ >= 2);
+  PR_REQUIRE(b_ >= 1);
+  const auto expected =
+      static_cast<std::size_t>(b_) * static_cast<std::size_t>(a());
+  PR_REQUIRE_MSG(u_.size() == expected, "U has wrong shape");
+  PR_REQUIRE_MSG(v_.size() == expected, "V has wrong shape");
+  PR_REQUIRE_MSG(w_.size() == expected, "W has wrong shape");
+}
+
+double BilinearAlgorithm::omega0() const {
+  return std::log(static_cast<double>(b_)) /
+         std::log(static_cast<double>(n0_));
+}
+
+bool BilinearAlgorithm::verify_brent() const {
+  const int n = n0_;
+  // Brent equations: for all i,k (A-entry), k',j (B-entry), i',j'
+  // (C-entry): sum_q U[q,(i,k)] V[q,(k',j)] W[(i',j'),q] equals 1 if
+  // i==i', j==j', k==k' and 0 otherwise.
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < n; ++k) {
+      for (int kp = 0; kp < n; ++kp) {
+        for (int j = 0; j < n; ++j) {
+          for (int ip = 0; ip < n; ++ip) {
+            for (int jp = 0; jp < n; ++jp) {
+              Rational sum = 0;
+              for (int q = 0; q < b_; ++q) {
+                sum += u(q, i * n + k) * v(q, kp * n + j) * w(ip * n + jp, q);
+              }
+              const Rational expected =
+                  (i == ip && j == jp && k == kp) ? Rational(1) : Rational(0);
+              if (sum != expected) return false;
+            }
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+BilinearAlgorithm tensor_product(const BilinearAlgorithm& outer,
+                                 const BilinearAlgorithm& inner) {
+  const int n1 = outer.n0();
+  const int n2 = inner.n0();
+  const int n = n1 * n2;
+  const int a = n * n;
+  const int b = outer.b() * inner.b();
+  // Entry (I,J) of the composed matrix, with I = i1*n2+i2, J = j1*n2+j2,
+  // corresponds to entry (i2,j2) of block (i1,j1).
+  const auto entry = [&](int i1, int j1, int i2, int j2) {
+    return (i1 * n2 + i2) * n + (j1 * n2 + j2);
+  };
+  std::vector<Rational> u(static_cast<std::size_t>(b) * a, Rational(0));
+  std::vector<Rational> v(static_cast<std::size_t>(b) * a, Rational(0));
+  std::vector<Rational> w(static_cast<std::size_t>(a) * b, Rational(0));
+  for (int q1 = 0; q1 < outer.b(); ++q1) {
+    for (int q2 = 0; q2 < inner.b(); ++q2) {
+      const int q = q1 * inner.b() + q2;
+      for (int i1 = 0; i1 < n1; ++i1) {
+        for (int j1 = 0; j1 < n1; ++j1) {
+          for (int i2 = 0; i2 < n2; ++i2) {
+            for (int j2 = 0; j2 < n2; ++j2) {
+              const int e = entry(i1, j1, i2, j2);
+              const std::size_t ue =
+                  static_cast<std::size_t>(q) * a + static_cast<std::size_t>(e);
+              u[ue] = outer.u(q1, i1 * n1 + j1) * inner.u(q2, i2 * n2 + j2);
+              v[ue] = outer.v(q1, i1 * n1 + j1) * inner.v(q2, i2 * n2 + j2);
+              w[static_cast<std::size_t>(e) * b + static_cast<std::size_t>(q)] =
+                  outer.w(i1 * n1 + j1, q1) * inner.w(i2 * n2 + j2, q2);
+            }
+          }
+        }
+      }
+    }
+  }
+  return BilinearAlgorithm(outer.name() + "x" + inner.name(), n, b,
+                           std::move(u), std::move(v), std::move(w));
+}
+
+}  // namespace pathrouting::bilinear

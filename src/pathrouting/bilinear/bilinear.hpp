@@ -1,0 +1,93 @@
+// Bilinear (Strassen-like) square matrix multiplication algorithms.
+//
+// A base algorithm <n0,n0,n0; b> is given by exact coefficient matrices
+//   U : b x a   (row q = the linear combination of A-entries multiplied
+//                in product q),
+//   V : b x a   (same for B),
+//   W : a x b   (row d = how output entry d combines the b products),
+// where a = n0^2 and entries of the n0 x n0 operands are flattened
+// row-major: element (i,j) has index d = i*n0 + j.
+//
+// The algorithm computes, for inputs A and B,
+//   C_d = sum_q W[d][q] * (sum_e U[q][e] A_e) * (sum_e V[q][e] B_e).
+// Correctness is exactly the Brent equations (verify_brent below).
+//
+// This is the object the paper calls the "base graph" G_1 once the
+// combinations become vertices; module `cdag` builds G_r from it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pathrouting/support/check.hpp"
+#include "pathrouting/support/rational.hpp"
+
+namespace pathrouting::bilinear {
+
+using support::Rational;
+
+class BilinearAlgorithm {
+ public:
+  /// Coefficients are given as dense row-major tables; U and V are
+  /// b x n0^2, W is n0^2 x b.
+  BilinearAlgorithm(std::string name, int n0, int num_products,
+                    std::vector<Rational> u, std::vector<Rational> v,
+                    std::vector<Rational> w);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  /// Block dimension n0 of the base case.
+  [[nodiscard]] int n0() const { return n0_; }
+  /// a = n0^2: number of inputs per operand ("2a inputs" in the paper).
+  [[nodiscard]] int a() const { return n0_ * n0_; }
+  /// b: number of multiplications in the base graph.
+  [[nodiscard]] int b() const { return b_; }
+
+  /// Coefficient of A-entry e in the left operand of product q.
+  [[nodiscard]] const Rational& u(int q, int e) const {
+    PR_REQUIRE(q >= 0 && q < b_ && e >= 0 && e < a());
+    return u_[static_cast<std::size_t>(q) * static_cast<std::size_t>(a()) +
+              static_cast<std::size_t>(e)];
+  }
+  /// Coefficient of B-entry e in the right operand of product q.
+  [[nodiscard]] const Rational& v(int q, int e) const {
+    PR_REQUIRE(q >= 0 && q < b_ && e >= 0 && e < a());
+    return v_[static_cast<std::size_t>(q) * static_cast<std::size_t>(a()) +
+              static_cast<std::size_t>(e)];
+  }
+  /// Coefficient of product q in output entry d.
+  [[nodiscard]] const Rational& w(int d, int q) const {
+    PR_REQUIRE(d >= 0 && d < a() && q >= 0 && q < b_);
+    return w_[static_cast<std::size_t>(d) * static_cast<std::size_t>(b_) +
+              static_cast<std::size_t>(q)];
+  }
+
+  /// The arithmetic exponent of the recursive algorithm:
+  /// omega0 = log_{n0} b = 2 log_a b; arithmetic cost Theta(n^{omega0}).
+  [[nodiscard]] double omega0() const;
+
+  /// True iff the Brent equations hold, i.e. the recursion computes
+  /// exact matrix multiplication:
+  ///   sum_q U[q,(i,k)] V[q,(k',j)] W[(i',j'),q]
+  ///     = [i==i'] [j==j'] [k==k']   for all i,k,k',j,i',j'.
+  [[nodiscard]] bool verify_brent() const;
+
+  /// Renames the algorithm (used by derived constructions).
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  std::string name_;
+  int n0_;
+  int b_;
+  std::vector<Rational> u_, v_, w_;
+};
+
+/// Tensor (Kronecker) product of two algorithms:
+/// <n,n,n;b1> x <m,m,m;b2> -> <nm,nm,nm;b1*b2>. Index conventions:
+/// product (q1,q2) |-> q1*b2+q2; matrix entry ((i1,i2),(j1,j2)) |->
+/// row i1*m+i2, column j1*m+j2 — i.e. the outer algorithm operates on
+/// m x m blocks. The result is exact and verified by construction
+/// whenever the factors are (Brent equations multiply).
+BilinearAlgorithm tensor_product(const BilinearAlgorithm& outer,
+                                 const BilinearAlgorithm& inner);
+
+}  // namespace pathrouting::bilinear

@@ -1,0 +1,154 @@
+#include "pathrouting/bilinear/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace pathrouting::bilinear {
+
+namespace {
+
+/// Reads the next token, skipping whitespace and '#' comments.
+bool next_token(std::istream& is, std::string& token) {
+  while (is >> token) {
+    if (token.front() == '#') {
+      std::string rest;
+      std::getline(is, rest);
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool parse_rational(const std::string& token, Rational& out) {
+  const auto slash = token.find('/');
+  try {
+    std::size_t used = 0;
+    if (slash == std::string::npos) {
+      const long long num = std::stoll(token, &used);
+      if (used != token.size()) return false;
+      out = Rational(num);
+      return true;
+    }
+    const long long num = std::stoll(token.substr(0, slash), &used);
+    if (used != slash) return false;
+    const long long den = std::stoll(token.substr(slash + 1), &used);
+    if (used != token.size() - slash - 1 || den == 0) return false;
+    out = Rational(num, den);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+bool read_table(std::istream& is, int rows, int cols,
+                std::vector<Rational>& out, std::string& error,
+                const char* label) {
+  out.assign(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+             Rational(0));
+  std::string token;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (!next_token(is, token)) {
+        error = std::string("unexpected end of input in table ") + label;
+        return false;
+      }
+      if (!parse_rational(token,
+                          out[static_cast<std::size_t>(r) *
+                                  static_cast<std::size_t>(cols) +
+                              static_cast<std::size_t>(c)])) {
+        error = std::string("bad rational '") + token + "' in table " + label;
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void to_text(const BilinearAlgorithm& alg, std::ostream& os) {
+  os << "pathrouting-bilinear-v1\n";
+  os << "name " << alg.name() << "\n";
+  os << "n0 " << alg.n0() << "\n";
+  os << "products " << alg.b() << "\n";
+  os << "U\n";
+  for (int q = 0; q < alg.b(); ++q) {
+    for (int e = 0; e < alg.a(); ++e) {
+      os << (e == 0 ? "" : " ") << alg.u(q, e);
+    }
+    os << "\n";
+  }
+  os << "V\n";
+  for (int q = 0; q < alg.b(); ++q) {
+    for (int e = 0; e < alg.a(); ++e) {
+      os << (e == 0 ? "" : " ") << alg.v(q, e);
+    }
+    os << "\n";
+  }
+  os << "W\n";
+  for (int d = 0; d < alg.a(); ++d) {
+    for (int q = 0; q < alg.b(); ++q) {
+      os << (q == 0 ? "" : " ") << alg.w(d, q);
+    }
+    os << "\n";
+  }
+}
+
+ParseResult from_text(std::istream& is, bool verify) {
+  std::string token;
+  if (!next_token(is, token) || token != "pathrouting-bilinear-v1") {
+    return {std::nullopt, "missing or unknown format header"};
+  }
+  std::string name = "unnamed";
+  int n0 = 0, b = 0;
+  std::vector<Rational> u, v, w;
+  bool have_u = false, have_v = false, have_w = false;
+  while (next_token(is, token)) {
+    if (token == "name") {
+      if (!next_token(is, name)) return {std::nullopt, "missing name value"};
+    } else if (token == "n0") {
+      if (!next_token(is, token)) return {std::nullopt, "missing n0 value"};
+      n0 = std::atoi(token.c_str());
+      if (n0 < 2) return {std::nullopt, "n0 must be at least 2"};
+    } else if (token == "products") {
+      if (!next_token(is, token)) {
+        return {std::nullopt, "missing products value"};
+      }
+      b = std::atoi(token.c_str());
+      if (b < 1) return {std::nullopt, "products must be positive"};
+    } else if (token == "U" || token == "V" || token == "W") {
+      if (n0 == 0 || b == 0) {
+        return {std::nullopt, "n0 and products must precede the tables"};
+      }
+      const int a = n0 * n0;
+      std::string error;
+      if (token == "U") {
+        if (!read_table(is, b, a, u, error, "U")) return {std::nullopt, error};
+        have_u = true;
+      } else if (token == "V") {
+        if (!read_table(is, b, a, v, error, "V")) return {std::nullopt, error};
+        have_v = true;
+      } else {
+        if (!read_table(is, a, b, w, error, "W")) return {std::nullopt, error};
+        have_w = true;
+      }
+    } else {
+      return {std::nullopt, "unknown directive '" + token + "'"};
+    }
+  }
+  if (!have_u || !have_v || !have_w) {
+    return {std::nullopt, "missing one of the U/V/W tables"};
+  }
+  BilinearAlgorithm alg(name, n0, b, std::move(u), std::move(v), std::move(w));
+  if (verify && !alg.verify_brent()) {
+    return {std::nullopt,
+            "tables parsed but the Brent equations fail: this is not a "
+            "correct matrix multiplication algorithm"};
+  }
+  return {std::move(alg), ""};
+}
+
+}  // namespace pathrouting::bilinear

@@ -1,0 +1,43 @@
+// Plain-text serialization of bilinear algorithms, so users can bring
+// their own base algorithms (from AlphaTensor-style searches, FMM
+// catalogs, hand derivations) without recompiling.
+//
+// Format (whitespace separated, '#' starts a comment to end of line):
+//
+//   pathrouting-bilinear-v1
+//   name <identifier>
+//   n0 <int>
+//   products <int>
+//   U            # b rows of a = n0^2 rationals ("3", "-1", "1/2")
+//   <row 0 ...>
+//   ...
+//   V            # b rows of a rationals
+//   ...
+//   W            # a rows of b rationals (row d = output entry d)
+//   ...
+//
+// from_text validates shape and (optionally) the Brent equations.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "pathrouting/bilinear/bilinear.hpp"
+
+namespace pathrouting::bilinear {
+
+/// Writes `alg` in the v1 text format.
+void to_text(const BilinearAlgorithm& alg, std::ostream& os);
+
+struct ParseResult {
+  std::optional<BilinearAlgorithm> algorithm;
+  std::string error;  // empty on success
+};
+
+/// Parses the v1 text format. With `verify` the Brent equations are
+/// checked and failure is reported as a parse error (so a loaded
+/// algorithm is guaranteed to actually multiply).
+ParseResult from_text(std::istream& is, bool verify = true);
+
+}  // namespace pathrouting::bilinear

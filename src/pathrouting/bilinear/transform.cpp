@@ -1,0 +1,193 @@
+#include "pathrouting/bilinear/transform.hpp"
+
+namespace pathrouting::bilinear {
+
+SquareMatrix SquareMatrix::identity(int n) {
+  SquareMatrix m{n, std::vector<Rational>(
+                        static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                        Rational(0))};
+  for (int i = 0; i < n; ++i) m.at(i, i) = Rational(1);
+  return m;
+}
+
+SquareMatrix multiply(const SquareMatrix& x, const SquareMatrix& y) {
+  PR_REQUIRE(x.n == y.n);
+  SquareMatrix out{x.n, std::vector<Rational>(
+                            static_cast<std::size_t>(x.n) *
+                                static_cast<std::size_t>(x.n),
+                            Rational(0))};
+  for (int i = 0; i < x.n; ++i) {
+    for (int k = 0; k < x.n; ++k) {
+      if (x.at(i, k).is_zero()) continue;
+      for (int j = 0; j < x.n; ++j) {
+        out.at(i, j) += x.at(i, k) * y.at(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+SquareMatrix inverse(const SquareMatrix& m) {
+  const int n = m.n;
+  SquareMatrix a = m;
+  SquareMatrix inv = SquareMatrix::identity(n);
+  for (int col = 0; col < n; ++col) {
+    // Pivot: first row at/below `col` with a nonzero entry.
+    int pivot = -1;
+    for (int row = col; row < n && pivot < 0; ++row) {
+      if (!a.at(row, col).is_zero()) pivot = row;
+    }
+    PR_REQUIRE_MSG(pivot >= 0, "matrix is singular");
+    if (pivot != col) {
+      for (int j = 0; j < n; ++j) {
+        std::swap(a.at(pivot, j), a.at(col, j));
+        std::swap(inv.at(pivot, j), inv.at(col, j));
+      }
+    }
+    const Rational scale = Rational(1) / a.at(col, col);
+    for (int j = 0; j < n; ++j) {
+      a.at(col, j) *= scale;
+      inv.at(col, j) *= scale;
+    }
+    for (int row = 0; row < n; ++row) {
+      if (row == col || a.at(row, col).is_zero()) continue;
+      const Rational factor = a.at(row, col);
+      for (int j = 0; j < n; ++j) {
+        a.at(row, j) -= factor * a.at(col, j);
+        inv.at(row, j) -= factor * inv.at(col, j);
+      }
+    }
+  }
+  return inv;
+}
+
+SquareMatrix random_unimodular(int n, support::Xoshiro256& rng, int steps) {
+  SquareMatrix m = SquareMatrix::identity(n);
+  for (int s = 0; s < steps; ++s) {
+    const int i = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    int j = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    if (i == j) {
+      // Negate a row: determinant flips sign, still unimodular.
+      for (int col = 0; col < n; ++col) m.at(i, col) = -m.at(i, col);
+      continue;
+    }
+    std::int64_t c = rng.range(-2, 2);
+    if (c == 0) c = 1;
+    for (int col = 0; col < n; ++col) {
+      m.at(i, col) += Rational(c) * m.at(j, col);
+    }
+  }
+  return m;
+}
+
+BilinearAlgorithm transform_basis(const BilinearAlgorithm& alg,
+                                  const SquareMatrix& p, const SquareMatrix& q,
+                                  const SquareMatrix& r) {
+  const int n0 = alg.n0();
+  PR_REQUIRE(p.n == n0 && q.n == n0 && r.n == n0);
+  const int a = alg.a();
+  const int b = alg.b();
+  const SquareMatrix p_inv = inverse(p);
+  const SquareMatrix q_inv = inverse(q);
+  const SquareMatrix r_inv = inverse(r);
+  std::vector<Rational> u(static_cast<std::size_t>(b) * a, Rational(0));
+  std::vector<Rational> v(static_cast<std::size_t>(b) * a, Rational(0));
+  std::vector<Rational> w(static_cast<std::size_t>(a) * b, Rational(0));
+  // U'[q0,(i,j)] = sum_{k,l} U[q0,(k,l)] Pinv[k,i] Q[j,l]  (A = Pinv A' Q).
+  // V'[q0,(i,j)] = sum_{k,l} V[q0,(k,l)] Qinv[k,i] R[j,l]  (B = Qinv B' R).
+  // W'[(i,j),q0] = sum_{k,l} P[i,k] W[(k,l),q0] Rinv[l,j]  (C' = P C Rinv).
+  for (int q0 = 0; q0 < b; ++q0) {
+    for (int i = 0; i < n0; ++i) {
+      for (int j = 0; j < n0; ++j) {
+        Rational su(0), sv(0);
+        for (int k = 0; k < n0; ++k) {
+          for (int l = 0; l < n0; ++l) {
+            su += alg.u(q0, k * n0 + l) * p_inv.at(k, i) * q.at(j, l);
+            sv += alg.v(q0, k * n0 + l) * q_inv.at(k, i) * r.at(j, l);
+          }
+        }
+        u[static_cast<std::size_t>(q0) * a +
+          static_cast<std::size_t>(i * n0 + j)] = su;
+        v[static_cast<std::size_t>(q0) * a +
+          static_cast<std::size_t>(i * n0 + j)] = sv;
+      }
+    }
+  }
+  for (int i = 0; i < n0; ++i) {
+    for (int j = 0; j < n0; ++j) {
+      for (int q0 = 0; q0 < b; ++q0) {
+        Rational sw(0);
+        for (int k = 0; k < n0; ++k) {
+          for (int l = 0; l < n0; ++l) {
+            sw += p.at(i, k) * alg.w(k * n0 + l, q0) * r_inv.at(l, j);
+          }
+        }
+        w[static_cast<std::size_t>(i * n0 + j) * b +
+          static_cast<std::size_t>(q0)] = sw;
+      }
+    }
+  }
+  return BilinearAlgorithm(alg.name() + "'", n0, b, std::move(u), std::move(v),
+                           std::move(w));
+}
+
+BilinearAlgorithm rotate_tensor(const BilinearAlgorithm& alg) {
+  const int n0 = alg.n0();
+  const int a = alg.a();
+  const int b = alg.b();
+  std::vector<Rational> u(static_cast<std::size_t>(b) * a, Rational(0));
+  std::vector<Rational> v(static_cast<std::size_t>(b) * a, Rational(0));
+  std::vector<Rational> w(static_cast<std::size_t>(a) * b, Rational(0));
+  // trace(ABC) is cyclic: U' = V, V'[q,(k,l)] = W[(l,k),q],
+  // W'[(i,j),q] = U[q,(j,i)].
+  for (int q0 = 0; q0 < b; ++q0) {
+    for (int k = 0; k < n0; ++k) {
+      for (int l = 0; l < n0; ++l) {
+        u[static_cast<std::size_t>(q0) * a +
+          static_cast<std::size_t>(k * n0 + l)] = alg.v(q0, k * n0 + l);
+        v[static_cast<std::size_t>(q0) * a +
+          static_cast<std::size_t>(k * n0 + l)] = alg.w(l * n0 + k, q0);
+        w[static_cast<std::size_t>(k * n0 + l) * b +
+          static_cast<std::size_t>(q0)] = alg.u(q0, l * n0 + k);
+      }
+    }
+  }
+  BilinearAlgorithm rotated(alg.name() + "~", alg.n0(), b, std::move(u),
+                            std::move(v), std::move(w));
+  return rotated;
+}
+
+BilinearAlgorithm random_transform(const BilinearAlgorithm& base,
+                                   std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    BilinearAlgorithm alg = base;
+    const int rotations = static_cast<int>(rng.below(3));
+    for (int i = 0; i < rotations; ++i) alg = rotate_tensor(alg);
+    const SquareMatrix p = random_unimodular(base.n0(), rng);
+    const SquareMatrix q = random_unimodular(base.n0(), rng);
+    const SquareMatrix r = random_unimodular(base.n0(), rng);
+    alg = transform_basis(alg, p, q, r);
+    alg.set_name(base.name() + "#" + std::to_string(seed));
+    // The CDAG builder rejects bases whose decoding rows are verbatim
+    // copies (outputs equal to single products); basis changes make
+    // this astronomically unlikely, but retry deterministically if a
+    // degenerate draw shows up.
+    bool degenerate = false;
+    for (int d = 0; d < alg.a() && !degenerate; ++d) {
+      int nnz = 0;
+      bool unit = false;
+      for (int q0 = 0; q0 < alg.b(); ++q0) {
+        if (!alg.w(d, q0).is_zero()) {
+          ++nnz;
+          unit = alg.w(d, q0).is_one();
+        }
+      }
+      degenerate = nnz == 0 || (nnz == 1 && unit);
+    }
+    if (!degenerate) return alg;
+  }
+  PR_REQUIRE_MSG(false, "could not sample a non-degenerate transform");
+}
+
+}  // namespace pathrouting::bilinear

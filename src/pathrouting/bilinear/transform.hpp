@@ -1,0 +1,76 @@
+// Sampling the space of Strassen-like algorithms: the isotropy group
+// of the matrix multiplication tensor.
+//
+// If C = A B and P, Q, R are invertible n0 x n0 matrices, then
+//   (P A Q^-1) (Q B R^-1) = P C R^-1,
+// so any algorithm for matrix multiplication yields another one by
+// absorbing the changes of basis into the encoding/decoding
+// coefficients:
+//   U'[q, :] = U[q, :] applied to A' = P^-1 (..) Q   etc.
+// Concretely, if the original computes C = sum_q W_q (U_q . A)(V_q . B)
+// then the transformed algorithm computes the product of A' and B' by
+// evaluating the original on A = P^-1 A' Q, B = Q^-1 B' R and mapping
+// the output C = P^-1 C' R, i.e. C' = P C R^-1.
+//
+// A further symmetry cyclically rotates the three tensor factors
+// (A,B,C) -> (B^T, C^T, A^T) — together these generate a large family
+// of pairwise-distinct correct base algorithms with the same rank b.
+// Theorem 1 quantifies over all of them; the property-test suites use
+// this sampler to probe the claim far beyond the hand-written catalog.
+#pragma once
+
+#include "pathrouting/bilinear/bilinear.hpp"
+#include "pathrouting/support/prng.hpp"
+
+namespace pathrouting::bilinear {
+
+/// Small dense n0 x n0 rational matrix used for basis changes.
+struct SquareMatrix {
+  int n = 0;
+  std::vector<Rational> entries;  // row-major
+  [[nodiscard]] const Rational& at(int i, int j) const {
+    return entries[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+                   static_cast<std::size_t>(j)];
+  }
+  Rational& at(int i, int j) {
+    return entries[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+                   static_cast<std::size_t>(j)];
+  }
+  static SquareMatrix identity(int n);
+};
+
+/// Multiplies two square matrices.
+SquareMatrix multiply(const SquareMatrix& x, const SquareMatrix& y);
+
+/// Inverse via Gauss-Jordan over the rationals; aborts on singular
+/// input (callers construct unimodular matrices, which never are).
+SquareMatrix inverse(const SquareMatrix& m);
+
+/// Random unimodular (determinant +-1) integer matrix: a product of
+/// `steps` random elementary row operations with coefficients in
+/// {-2..2} applied to the identity. Entries stay small.
+SquareMatrix random_unimodular(int n, support::Xoshiro256& rng,
+                               int steps = 6);
+
+/// The basis-change symmetry: returns the algorithm computing
+/// C' = A' B' via the original algorithm, where A' = P A Q^-1,
+/// B' = Q B R^-1, C' = P C R^-1. Exact; correctness is preserved (and
+/// re-checked by tests through the Brent equations).
+BilinearAlgorithm transform_basis(const BilinearAlgorithm& alg,
+                                  const SquareMatrix& p,
+                                  const SquareMatrix& q,
+                                  const SquareMatrix& r);
+
+/// The cyclic symmetry of the matmul tensor:
+/// <U,V,W>  ->  <V~, W~, U~> computing via C = A B  <=>  A^T = C^T B^T
+/// rotated; concretely the new algorithm satisfies the Brent equations
+/// whenever the original does.
+BilinearAlgorithm rotate_tensor(const BilinearAlgorithm& alg);
+
+/// Convenience: a pseudo-random correct Strassen-like algorithm derived
+/// from `base` by random basis changes (and a random number of tensor
+/// rotations). Deterministic in `seed`.
+BilinearAlgorithm random_transform(const BilinearAlgorithm& base,
+                                   std::uint64_t seed);
+
+}  // namespace pathrouting::bilinear

@@ -1,0 +1,38 @@
+#include "pathrouting/bounds/disjoint_family.hpp"
+
+#include <unordered_set>
+
+#include "pathrouting/bilinear/analysis.hpp"
+
+namespace pathrouting::bounds {
+
+DisjointFamily build_disjoint_family(const Cdag& cdag, int k) {
+  const cdag::Layout& layout = cdag.layout();
+  PR_REQUIRE(k >= 0 && k <= layout.r() - 2);
+  PR_REQUIRE_MSG(bilinear::lemma1_precondition(cdag.algorithm()),
+                 "Lemma 1 precondition fails: one encoding is all copies");
+  DisjointFamily family;
+  family.k = k;
+  family.guaranteed = layout.pow_b()(layout.r() - k - 2);
+  const std::uint64_t num_subs = layout.pow_b()(layout.r() - k);
+  std::unordered_set<cdag::VertexId> used_roots;
+  used_roots.reserve(1 << 20);
+  std::vector<cdag::VertexId> roots;
+  for (std::uint64_t i = 0; i < num_subs; ++i) {
+    const cdag::SubComputation sub(cdag, k, i);
+    roots = sub.input_meta_roots();
+    bool clash = false;
+    for (const cdag::VertexId root : roots) {
+      if (used_roots.contains(root)) {
+        clash = true;
+        break;
+      }
+    }
+    if (clash) continue;
+    used_roots.insert(roots.begin(), roots.end());
+    family.prefixes.push_back(i);
+  }
+  return family;
+}
+
+}  // namespace pathrouting::bounds

@@ -1,0 +1,34 @@
+// Lemma 1: a family of mutually input-disjoint subcomputations G_k^i
+// covering at least a 1/b^2 fraction of all b^{r-k} subcomputations.
+//
+// The paper's proof is existential (pick a grandchild per grandparent);
+// here the family is built greedily over meta-vertex roots of inputs,
+// which is simpler, verifiable, and in practice keeps far more than the
+// guaranteed fraction.
+#pragma once
+
+#include <vector>
+
+#include "pathrouting/cdag/subcomputation.hpp"
+
+namespace pathrouting::bounds {
+
+using cdag::Cdag;
+
+struct DisjointFamily {
+  int k = 0;
+  /// Prefixes i of the kept subcomputations G_k^i, increasing.
+  std::vector<std::uint64_t> prefixes;
+  /// b^{r-k-2}: Lemma 1's guaranteed family size.
+  std::uint64_t guaranteed = 0;
+  [[nodiscard]] bool meets_lemma1() const {
+    return prefixes.size() >= guaranteed;
+  }
+};
+
+/// Greedy maximal family of mutually input-disjoint G_k^i (first-fit in
+/// prefix order). Requires 0 <= k <= r-2 (Lemma 1's hypothesis) and the
+/// Lemma 1 precondition on the base algorithm.
+DisjointFamily build_disjoint_family(const Cdag& cdag, int k);
+
+}  // namespace pathrouting::bounds

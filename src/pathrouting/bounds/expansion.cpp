@@ -1,0 +1,104 @@
+#include "pathrouting/bounds/expansion.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "pathrouting/support/check.hpp"
+#include "pathrouting/support/prng.hpp"
+
+namespace pathrouting::bounds {
+
+using cdag::Graph;
+using cdag::VertexId;
+
+ExpansionEstimate estimate_expansion(const Graph& graph,
+                                     std::span<const VertexId> vertices,
+                                     std::uint64_t seed, int iterations) {
+  PR_REQUIRE(!vertices.empty());
+  PR_REQUIRE(iterations >= 1);
+  // Compact the induced subgraph (undirected).
+  std::unordered_map<VertexId, std::uint32_t> local;
+  local.reserve(vertices.size() * 2);
+  for (const VertexId v : vertices) {
+    local.emplace(v, static_cast<std::uint32_t>(local.size()));
+  }
+  const std::size_t n = local.size();
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  for (const VertexId v : vertices) {
+    const std::uint32_t lv = local.at(v);
+    for (const VertexId p : graph.in(v)) {
+      if (const auto it = local.find(p); it != local.end()) {
+        adj[lv].push_back(it->second);
+        adj[it->second].push_back(lv);
+      }
+    }
+  }
+
+  ExpansionEstimate est;
+  // Connected components (isolated vertices count).
+  {
+    std::vector<std::uint32_t> parent(n);
+    std::iota(parent.begin(), parent.end(), 0);
+    const auto find = [&](std::uint32_t x) {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+    for (std::uint32_t v = 0; v < n; ++v) {
+      for (const std::uint32_t w : adj[v]) parent[find(v)] = find(w);
+    }
+    for (std::uint32_t v = 0; v < n; ++v) est.components += find(v) == v;
+  }
+  if (est.components > 1) {
+    // lambda2 = 1 exactly: the indicator of one component (centred) is
+    // a fixed point of the walk.
+    est.lambda2 = 1.0;
+    return est;
+  }
+
+  // Deflated power iteration on the lazy walk W = (I + D^-1 A)/2. The
+  // top eigenpair is (1, constant); deflate in the pi-weighted inner
+  // product (pi proportional to degree).
+  std::vector<double> degree(n);
+  double total_degree = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    degree[v] = static_cast<double>(adj[v].size());
+    total_degree += degree[v];
+  }
+  support::Xoshiro256 rng(seed);
+  std::vector<double> x(n), next(n);
+  for (double& value : x) value = rng.uniform01() - 0.5;
+  double lambda = 0;
+  for (int it = 0; it < iterations; ++it) {
+    // Deflate: subtract the pi-weighted mean.
+    double mean = 0;
+    for (std::uint32_t v = 0; v < n; ++v) mean += degree[v] * x[v];
+    mean /= total_degree;
+    for (double& value : x) value -= mean;
+    // Apply the lazy walk.
+    double norm = 0;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      double sum = 0;
+      for (const std::uint32_t w : adj[v]) sum += x[w];
+      next[v] = 0.5 * x[v] + (degree[v] > 0 ? 0.5 * sum / degree[v] : 0.0);
+      norm += degree[v] * next[v] * next[v];
+    }
+    // Rayleigh quotient in the pi inner product.
+    double dot = 0, xx = 0;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      dot += degree[v] * x[v] * next[v];
+      xx += degree[v] * x[v] * x[v];
+    }
+    lambda = xx > 0 ? dot / xx : 1.0;
+    const double scale = norm > 0 ? 1.0 / std::sqrt(norm) : 1.0;
+    for (std::uint32_t v = 0; v < n; ++v) x[v] = next[v] * scale;
+  }
+  est.lambda2 = lambda;
+  return est;
+}
+
+}  // namespace pathrouting::bounds

@@ -1,0 +1,90 @@
+#include "pathrouting/bounds/formulas.hpp"
+
+#include <cmath>
+
+#include "pathrouting/support/check.hpp"
+
+namespace pathrouting::bounds {
+
+int ceil_log(std::uint64_t base, std::uint64_t threshold) {
+  PR_REQUIRE(base >= 2);
+  PR_REQUIRE(threshold >= 1);
+  int k = 0;
+  std::uint64_t power = 1;
+  while (power < threshold) {
+    PR_REQUIRE_MSG(power <= UINT64_MAX / base, "ceil_log overflow");
+    power *= base;
+    ++k;
+  }
+  return k;
+}
+
+std::uint64_t theorem1_io_lower_bound(int a, int b, int r, std::uint64_t m) {
+  PR_REQUIRE(a >= 4 && b >= 2 && r >= 1 && m >= 1);
+  const int k = ceil_log(static_cast<std::uint64_t>(a), 72 * m);
+  if (k > r - 2) return 0;
+  // 3 a^k b^{r-k} / b^2: counted rank size within the input-disjoint
+  // fraction; divided by the segment quota 36M, each complete segment
+  // costs at least M.
+  long double numerator = 3.0L;
+  for (int i = 0; i < k; ++i) numerator *= static_cast<long double>(a);
+  for (int i = 0; i < r - k; ++i) numerator *= static_cast<long double>(b);
+  numerator /= static_cast<long double>(b) * static_cast<long double>(b);
+  const long double segments = numerator / (36.0L * static_cast<long double>(m));
+  return static_cast<std::uint64_t>(std::floor(segments)) * m;
+}
+
+std::uint64_t section5_io_lower_bound(int r, std::uint64_t m) {
+  PR_REQUIRE(r >= 1 && m >= 1);
+  const int k = ceil_log(4, 132 * m);
+  if (k > r) return 0;
+  long double numerator = 1.0L;
+  for (int i = 0; i < k; ++i) numerator *= 4.0L;
+  for (int i = 0; i < r - k; ++i) numerator *= 7.0L;
+  const long double segments = numerator / (66.0L * static_cast<long double>(m));
+  return static_cast<std::uint64_t>(std::floor(segments)) * m;
+}
+
+double omega0(int a, int b) {
+  return 2.0 * std::log(static_cast<double>(b)) /
+         std::log(static_cast<double>(a));
+}
+
+double asymptotic_io(double n, double m, double w0) {
+  return std::pow(n / std::sqrt(m), w0) * m;
+}
+
+double hong_kung_classical(double n, double m) {
+  return n * n * n / (2.0 * std::sqrt(2.0 * m)) - m;
+}
+
+double dfs_io_model(int a, int b, std::uint64_t e_u, std::uint64_t e_v,
+                    std::uint64_t e_w, int r, std::uint64_t m,
+                    double fit_factor) {
+  PR_REQUIRE(a >= 4 && b >= 1 && r >= 0 && m >= 1);
+  double pow_a = 1.0;
+  int k = 0;
+  // Largest k whose subproblem fits in cache.
+  while (k < r && fit_factor * pow_a * a <= static_cast<double>(m)) {
+    pow_a *= a;
+    ++k;
+  }
+  double cost = 3.0 * pow_a;  // in-cache base case: read 2 a^k, write a^k
+  const double step = static_cast<double>(e_u + e_v + 2 * static_cast<std::uint64_t>(b) +
+                                          e_w + static_cast<std::uint64_t>(a));
+  for (; k < r; ++k) {
+    cost = step * pow_a + static_cast<double>(b) * cost;
+    pow_a *= a;
+  }
+  return cost;
+}
+
+double parallel_bandwidth_lb(double n, double m, double p, double w0) {
+  return asymptotic_io(n, m, w0) / p;
+}
+
+double memory_independent_lb(double n, double p, double w0) {
+  return n * n / std::pow(p, 2.0 / w0);
+}
+
+}  // namespace pathrouting::bounds

@@ -1,0 +1,60 @@
+// The Hong-Kung S-partition machinery ([10] in the paper; STOC'81) —
+// the classical predecessor of the path-routing technique, implemented
+// as an executable lemma.
+//
+// Partition lemma: any complete execution that performs q I/Os with a
+// cache of size M splits the computation sequence into ceil(q/M)
+// consecutive segments of at most M I/Os each, and every segment S then
+// has
+//   * a DOMINATOR set of size <= 2M — every path from an input to a
+//     vertex of S passes through it (at most M values cached when the
+//     segment starts, at most M read during it), and
+//   * a MINIMUM set of size <= 2M — the vertices of S with no
+//     successor inside S (at most M still cached at the end, at most M
+//     written during the segment).
+// Consequently IO >= M * (H(2M) - 1) where H(2M) is the minimum number
+// of parts of any 2M-partition of the CDAG.
+//
+// `hong_kung_partition` re-segments a *real* pebble-game execution by
+// its recorded per-step I/O and computes, for each segment, the
+// canonical dominator R(S) (outside predecessors — every input-to-S
+// path crosses one) and the minimum set exactly; the test suite and
+// benches confirm both are <= 2M on every segment of every schedule,
+// for the fast CDAGs and the classical one alike.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pathrouting/cdag/graph.hpp"
+
+namespace pathrouting::bounds {
+
+struct HongKungSegment {
+  std::uint32_t end_step = 0;  // exclusive
+  std::uint64_t io = 0;        // I/Os issued during the segment
+  std::uint64_t dominator = 0; // |R(S)|, a valid dominator of S
+  std::uint64_t minimum = 0;   // |{v in S : no successor in S}|
+};
+
+struct HongKungResult {
+  std::uint64_t cache_size = 0;
+  std::vector<HongKungSegment> segments;
+  /// The partition lemma's conclusion: every segment's dominator and
+  /// minimum set have at most 2M vertices.
+  [[nodiscard]] bool lemma_holds() const;
+  /// Largest dominator / minimum set observed.
+  [[nodiscard]] std::uint64_t max_dominator() const;
+  [[nodiscard]] std::uint64_t max_minimum() const;
+};
+
+/// Re-segments an execution (schedule + the per-step I/O counts
+/// recorded by pebble::simulate with record_step_io) into maximal
+/// segments of at most `cache_size` I/Os and computes the Hong-Kung
+/// quantities for each.
+HongKungResult hong_kung_partition(const cdag::Graph& graph,
+                                   std::span<const cdag::VertexId> schedule,
+                                   std::span<const std::uint32_t> step_io,
+                                   std::uint64_t cache_size);
+
+}  // namespace pathrouting::bounds

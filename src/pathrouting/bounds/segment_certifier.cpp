@@ -1,0 +1,303 @@
+#include "pathrouting/bounds/segment_certifier.hpp"
+
+#include "pathrouting/bounds/formulas.hpp"
+
+namespace pathrouting::bounds {
+
+namespace {
+
+using cdag::Cdag;
+using cdag::Graph;
+using cdag::Layout;
+using bilinear::Side;
+
+/// Members of each meta-vertex grouped by root (CSR over vertex ids).
+struct MetaMembers {
+  std::vector<std::uint32_t> off;
+  std::vector<VertexId> members;
+};
+
+MetaMembers group_by_root(const Cdag& cdag) {
+  const VertexId n = cdag.graph().num_vertices();
+  MetaMembers groups;
+  groups.off.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) ++groups.off[cdag.meta_root(v) + 1];
+  for (VertexId v = 0; v < n; ++v) groups.off[v + 1] += groups.off[v];
+  groups.members.resize(n);
+  std::vector<std::uint32_t> cursor(groups.off.begin(), groups.off.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    groups.members[cursor[cdag.meta_root(v)]++] = v;
+  }
+  return groups;
+}
+
+/// Shared segment-walk driver. `counted[root]` is the number of counted
+/// vertices in each meta-vertex (0 or 1); `boundary_size(seg_roots,
+/// seg_id)` computes the boundary of the closed segment.
+template <typename BoundaryFn>
+CertifyResult walk_segments(const Cdag& cdag,
+                            std::span<const VertexId> schedule,
+                            std::uint64_t s_bar_target,
+                            const std::vector<std::uint8_t>& counted,
+                            const BoundaryFn& boundary_size) {
+  CertifyResult result;
+  result.s_bar_target = s_bar_target;
+  const Graph& graph = cdag.graph();
+  const VertexId n = graph.num_vertices();
+  std::vector<std::uint32_t> in_s_stamp(n, 0);
+  std::vector<std::uint32_t> computed_stamp(n, 0);
+  std::vector<std::uint32_t> rv_stamp(n, 0);
+  std::vector<VertexId> seg_roots;
+  std::uint32_t seg_start = 0;
+  std::uint32_t seg_id = 1;
+  std::uint64_t s_bar = 0;
+  for (std::uint32_t s = 0; s < schedule.size(); ++s) {
+    computed_stamp[schedule[s]] = seg_id;
+    const VertexId root = cdag.meta_root(schedule[s]);
+    if (in_s_stamp[root] != seg_id) {
+      in_s_stamp[root] = seg_id;
+      seg_roots.push_back(root);
+      s_bar += counted[root];
+    }
+    const bool last_step = s + 1 == schedule.size();
+    if (s_bar == s_bar_target || (last_step && s_bar > 0)) {
+      SegmentReport report;
+      report.end_step = s + 1;
+      report.s_bar = s_bar;
+      report.complete = s_bar == s_bar_target;
+      report.boundary = boundary_size(seg_roots, in_s_stamp, seg_id);
+      // Vertex-level boundary over the computed set: operands staged
+      // from outside (R) plus computed values consumed after the
+      // segment or required as outputs (W).
+      std::uint64_t rv = 0, wv = 0;
+      for (std::uint32_t t = seg_start; t <= s; ++t) {
+        const VertexId v = schedule[t];
+        for (const VertexId p : graph.in(v)) {
+          if (computed_stamp[p] != seg_id && rv_stamp[p] != seg_id) {
+            rv_stamp[p] = seg_id;
+            ++rv;
+          }
+        }
+        bool used_later = graph.out_degree(v) == 0;  // outputs persist
+        for (const VertexId q : graph.out(v)) {
+          if (computed_stamp[q] != seg_id) {
+            used_later = true;
+            break;
+          }
+        }
+        if (used_later) ++wv;
+      }
+      report.boundary_vertices = rv + wv;
+      result.segments.push_back(report);
+      seg_roots.clear();
+      s_bar = 0;
+      seg_start = s + 1;
+      ++seg_id;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+bool CertifyResult::eq_holds(std::uint64_t denominator) const {
+  for (const SegmentReport& seg : segments) {
+    if (seg.complete && seg.boundary * denominator < seg.s_bar) return false;
+  }
+  return true;
+}
+
+bool CertifyResult::boundary_ge(std::uint64_t threshold) const {
+  for (const SegmentReport& seg : segments) {
+    if (seg.complete && seg.boundary < threshold) return false;
+  }
+  return true;
+}
+
+std::uint64_t CertifyResult::complete_segments() const {
+  std::uint64_t count = 0;
+  for (const SegmentReport& seg : segments) count += seg.complete ? 1 : 0;
+  return count;
+}
+
+std::vector<std::uint32_t> CertifyResult::segment_ends(
+    std::uint32_t schedule_size) const {
+  std::vector<std::uint32_t> ends;
+  ends.reserve(segments.size() + 1);
+  for (const SegmentReport& seg : segments) ends.push_back(seg.end_step);
+  if (ends.empty() || ends.back() != schedule_size) {
+    ends.push_back(schedule_size);
+  }
+  return ends;
+}
+
+CertifyResult certify_segments(const Cdag& cdag,
+                               std::span<const VertexId> schedule,
+                               const CertifyParams& params) {
+  const Layout& layout = cdag.layout();
+  const Graph& graph = cdag.graph();
+  PR_REQUIRE(params.cache_size >= 1);
+  const std::uint64_t target = params.s_bar_target != 0
+                                   ? params.s_bar_target
+                                   : 36 * params.cache_size;
+  const int k = params.k >= 0
+                    ? params.k
+                    : ceil_log(static_cast<std::uint64_t>(layout.a()),
+                               2 * target);
+  PR_REQUIRE_MSG(layout.pow_a()(k) >= 2 * target,
+                 "need a^k >= 2 |S_bar| for the half-rank argument");
+  PR_REQUIRE_MSG(k <= layout.r() - 2, "need k <= r-2 (Lemma 1)");
+
+  const DisjointFamily family = build_disjoint_family(cdag, k);
+  // Counted vertices: inputs and outputs of the family's members. By
+  // Lemma 2 their meta-vertices are all distinct — asserted below.
+  std::vector<std::uint8_t> counted(graph.num_vertices(), 0);
+  std::uint64_t counted_total = 0;
+  for (const std::uint64_t prefix : family.prefixes) {
+    const cdag::SubComputation sub(cdag, k, prefix);
+    const auto count_vertex = [&](VertexId v) {
+      const VertexId root = cdag.meta_root(v);
+      PR_ASSERT_MSG(!counted[root],
+                    "two counted vertices share a meta-vertex (Lemma 2)");
+      counted[root] = 1;
+      ++counted_total;
+    };
+    for (const Side side : {Side::A, Side::B}) {
+      for (std::uint64_t p = 0; p < sub.inputs_per_side(); ++p) {
+        count_vertex(sub.input(side, p));
+      }
+    }
+    for (std::uint64_t p = 0; p < sub.inputs_per_side(); ++p) {
+      count_vertex(sub.output(p));
+    }
+  }
+
+  const MetaMembers groups = group_by_root(cdag);
+  std::vector<std::uint32_t> boundary_stamp(graph.num_vertices(), 0);
+  // Meta-level boundary in the Definition-1 style: R'(S') = meta-
+  // vertices OUTSIDE S' feeding into it (each must be staged into cache
+  // during the segment), plus W'(S') = meta-vertices INSIDE S' with a
+  // successor outside (each must eventually reach slow memory or stay
+  // cached). The paper's delta'-notation describes only the adjacency;
+  // this mixed form is the one the I/O accounting actually bounds —
+  // counting *outside* successors instead would overcount, since many
+  // of them can share a single written value.
+  const auto boundary = [&](const std::vector<VertexId>& seg_roots,
+                            const std::vector<std::uint32_t>& in_s_stamp,
+                            std::uint32_t seg_id) {
+    std::uint64_t size = 0;
+    for (const VertexId root : seg_roots) {
+      bool writes_out = false;
+      for (std::uint32_t i = groups.off[root]; i < groups.off[root + 1]; ++i) {
+        const VertexId member = groups.members[i];
+        for (const VertexId p : graph.in(member)) {
+          const VertexId nb_root = cdag.meta_root(p);
+          if (in_s_stamp[nb_root] != seg_id &&
+              boundary_stamp[nb_root] != seg_id) {
+            boundary_stamp[nb_root] = seg_id;
+            ++size;  // R'-side
+          }
+        }
+        if (!writes_out) {
+          for (const VertexId q : graph.out(member)) {
+            if (in_s_stamp[cdag.meta_root(q)] != seg_id) {
+              writes_out = true;
+              break;
+            }
+          }
+        }
+      }
+      if (writes_out) ++size;  // W'-side, once per inside meta-vertex
+    }
+    return size;
+  };
+
+  CertifyResult result =
+      walk_segments(cdag, schedule, target, counted, boundary);
+  result.k = k;
+  result.family_size = family.prefixes.size();
+  result.family_guaranteed = family.guaranteed;
+  result.counted_total = counted_total;
+  return result;
+}
+
+CertifyResult certify_segments_decode_only(const Cdag& cdag,
+                                           std::span<const VertexId> schedule,
+                                           const CertifyParams& params) {
+  const Layout& layout = cdag.layout();
+  const Graph& graph = cdag.graph();
+  PR_REQUIRE(params.cache_size >= 1);
+  const std::uint64_t target = params.s_bar_target != 0
+                                   ? params.s_bar_target
+                                   : 66 * params.cache_size;
+  const int k = params.k >= 0
+                    ? params.k
+                    : ceil_log(static_cast<std::uint64_t>(layout.a()),
+                               2 * target);
+  PR_REQUIRE_MSG(layout.pow_a()(k) >= 2 * target,
+                 "need a^k >= 2 |S_bar| for the half-rank argument");
+  PR_REQUIRE_MSG(k <= layout.r(), "need k <= r");
+
+  // Counted: every vertex on decoding rank k. The decoding graph never
+  // copies, so each sits alone in its meta-vertex.
+  std::vector<std::uint8_t> counted(graph.num_vertices(), 0);
+  std::uint64_t counted_total = 0;
+  const std::uint64_t num_q = layout.pow_b()(layout.r() - k);
+  const std::uint64_t num_p = layout.pow_a()(k);
+  for (std::uint64_t q = 0; q < num_q; ++q) {
+    for (std::uint64_t p = 0; p < num_p; ++p) {
+      const VertexId v = layout.dec(k, q, p);
+      PR_ASSERT(cdag.meta_root(v) == v);
+      counted[v] = 1;
+      ++counted_total;
+    }
+  }
+
+  const MetaMembers groups = group_by_root(cdag);
+  std::vector<std::uint32_t> vertex_in_s(graph.num_vertices(), 0);
+  std::vector<std::uint32_t> boundary_stamp(graph.num_vertices(), 0);
+  // Vertex-level boundary delta(S) = R(S) u W(S), where S is the
+  // meta-closure of the segment's computed vertices.
+  const auto boundary = [&](const std::vector<VertexId>& seg_roots,
+                            const std::vector<std::uint32_t>& in_s_stamp,
+                            std::uint32_t seg_id) {
+    for (const VertexId root : seg_roots) {
+      for (std::uint32_t i = groups.off[root]; i < groups.off[root + 1]; ++i) {
+        vertex_in_s[groups.members[i]] = seg_id;
+      }
+    }
+    std::uint64_t size = 0;
+    for (const VertexId root : seg_roots) {
+      for (std::uint32_t i = groups.off[root]; i < groups.off[root + 1]; ++i) {
+        const VertexId member = groups.members[i];
+        // R(S): predecessors outside S.
+        for (const VertexId p : graph.in(member)) {
+          if (vertex_in_s[p] != seg_id && boundary_stamp[p] != seg_id) {
+            boundary_stamp[p] = seg_id;
+            ++size;
+          }
+        }
+        // W(S): members with a successor outside S.
+        for (const VertexId q : graph.out(member)) {
+          if (vertex_in_s[q] != seg_id) {
+            if (boundary_stamp[member] != seg_id) {
+              boundary_stamp[member] = seg_id;
+              ++size;
+            }
+            break;
+          }
+        }
+      }
+    }
+    (void)in_s_stamp;
+    return size;
+  };
+
+  CertifyResult result =
+      walk_segments(cdag, schedule, target, counted, boundary);
+  result.k = k;
+  result.counted_total = counted_total;
+  return result;
+}
+
+}  // namespace pathrouting::bounds

@@ -1,0 +1,84 @@
+// The segment argument of Sections 5 and 6, run as a *certifier* on a
+// concrete schedule.
+//
+// Section 6 (general Strassen-like): fix k with a^k >= 72M and a
+// mutually input-disjoint family C of subcomputations G_k^i (Lemma 1).
+// Counted vertices are the inputs (encoding rank r-k) and outputs
+// (decoding rank k) of the members of C. Walk the schedule, closing a
+// segment S as soon as it contains 36M counted vertices (a vertex drags
+// its whole meta-vertex into S; by Lemma 2 each meta-vertex holds at
+// most one counted vertex, so the count advances by at most one per
+// step). For every complete segment the paper proves
+//     |delta'(S')| >= |S_bar| / 12  (Equation 2),
+// hence >= 3M, hence at least M I/Os per segment — the certifier
+// computes |delta'(S')| exactly from the graph and checks both, and
+// also exposes the segment boundaries so the pebble simulator can
+// verify the I/O consequence  segment I/O >= |delta'(S')| - 2M  on the
+// simulated execution.
+//
+// Section 5 (decoding-only counting, the "simple proof" for Strassen):
+// counted vertices are decoding rank k everywhere, segments close at
+// 66M, and the vertex-level boundary satisfies |delta(S)| >= |S_bar|/22
+// (Equation 1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pathrouting/bounds/disjoint_family.hpp"
+#include "pathrouting/cdag/cdag.hpp"
+
+namespace pathrouting::bounds {
+
+using cdag::VertexId;
+
+struct SegmentReport {
+  std::uint32_t end_step = 0;  // exclusive schedule index
+  std::uint64_t s_bar = 0;     // counted vertices in this segment
+  std::uint64_t boundary = 0;  // |delta'(S')| (S6) or |delta(S)| (S5)
+  /// Vertex-level |R(S_v)| + |W(S_v)| over exactly the vertices
+  /// computed in the segment (no meta-closure): the quantity the
+  /// pebble game provably respects per segment,
+  ///   attributed I/O >= boundary_vertices - 2M.
+  std::uint64_t boundary_vertices = 0;
+  bool complete = false;       // reached the quota (last segment may not)
+};
+
+struct CertifyResult {
+  int k = 0;
+  std::uint64_t s_bar_target = 0;
+  std::uint64_t family_size = 0;       // |C| (Section 6 only)
+  std::uint64_t family_guaranteed = 0; // b^{r-k-2} (Section 6 only)
+  std::uint64_t counted_total = 0;     // total counted vertices
+  std::vector<SegmentReport> segments;
+
+  /// Both paper inequalities over all complete segments.
+  [[nodiscard]] bool eq_holds(std::uint64_t denominator) const;
+  [[nodiscard]] bool boundary_ge(std::uint64_t threshold) const;
+  [[nodiscard]] std::uint64_t complete_segments() const;
+  /// The certified bound: (#complete segments) * M.
+  [[nodiscard]] std::uint64_t io_lower_bound(std::uint64_t m) const {
+    return complete_segments() * m;
+  }
+  /// Exclusive end steps of every segment (for pebble attribution).
+  [[nodiscard]] std::vector<std::uint32_t> segment_ends(
+      std::uint32_t schedule_size) const;
+};
+
+struct CertifyParams {
+  std::uint64_t cache_size = 0;    // M
+  int k = -1;                      // default ceil(log_a (2 * s_bar_target))
+  std::uint64_t s_bar_target = 0;  // default 36M (S6) / 66M (S5)
+};
+
+/// Section 6 certifier (meta-vertex boundary, input-disjoint family).
+CertifyResult certify_segments(const cdag::Cdag& cdag,
+                               std::span<const VertexId> schedule,
+                               const CertifyParams& params);
+
+/// Section 5 certifier (vertex boundary, decoding-rank counting).
+CertifyResult certify_segments_decode_only(const cdag::Cdag& cdag,
+                                           std::span<const VertexId> schedule,
+                                           const CertifyParams& params);
+
+}  // namespace pathrouting::bounds

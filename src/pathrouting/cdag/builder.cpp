@@ -1,0 +1,278 @@
+// Construction of G_r. Vertices are emitted in id order (encA ranks
+// 0..r, encB ranks 0..r, dec ranks 0..r), which is topological, so the
+// in-adjacency CSR is written in a single streaming pass.
+#include <unordered_map>
+#include <utility>
+
+#include "pathrouting/bilinear/analysis.hpp"
+#include "pathrouting/cdag/cdag.hpp"
+
+namespace pathrouting::cdag {
+
+namespace {
+
+struct SparseTerm {
+  std::uint64_t index;  // entry d for U/V rows, product q for W rows
+  Rational coeff;
+};
+
+/// Row q of U or V as sparse terms over entries d.
+std::vector<std::vector<SparseTerm>> sparse_uv(const BilinearAlgorithm& alg,
+                                               Side side) {
+  std::vector<std::vector<SparseTerm>> rows(
+      static_cast<std::size_t>(alg.b()));
+  for (int q = 0; q < alg.b(); ++q) {
+    for (int d = 0; d < alg.a(); ++d) {
+      const Rational& c = side == Side::A ? alg.u(q, d) : alg.v(q, d);
+      if (!c.is_zero()) {
+        rows[static_cast<std::size_t>(q)].push_back(
+            {static_cast<std::uint64_t>(d), c});
+      }
+    }
+    PR_REQUIRE_MSG(!rows[static_cast<std::size_t>(q)].empty(),
+                   "base algorithm has an identically-zero encoding row");
+  }
+  return rows;
+}
+
+/// Row d of W as sparse terms over products q.
+std::vector<std::vector<SparseTerm>> sparse_w(const BilinearAlgorithm& alg) {
+  std::vector<std::vector<SparseTerm>> rows(static_cast<std::size_t>(alg.a()));
+  for (int d = 0; d < alg.a(); ++d) {
+    for (int q = 0; q < alg.b(); ++q) {
+      const Rational& c = alg.w(d, q);
+      if (!c.is_zero()) {
+        rows[static_cast<std::size_t>(d)].push_back(
+            {static_cast<std::uint64_t>(q), c});
+      }
+    }
+    PR_REQUIRE_MSG(!rows[static_cast<std::size_t>(d)].empty(),
+                   "base algorithm has an identically-zero output row");
+  }
+  return rows;
+}
+
+}  // namespace
+
+Cdag::Cdag(BilinearAlgorithm alg, int r, CdagOptions options)
+    : alg_(std::move(alg)), layout_(alg_.n0(), alg_.b(), r) {
+  const auto u_rows = sparse_uv(alg_, Side::A);
+  const auto v_rows = sparse_uv(alg_, Side::B);
+  const auto w_rows = sparse_w(alg_);
+  // Lemma 2 precondition: no decoding copies. A trivial W row would
+  // make an output a verbatim copy of a product and meta-vertices would
+  // grow upward into the decoding graph; the paper (and this library)
+  // excludes such degenerate bases.
+  for (const auto& row : w_rows) {
+    PR_REQUIRE_MSG(!(row.size() == 1 && row.front().coeff.is_one()),
+                   "decoding row is a verbatim copy (violates Lemma 2 setup)");
+  }
+
+  const auto& pa = layout_.pow_a();
+  const auto& pb = layout_.pow_b();
+  const std::uint64_t n = layout_.num_vertices();
+
+  // Count edges to reserve: per encoding rank t>=1 vertex with final
+  // recursion digit q, in-degree is nnz(row q); decode rank t>=1 vertex
+  // with leading position digit d has in-degree nnz(W row d); products
+  // have in-degree 2.
+  std::uint64_t num_edges = 0;
+  for (int t = 1; t <= r; ++t) {
+    const std::uint64_t per_q = pb(t - 1) * pa(r - t);
+    for (int q = 0; q < alg_.b(); ++q) {
+      num_edges += per_q * (u_rows[static_cast<std::size_t>(q)].size() +
+                            v_rows[static_cast<std::size_t>(q)].size());
+    }
+    const std::uint64_t per_d = pb(r - t) * pa(t - 1);
+    for (int d = 0; d < alg_.a(); ++d) {
+      num_edges += per_d * w_rows[static_cast<std::size_t>(d)].size();
+    }
+  }
+  num_edges += 2 * pb(r);
+  PR_REQUIRE_MSG(num_edges < kInvalidVertex,
+                 "CDAG too large for 32-bit edge offsets");
+
+  std::vector<std::uint32_t> in_off;
+  in_off.reserve(n + 1);
+  in_off.push_back(0);
+  std::vector<VertexId> in_adj;
+  in_adj.reserve(num_edges);
+  if (options.with_coefficients) in_coeff_.reserve(num_edges);
+  copy_parent_.assign(n, kInvalidVertex);
+
+  const auto emit = [&](VertexId from, const Rational& coeff) {
+    in_adj.push_back(from);
+    if (options.with_coefficients) in_coeff_.push_back(coeff);
+  };
+  const auto close_vertex = [&] {
+    in_off.push_back(static_cast<std::uint32_t>(in_adj.size()));
+  };
+
+  // Section-8 grouping: canonical operand classes. Two encoding
+  // vertices carry the same (generic) value iff their operands were
+  // built by the same canonical sequence of nontrivial rows applied to
+  // the same input side — trivial rows merely select a sub-block and
+  // fold into the position via the copy chain. Each operand q⃗ at rank
+  // t gets a class id interned on (parent class, representative row);
+  // the meta-root of a nontrivial vertex is then the first vertex seen
+  // with its (class, position) pair.
+  grouped_duplicates_ = options.group_duplicate_rows;
+  std::vector<int> rep_a(static_cast<std::size_t>(alg_.b()));
+  std::vector<int> rep_b(static_cast<std::size_t>(alg_.b()));
+  if (options.group_duplicate_rows) {
+    const auto fill_reps = [&](Side side, std::vector<int>& rep) {
+      for (int q = 0; q < alg_.b(); ++q) {
+        rep[static_cast<std::size_t>(q)] = q;
+        for (int q2 = 0; q2 < q; ++q2) {
+          bool equal = true;
+          for (int d = 0; d < alg_.a() && equal; ++d) {
+            const Rational& x = side == Side::A ? alg_.u(q, d) : alg_.v(q, d);
+            const Rational& y =
+                side == Side::A ? alg_.u(q2, d) : alg_.v(q2, d);
+            equal = x == y;
+          }
+          if (equal) {
+            rep[static_cast<std::size_t>(q)] = q2;
+            break;
+          }
+        }
+      }
+    };
+    fill_reps(Side::A, rep_a);
+    fill_reps(Side::B, rep_b);
+  }
+  // dup_ref[v]: the same-value vertex with smaller id that v merges
+  // with (kInvalidVertex if none).
+  std::vector<VertexId> dup_ref;
+  std::unordered_map<std::uint64_t, std::uint32_t> class_intern;
+  std::unordered_map<std::uint64_t, VertexId> value_root;
+  std::uint32_t next_class = 2;  // 0 = operand A, 1 = operand B
+  if (options.group_duplicate_rows) {
+    dup_ref.assign(n, kInvalidVertex);
+    class_intern.reserve(1 << 12);
+    value_root.reserve(static_cast<std::size_t>(n) / 2);
+  }
+  // Class of operand q⃗ at the PREVIOUS rank (parent classes) and the
+  // one being built. Trivial rows keep the parent class but tag the
+  // selected block so distinct sub-blocks stay distinct.
+  std::vector<std::uint32_t> parent_classes, current_classes;
+  const auto intern_class = [&](std::uint32_t parent, bool trivial,
+                                std::uint32_t value) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(parent) << 24) |
+                              (static_cast<std::uint64_t>(trivial) << 23) |
+                              value;
+    const auto [it, inserted] = class_intern.try_emplace(key, next_class);
+    if (inserted) {
+      ++next_class;
+      PR_ASSERT_MSG(next_class < (1u << 22), "too many operand classes");
+    }
+    return it->second;
+  };
+
+  // Encoding layers. Rank 0 vertices (inputs) have no in-edges.
+  for (const Side side : {Side::A, Side::B}) {
+    const auto& rows = side == Side::A ? u_rows : v_rows;
+    const auto& rep = side == Side::A ? rep_a : rep_b;
+    for (std::uint64_t p = 0; p < pa(r); ++p) close_vertex();
+    if (options.group_duplicate_rows) {
+      parent_classes.assign(1, side == Side::A ? 0u : 1u);
+    }
+    for (int t = 1; t <= r; ++t) {
+      const std::uint64_t plen = pa(r - t);
+      if (options.group_duplicate_rows) {
+        current_classes.resize(pb(t));
+      }
+      for (std::uint64_t q_hi = 0; q_hi < pb(t - 1); ++q_hi) {
+        for (int q = 0; q < alg_.b(); ++q) {
+          const auto& row = rows[static_cast<std::size_t>(q)];
+          const bool trivial =
+              row.size() == 1 && row.front().coeff.is_one();
+          std::uint32_t op_class = 0;
+          if (options.group_duplicate_rows) {
+            op_class = intern_class(
+                parent_classes[q_hi], trivial,
+                trivial ? static_cast<std::uint32_t>(row.front().index)
+                        : static_cast<std::uint32_t>(
+                              rep[static_cast<std::size_t>(q)]));
+            current_classes[q_hi * static_cast<std::uint64_t>(alg_.b()) +
+                            static_cast<std::uint64_t>(q)] = op_class;
+          }
+          for (std::uint64_t p = 0; p < plen; ++p) {
+            const VertexId self = layout_.enc(
+                side, t, q_hi * static_cast<std::uint64_t>(alg_.b()) +
+                             static_cast<std::uint64_t>(q),
+                p);
+            for (const SparseTerm& term : row) {
+              const VertexId parent =
+                  layout_.enc(side, t - 1, q_hi, term.index * plen + p);
+              emit(parent, term.coeff);
+              if (trivial) copy_parent_[self] = parent;
+            }
+            if (options.group_duplicate_rows && !trivial) {
+              PR_ASSERT(p < (std::uint64_t{1} << 40));
+              const std::uint64_t key =
+                  (static_cast<std::uint64_t>(op_class) << 40) | p;
+              const auto [it, inserted] = value_root.try_emplace(key, self);
+              if (!inserted) dup_ref[self] = it->second;
+            }
+            close_vertex();
+          }
+        }
+      }
+      if (options.group_duplicate_rows) {
+        parent_classes.swap(current_classes);
+      }
+    }
+  }
+
+  // Multiplication layer (= decoding rank 0).
+  for (std::uint64_t q = 0; q < pb(r); ++q) {
+    emit(layout_.enc(Side::A, r, q, 0), Rational(1));
+    emit(layout_.enc(Side::B, r, q, 0), Rational(1));
+    close_vertex();
+  }
+
+  // Decoding layers.
+  for (int t = 1; t <= r; ++t) {
+    const std::uint64_t plen = pa(t - 1);
+    for (std::uint64_t q_hi = 0; q_hi < pb(r - t); ++q_hi) {
+      for (int d = 0; d < alg_.a(); ++d) {
+        const auto& row = w_rows[static_cast<std::size_t>(d)];
+        for (std::uint64_t p_lo = 0; p_lo < plen; ++p_lo) {
+          for (const SparseTerm& term : row) {
+            emit(layout_.dec(t - 1,
+                             q_hi * static_cast<std::uint64_t>(alg_.b()) +
+                                 term.index,
+                             p_lo),
+                 term.coeff);
+          }
+          close_vertex();
+        }
+      }
+    }
+  }
+
+  PR_ASSERT(in_off.size() == n + 1);
+  PR_ASSERT(in_adj.size() == num_edges);
+  graph_ = Graph(std::move(in_off), std::move(in_adj));
+
+  // Meta-vertex roots: follow copy parents (and duplicate-row
+  // references, when grouping) downward. Both point to smaller ids, so
+  // one forward pass suffices.
+  meta_root_.resize(n);
+  meta_size_.assign(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (copy_parent_[v] != kInvalidVertex) {
+      meta_root_[v] = meta_root_[copy_parent_[v]];
+    } else if (options.group_duplicate_rows &&
+               dup_ref[v] != kInvalidVertex) {
+      PR_ASSERT(dup_ref[v] < v);
+      meta_root_[v] = meta_root_[dup_ref[v]];
+    } else {
+      meta_root_[v] = v;
+    }
+    ++meta_size_[meta_root_[v]];
+  }
+}
+
+}  // namespace pathrouting::cdag

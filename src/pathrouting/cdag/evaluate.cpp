@@ -1,0 +1,25 @@
+#include "pathrouting/cdag/evaluate.hpp"
+
+namespace pathrouting::cdag {
+
+// Explicit instantiations for the common value types, so most
+// translation units only pay for the template once.
+template std::vector<double> evaluate_all<double>(const Cdag&,
+                                                  std::span<const double>,
+                                                  std::span<const double>);
+template std::vector<Rational> evaluate_all<Rational>(
+    const Cdag&, std::span<const Rational>, std::span<const Rational>);
+template std::vector<std::int64_t> evaluate_all<std::int64_t>(
+    const Cdag&, std::span<const std::int64_t>,
+    std::span<const std::int64_t>);
+template std::vector<double> evaluate<double>(const Cdag&,
+                                              std::span<const double>,
+                                              std::span<const double>);
+template std::vector<Rational> evaluate<Rational>(const Cdag&,
+                                                  std::span<const Rational>,
+                                                  std::span<const Rational>);
+template std::vector<std::int64_t> evaluate<std::int64_t>(
+    const Cdag&, std::span<const std::int64_t>,
+    std::span<const std::int64_t>);
+
+}  // namespace pathrouting::cdag

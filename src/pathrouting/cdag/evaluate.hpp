@@ -1,0 +1,104 @@
+// Numeric evaluation of a CDAG.
+//
+// Evaluating G_r on concrete inputs and comparing against direct matrix
+// multiplication is the library's end-to-end semantic check: it
+// validates the builder's edge rules, coefficient placement, and the
+// Morton position convention all at once, for every catalog algorithm.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pathrouting/cdag/cdag.hpp"
+
+namespace pathrouting::cdag {
+
+namespace detail {
+inline double scale(const Rational& c, double x) { return c.to_double() * x; }
+inline Rational scale(const Rational& c, const Rational& x) { return c * x; }
+inline std::int64_t scale(const Rational& c, std::int64_t x) {
+  PR_REQUIRE_MSG(c.is_integer(), "int64 evaluation needs integer coefficients");
+  return c.num() * x;
+}
+}  // namespace detail
+
+/// Computes the value of every vertex. `a_in` / `b_in` are the a^r
+/// inputs of each operand in Morton order.
+template <typename T>
+std::vector<T> evaluate_all(const Cdag& cdag, std::span<const T> a_in,
+                            std::span<const T> b_in) {
+  PR_REQUIRE_MSG(cdag.has_coefficients(),
+                 "evaluation requires with_coefficients=true");
+  const Layout& layout = cdag.layout();
+  const Graph& g = cdag.graph();
+  PR_REQUIRE(a_in.size() == layout.inputs_per_side());
+  PR_REQUIRE(b_in.size() == layout.inputs_per_side());
+  std::vector<T> value(g.num_vertices(), T{});
+  for (std::uint64_t p = 0; p < layout.inputs_per_side(); ++p) {
+    value[layout.input(Side::A, p)] = a_in[p];
+    value[layout.input(Side::B, p)] = b_in[p];
+  }
+  const VertexId first_product = layout.product(0);
+  const VertexId last_product = layout.product(layout.num_products() - 1);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto preds = g.in(v);
+    if (preds.empty()) continue;  // input
+    if (v >= first_product && v <= last_product) {
+      PR_DCHECK(preds.size() == 2);
+      value[v] = value[preds[0]] * value[preds[1]];
+    } else {
+      T sum{};
+      const std::uint32_t base = g.in_edge_base(v);
+      for (std::size_t i = 0; i < preds.size(); ++i) {
+        sum = sum + detail::scale(cdag.in_coeff(base + i), value[preds[i]]);
+      }
+      value[v] = sum;
+    }
+  }
+  return value;
+}
+
+/// Computes only the outputs, in Morton order.
+template <typename T>
+std::vector<T> evaluate(const Cdag& cdag, std::span<const T> a_in,
+                        std::span<const T> b_in) {
+  const std::vector<T> value = evaluate_all<T>(cdag, a_in, b_in);
+  const Layout& layout = cdag.layout();
+  std::vector<T> out(layout.inputs_per_side());
+  for (std::uint64_t p = 0; p < out.size(); ++p) {
+    out[p] = value[layout.output(p)];
+  }
+  return out;
+}
+
+/// Row-major n x n matrix (n = n0^r) -> Morton-ordered input vector.
+template <typename T>
+std::vector<T> to_morton(const Cdag& cdag, std::span<const T> row_major) {
+  const Layout& layout = cdag.layout();
+  const std::uint64_t n = layout.n();
+  PR_REQUIRE(row_major.size() == n * n);
+  std::vector<T> morton(layout.inputs_per_side());
+  for (std::uint64_t p = 0; p < morton.size(); ++p) {
+    const RowCol rc =
+        morton_to_rowcol(layout.pow_a(), layout.n0(), p, layout.r());
+    morton[p] = row_major[rc.row * n + rc.col];
+  }
+  return morton;
+}
+
+/// Morton-ordered vector -> row-major n x n matrix.
+template <typename T>
+std::vector<T> from_morton(const Cdag& cdag, std::span<const T> morton) {
+  const Layout& layout = cdag.layout();
+  const std::uint64_t n = layout.n();
+  PR_REQUIRE(morton.size() == layout.inputs_per_side());
+  std::vector<T> row_major(n * n);
+  for (std::uint64_t p = 0; p < morton.size(); ++p) {
+    const RowCol rc =
+        morton_to_rowcol(layout.pow_a(), layout.n0(), p, layout.r());
+    row_major[rc.row * n + rc.col] = morton[p];
+  }
+  return row_major;
+}
+
+}  // namespace pathrouting::cdag

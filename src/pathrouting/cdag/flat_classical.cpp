@@ -1,0 +1,105 @@
+#include "pathrouting/cdag/flat_classical.hpp"
+
+#include <algorithm>
+
+namespace pathrouting::cdag {
+
+FlatClassicalCdag::FlatClassicalCdag(int n)
+    : n_(n), nn_(static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n)) {
+  PR_REQUIRE(n >= 2);
+  const std::uint64_t num_vertices =
+      2 * nn_ + nn_ * static_cast<std::uint64_t>(n) +
+      nn_ * static_cast<std::uint64_t>(n - 1);
+  PR_REQUIRE_MSG(num_vertices < kInvalidVertex, "flat CDAG too large");
+  std::vector<std::uint32_t> in_off;
+  in_off.reserve(num_vertices + 1);
+  in_off.push_back(0);
+  std::vector<VertexId> in_adj;
+  in_adj.reserve(2 * nn_ * static_cast<std::uint64_t>(n) +
+                 2 * nn_ * static_cast<std::uint64_t>(n - 1));
+  const auto close_vertex = [&] {
+    in_off.push_back(static_cast<std::uint32_t>(in_adj.size()));
+  };
+  // Inputs.
+  for (std::uint64_t i = 0; i < 2 * nn_; ++i) close_vertex();
+  // Products, in (i,k,j) order to match their id layout.
+  for (int i = 0; i < n_; ++i) {
+    for (int k = 0; k < n_; ++k) {
+      for (int j = 0; j < n_; ++j) {
+        in_adj.push_back(a(i, k));
+        in_adj.push_back(b(k, j));
+        close_vertex();
+      }
+    }
+  }
+  // Partial sums, in (i,j,k) order.
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      for (int k = 1; k < n_; ++k) {
+        in_adj.push_back(k == 1 ? product(i, 0, j) : partial(i, j, k - 1));
+        in_adj.push_back(product(i, k, j));
+        close_vertex();
+      }
+    }
+  }
+  PR_ASSERT(in_off.size() == num_vertices + 1);
+  graph_ = Graph(std::move(in_off), std::move(in_adj));
+}
+
+std::vector<VertexId> FlatClassicalCdag::loop_schedule(LoopOrder order) const {
+  std::vector<VertexId> out;
+  out.reserve(nn_ * static_cast<std::uint64_t>(n_) +
+              nn_ * static_cast<std::uint64_t>(n_ - 1));
+  // Map the chosen nesting onto loop variables (x, y, z); the innermost
+  // statement computes P(i,k,j) and, for k >= 1, the partial sum.
+  const auto emit = [&](int i, int j, int k) {
+    out.push_back(product(i, k, j));
+    if (k >= 1) out.push_back(partial(i, j, k));
+  };
+  for (int x = 0; x < n_; ++x) {
+    for (int y = 0; y < n_; ++y) {
+      for (int z = 0; z < n_; ++z) {
+        switch (order) {
+          case LoopOrder::kIJK: emit(x, y, z); break;
+          case LoopOrder::kIKJ: emit(x, z, y); break;
+          case LoopOrder::kJIK: emit(y, x, z); break;
+          case LoopOrder::kJKI: emit(z, x, y); break;
+          case LoopOrder::kKIJ: emit(y, z, x); break;
+          case LoopOrder::kKJI: emit(z, y, x); break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<VertexId> FlatClassicalCdag::blocked_schedule(int tile) const {
+  PR_REQUIRE(tile >= 1 && tile <= n_);
+  std::vector<VertexId> order;
+  order.reserve(nn_ * static_cast<std::uint64_t>(n_) +
+                nn_ * static_cast<std::uint64_t>(n_ - 1));
+  // Tile loops (ii, jj, kk) with the classical accumulation order
+  // inside: for each (i, j) in the tile, multiply-and-add over k. The
+  // product P(i,k,j) is emitted immediately before the partial sum that
+  // consumes it, which is what the blocked algorithm does.
+  for (int ii = 0; ii < n_; ii += tile) {
+    for (int jj = 0; jj < n_; jj += tile) {
+      for (int kk = 0; kk < n_; kk += tile) {
+        const int i_end = std::min(ii + tile, n_);
+        const int j_end = std::min(jj + tile, n_);
+        const int k_end = std::min(kk + tile, n_);
+        for (int i = ii; i < i_end; ++i) {
+          for (int j = jj; j < j_end; ++j) {
+            for (int k = kk; k < k_end; ++k) {
+              order.push_back(product(i, k, j));
+              if (k >= 1) order.push_back(partial(i, j, k));
+            }
+          }
+        }
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace pathrouting::cdag

@@ -1,0 +1,80 @@
+// Flat (non-recursive) classical matrix multiplication CDAG: the
+// Hong-Kung baseline graph. For an n x n multiplication it has
+//
+//   inputs   A(i,k), B(k,j)                      2 n^2 vertices
+//   products P(i,k,j) = A(i,k) * B(k,j)            n^3 vertices
+//   partial sums S(i,j,k) = S(i,j,k-1) + P(i,k,j)  n^2 (n-1) vertices,
+//                with S(i,j,0) := P(i,0,j) and S(i,j,n-1) = C(i,j).
+//
+// Running the pebble game on it with blocked schedules reproduces the
+// classical Theta(n^3 / sqrt(M)) I/O behaviour [Hong-Kung 81] that
+// Theorem 1's fast algorithms beat (experiment E7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pathrouting/cdag/graph.hpp"
+
+namespace pathrouting::cdag {
+
+class FlatClassicalCdag {
+ public:
+  explicit FlatClassicalCdag(int n);
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+
+  [[nodiscard]] VertexId a(int i, int k) const {
+    return idx2(i, k);
+  }
+  [[nodiscard]] VertexId b(int k, int j) const {
+    return static_cast<VertexId>(nn_) + idx2(k, j);
+  }
+  [[nodiscard]] VertexId product(int i, int k, int j) const {
+    return static_cast<VertexId>(2 * nn_) + idx3(i, k, j);
+  }
+  /// Partial sum over k' <= k; valid for k >= 1 (k = 0 is product(i,0,j)).
+  [[nodiscard]] VertexId partial(int i, int j, int k) const {
+    PR_DCHECK(k >= 1 && k < n_);
+    return static_cast<VertexId>(
+        2 * nn_ + nn_ * static_cast<std::uint64_t>(n_) +
+        (static_cast<std::uint64_t>(i) * n_ + static_cast<std::uint64_t>(j)) *
+            static_cast<std::uint64_t>(n_ - 1) +
+        static_cast<std::uint64_t>(k - 1));
+  }
+  [[nodiscard]] VertexId output(int i, int j) const {
+    return partial(i, j, n_ - 1);
+  }
+  [[nodiscard]] bool is_input(VertexId v) const { return v < 2 * nn_; }
+
+  /// Schedule visiting products/partials in i,j,k nesting over square
+  /// tiles of side `tile` (tile = n degenerates to the naive i,j,k
+  /// order). With tile ~ sqrt(M/3) this is the classical blocked
+  /// algorithm. Returns computed (non-input) vertices only, in order.
+  [[nodiscard]] std::vector<VertexId> blocked_schedule(int tile) const;
+
+  /// Untiled triple-loop schedules in the named nesting order. The
+  /// accumulation chain forces k to ascend per (i,j), which all six
+  /// classic orders satisfy; their I/O differs by which operand streams
+  /// (the textbook "loop order matters" effect, measurable with the
+  /// pebble game).
+  enum class LoopOrder { kIJK, kIKJ, kJIK, kJKI, kKIJ, kKJI };
+  [[nodiscard]] std::vector<VertexId> loop_schedule(LoopOrder order) const;
+
+ private:
+  [[nodiscard]] VertexId idx2(int x, int y) const {
+    PR_DCHECK(x >= 0 && x < n_ && y >= 0 && y < n_);
+    return static_cast<VertexId>(static_cast<std::uint64_t>(x) * n_ + y);
+  }
+  [[nodiscard]] VertexId idx3(int x, int y, int z) const {
+    return static_cast<VertexId>(
+        (static_cast<std::uint64_t>(x) * n_ + y) * n_ + z);
+  }
+
+  int n_;
+  std::uint64_t nn_;
+  Graph graph_;
+};
+
+}  // namespace pathrouting::cdag

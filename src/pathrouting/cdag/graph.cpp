@@ -1,0 +1,34 @@
+#include "pathrouting/cdag/graph.hpp"
+
+#include <algorithm>
+
+namespace pathrouting::cdag {
+
+Graph::Graph(std::vector<std::uint32_t> in_off, std::vector<VertexId> in_adj)
+    : in_off_(std::move(in_off)), in_adj_(std::move(in_adj)) {
+  PR_REQUIRE(!in_off_.empty());
+  PR_REQUIRE(in_off_.front() == 0);
+  PR_REQUIRE(in_off_.back() == in_adj_.size());
+  const VertexId n = num_vertices();
+  // Derive out-adjacency by counting sort over edge sources.
+  out_off_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const VertexId from : in_adj_) {
+    PR_REQUIRE(from < n);
+    ++out_off_[from + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) out_off_[v + 1] += out_off_[v];
+  out_adj_.resize(in_adj_.size());
+  std::vector<std::uint32_t> cursor(out_off_.begin(), out_off_.end() - 1);
+  for (VertexId to = 0; to < n; ++to) {
+    for (const VertexId from : in(to)) {
+      out_adj_[cursor[from]++] = to;
+    }
+  }
+}
+
+bool Graph::has_edge(VertexId from, VertexId to) const {
+  const auto preds = in(to);
+  return std::find(preds.begin(), preds.end(), from) != preds.end();
+}
+
+}  // namespace pathrouting::cdag

@@ -1,0 +1,68 @@
+// Immutable directed graph in CSR form (both directions).
+//
+// Computation DAGs in this library are built once and then queried
+// heavily (pebble simulation walks every edge; routings count hits per
+// vertex), so the representation is two flat CSR arrays over dense
+// uint32 vertex ids. Vertex semantics (rank, side, position) live in the
+// owning structure (cdag::Layout or flat graphs' own tables), not here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pathrouting/support/check.hpp"
+
+namespace pathrouting::cdag {
+
+using VertexId = std::uint32_t;
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from in-adjacency CSR: `in_off` has n+1 entries;
+  /// predecessors of v are in_adj[in_off[v] .. in_off[v+1]). The
+  /// out-adjacency is derived. Edge order within a vertex's in-list is
+  /// preserved (the CDAG evaluator relies on it to align coefficients).
+  Graph(std::vector<std::uint32_t> in_off, std::vector<VertexId> in_adj);
+
+  [[nodiscard]] VertexId num_vertices() const {
+    return static_cast<VertexId>(in_off_.empty() ? 0 : in_off_.size() - 1);
+  }
+  [[nodiscard]] std::uint64_t num_edges() const { return in_adj_.size(); }
+
+  [[nodiscard]] std::span<const VertexId> in(VertexId v) const {
+    PR_DCHECK(v < num_vertices());
+    return {in_adj_.data() + in_off_[v], in_adj_.data() + in_off_[v + 1]};
+  }
+  [[nodiscard]] std::span<const VertexId> out(VertexId v) const {
+    PR_DCHECK(v < num_vertices());
+    return {out_adj_.data() + out_off_[v], out_adj_.data() + out_off_[v + 1]};
+  }
+  [[nodiscard]] std::uint32_t in_degree(VertexId v) const {
+    return in_off_[v + 1] - in_off_[v];
+  }
+  [[nodiscard]] std::uint32_t out_degree(VertexId v) const {
+    return out_off_[v + 1] - out_off_[v];
+  }
+  /// Offset of v's first in-edge in the global edge array; edge
+  /// `in_edge_base(v) + i` corresponds to predecessor in(v)[i]. Used to
+  /// index per-edge side data (coefficients).
+  [[nodiscard]] std::uint32_t in_edge_base(VertexId v) const {
+    return in_off_[v];
+  }
+
+  /// True if (from, to) is an edge; linear in deg(to) (used by tests and
+  /// routing validators, not hot paths).
+  [[nodiscard]] bool has_edge(VertexId from, VertexId to) const;
+
+ private:
+  std::vector<std::uint32_t> in_off_;
+  std::vector<VertexId> in_adj_;
+  std::vector<std::uint32_t> out_off_;
+  std::vector<VertexId> out_adj_;
+};
+
+}  // namespace pathrouting::cdag

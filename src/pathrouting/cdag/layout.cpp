@@ -1,0 +1,106 @@
+#include "pathrouting/cdag/layout.hpp"
+
+namespace pathrouting::cdag {
+
+Layout::Layout(int n0, int b, int r)
+    : n0_(n0), a_(n0 * n0), b_(b), r_(r),
+      pow_a_(static_cast<std::uint64_t>(a_), r),
+      pow_b_(static_cast<std::uint64_t>(b_), r) {
+  PR_REQUIRE(n0 >= 2);
+  PR_REQUIRE(b >= 1);
+  PR_REQUIRE(r >= 1);
+  enc_a_base_.resize(static_cast<std::size_t>(r_) + 1);
+  enc_b_base_.resize(static_cast<std::size_t>(r_) + 1);
+  dec_base_.resize(static_cast<std::size_t>(r_) + 1);
+  std::uint64_t cursor = 0;
+  for (int t = 0; t <= r_; ++t) {
+    enc_a_base_[static_cast<std::size_t>(t)] = cursor;
+    cursor += enc_rank_size(t);
+  }
+  for (int t = 0; t <= r_; ++t) {
+    enc_b_base_[static_cast<std::size_t>(t)] = cursor;
+    cursor += enc_rank_size(t);
+  }
+  for (int t = 0; t <= r_; ++t) {
+    dec_base_[static_cast<std::size_t>(t)] = cursor;
+    cursor += dec_rank_size(t);
+  }
+  num_vertices_ = cursor;
+  PR_REQUIRE_MSG(num_vertices_ < kInvalidVertex,
+                 "CDAG too large for 32-bit vertex ids");
+}
+
+std::uint64_t Layout::n() const {
+  std::uint64_t n = 1;
+  for (int i = 0; i < r_; ++i) n *= static_cast<std::uint64_t>(n0_);
+  return n;
+}
+
+VertexRef Layout::ref(VertexId v) const {
+  PR_REQUIRE(v < num_vertices_);
+  const std::uint64_t id = v;
+  // Layers are laid out contiguously; scan the O(r) rank bases.
+  if (id < enc_b_base_[0]) {
+    for (int t = r_;; --t) {
+      const std::uint64_t base = enc_a_base_[static_cast<std::size_t>(t)];
+      if (id >= base) {
+        const std::uint64_t local = id - base;
+        return {LayerKind::EncA, t, local / pow_a_(r_ - t),
+                local % pow_a_(r_ - t)};
+      }
+    }
+  }
+  if (id < dec_base_[0]) {
+    for (int t = r_;; --t) {
+      const std::uint64_t base = enc_b_base_[static_cast<std::size_t>(t)];
+      if (id >= base) {
+        const std::uint64_t local = id - base;
+        return {LayerKind::EncB, t, local / pow_a_(r_ - t),
+                local % pow_a_(r_ - t)};
+      }
+    }
+  }
+  for (int t = r_;; --t) {
+    const std::uint64_t base = dec_base_[static_cast<std::size_t>(t)];
+    if (id >= base) {
+      const std::uint64_t local = id - base;
+      return {LayerKind::Dec, t, local / pow_a_(t), local % pow_a_(t)};
+    }
+  }
+}
+
+int Layout::level(VertexId v) const {
+  const VertexRef rf = ref(v);
+  return rf.layer == LayerKind::Dec ? r_ + 1 + rf.rank : rf.rank;
+}
+
+RowCol morton_to_rowcol(const PowTable& pow_a, int n0, std::uint64_t p,
+                        int len) {
+  std::uint64_t row = 0, col = 0;
+  for (int i = 0; i < len; ++i) {
+    const std::uint64_t d = support::digit_at(pow_a, p, len, i);
+    row = row * static_cast<std::uint64_t>(n0) + d / static_cast<std::uint64_t>(n0);
+    col = col * static_cast<std::uint64_t>(n0) + d % static_cast<std::uint64_t>(n0);
+  }
+  return {row, col};
+}
+
+std::uint64_t rowcol_to_morton(int n0, std::uint64_t row, std::uint64_t col,
+                               int len) {
+  // Interleave base-n0 digits of row and col into base-a digits,
+  // building from the least significant (innermost level) upward.
+  const std::uint64_t base = static_cast<std::uint64_t>(n0);
+  std::uint64_t p = 0;
+  std::uint64_t place = 1;
+  for (int i = 0; i < len; ++i) {
+    const std::uint64_t d = (row % base) * base + (col % base);
+    p += d * place;
+    place *= base * base;
+    row /= base;
+    col /= base;
+  }
+  PR_ENSURE(row == 0 && col == 0);
+  return p;
+}
+
+}  // namespace pathrouting::cdag

@@ -1,0 +1,124 @@
+// Vertex addressing for the recursive CDAG G_r (Section 3).
+//
+// G_r for a base algorithm <n0,n0,n0;b>, a = n0^2, has three layers:
+//
+//   encoding side X in {A, B}, ranks t = 0..r:
+//       vertex (q⃗ ∈ [b]^t, p⃗ ∈ [a]^{r-t});  rank 0 = the a^r inputs of X.
+//   decoding side, ranks t = 0..r:
+//       vertex (q⃗ ∈ [b]^{r-t}, p⃗ ∈ [a]^t);  rank 0 = the b^r products,
+//       rank r = the a^r outputs.
+//
+// q⃗ is the recursion path (digit 0 = outermost level); p⃗ is the Morton
+// position within the current operand block (digit 0 = outermost level,
+// each digit d ≅ (i,j) with d = i*n0 + j). Edges (see builder.cpp):
+//
+//   enc:  (q⃗, d·p⃗) -> (q⃗·q, p⃗)    iff U[q,d] != 0   (resp. V),
+//   mult: encA(r, q⃗), encB(r, q⃗) -> dec(0, q⃗),
+//   dec:  (q⃗·q, p⃗) -> (q⃗, d·p⃗)    iff W[d,q] != 0.
+//
+// Ids are dense uint32, laid out encA rank 0..r, encB rank 0..r, dec
+// rank 0..r; within a rank, index = q⃗ * a^{len(p⃗)} + p⃗. This order is
+// topological, and in-edges of consecutive ids can be emitted
+// streaming.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pathrouting/bilinear/analysis.hpp"  // for bilinear::Side
+#include "pathrouting/cdag/graph.hpp"
+#include "pathrouting/support/mixed_radix.hpp"
+
+namespace pathrouting::cdag {
+
+using bilinear::Side;
+using support::PowTable;
+
+enum class LayerKind : std::uint8_t { EncA, EncB, Dec };
+
+/// Fully decoded vertex address.
+struct VertexRef {
+  LayerKind layer;
+  int rank;         // 0..r within the layer
+  std::uint64_t q;  // recursion path word
+  std::uint64_t p;  // Morton position word
+};
+
+class Layout {
+ public:
+  Layout(int n0, int b, int r);
+
+  [[nodiscard]] int n0() const { return n0_; }
+  [[nodiscard]] int a() const { return a_; }
+  [[nodiscard]] int b() const { return b_; }
+  [[nodiscard]] int r() const { return r_; }
+  [[nodiscard]] const PowTable& pow_a() const { return pow_a_; }
+  [[nodiscard]] const PowTable& pow_b() const { return pow_b_; }
+
+  [[nodiscard]] std::uint64_t num_vertices() const { return num_vertices_; }
+  /// a^r: inputs per operand (also the number of outputs).
+  [[nodiscard]] std::uint64_t inputs_per_side() const { return pow_a_(r_); }
+  [[nodiscard]] std::uint64_t num_products() const { return pow_b_(r_); }
+  /// n = n0^r, the matrix dimension.
+  [[nodiscard]] std::uint64_t n() const;
+
+  [[nodiscard]] std::uint64_t enc_rank_size(int t) const {
+    return pow_b_(t) * pow_a_(r_ - t);
+  }
+  [[nodiscard]] std::uint64_t dec_rank_size(int t) const {
+    return pow_b_(r_ - t) * pow_a_(t);
+  }
+
+  [[nodiscard]] VertexId enc(Side side, int t, std::uint64_t q,
+                             std::uint64_t p) const {
+    PR_DCHECK(t >= 0 && t <= r_);
+    PR_DCHECK(q < pow_b_(t) && p < pow_a_(r_ - t));
+    const std::uint64_t base =
+        (side == Side::A ? enc_a_base_ : enc_b_base_)[static_cast<std::size_t>(t)];
+    return static_cast<VertexId>(base + q * pow_a_(r_ - t) + p);
+  }
+  [[nodiscard]] VertexId dec(int t, std::uint64_t q, std::uint64_t p) const {
+    PR_DCHECK(t >= 0 && t <= r_);
+    PR_DCHECK(q < pow_b_(r_ - t) && p < pow_a_(t));
+    return static_cast<VertexId>(dec_base_[static_cast<std::size_t>(t)] +
+                                 q * pow_a_(t) + p);
+  }
+  [[nodiscard]] VertexId input(Side side, std::uint64_t p) const {
+    return enc(side, 0, 0, p);
+  }
+  [[nodiscard]] VertexId product(std::uint64_t q) const { return dec(0, q, 0); }
+  [[nodiscard]] VertexId output(std::uint64_t p) const { return dec(r_, 0, p); }
+
+  [[nodiscard]] VertexRef ref(VertexId v) const;
+
+  [[nodiscard]] bool is_input(VertexId v) const {
+    return (v >= enc_a_base_[0] && v < enc_a_base_[0] + pow_a_(r_)) ||
+           (v >= enc_b_base_[0] && v < enc_b_base_[0] + pow_a_(r_));
+  }
+  [[nodiscard]] bool is_output(VertexId v) const {
+    return v >= dec_base_[static_cast<std::size_t>(r_)] && v < num_vertices_;
+  }
+
+  /// Global level for rank-ordered (BFS) traversals: enc rank t -> t,
+  /// dec rank t -> r+1+t. Inputs are level 0, outputs level 2r+1.
+  [[nodiscard]] int level(VertexId v) const;
+
+ private:
+  int n0_, a_, b_, r_;
+  PowTable pow_a_, pow_b_;
+  std::vector<std::uint64_t> enc_a_base_, enc_b_base_, dec_base_;
+  std::uint64_t num_vertices_ = 0;
+};
+
+/// Morton position word (length `len` digits in base n0^2) -> (row, col)
+/// within the n0^len x n0^len matrix.
+struct RowCol {
+  std::uint64_t row;
+  std::uint64_t col;
+};
+RowCol morton_to_rowcol(const PowTable& pow_a, int n0, std::uint64_t p,
+                        int len);
+std::uint64_t rowcol_to_morton(int n0, std::uint64_t row, std::uint64_t col,
+                               int len);
+
+}  // namespace pathrouting::cdag

@@ -1,0 +1,70 @@
+#include "pathrouting/cdag/meta.hpp"
+
+namespace pathrouting::cdag {
+
+std::vector<VertexId> meta_members(const Cdag& cdag, VertexId root) {
+  PR_REQUIRE(cdag.meta_root(root) == root);
+  std::vector<VertexId> members = {root};
+  // Copies have larger ids than their parents, so a worklist walk over
+  // out-neighbours finds the whole subtree.
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (const VertexId succ : cdag.graph().out(members[i])) {
+      if (succ < cdag.graph().num_vertices() &&
+          cdag.copy_parent(succ) == members[i]) {
+        members.push_back(succ);
+      }
+    }
+  }
+  return members;
+}
+
+bool validate_meta_structure(const Cdag& cdag) {
+  const Graph& g = cdag.graph();
+  std::vector<std::uint32_t> sizes(g.num_vertices(), 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const VertexId parent = cdag.copy_parent(v);
+    if (parent == kInvalidVertex) {
+      // Without duplicate-row grouping, non-copies are their own roots;
+      // with grouping they may defer to an equal-row representative
+      // (with a smaller id) instead.
+      if (cdag.meta_root(v) != v &&
+          !(cdag.grouped_duplicates() && cdag.meta_root(v) < v)) {
+        return false;
+      }
+    } else {
+      if (parent >= v) return false;
+      if (g.in_degree(v) != 1 || g.in(v)[0] != parent) return false;
+      if (cdag.has_coefficients() &&
+          !cdag.in_coeff(g.in_edge_base(v)).is_one()) {
+        return false;
+      }
+      if (cdag.meta_root(v) != cdag.meta_root(parent)) return false;
+    }
+    ++sizes[cdag.meta_root(v)];
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (cdag.meta_root(v) == v && sizes[v] != cdag.meta_size(v)) return false;
+  }
+  return true;
+}
+
+std::uint64_t count_duplicated_vertices(const Cdag& cdag) {
+  std::uint64_t count = 0;
+  for (VertexId v = 0; v < cdag.graph().num_vertices(); ++v) {
+    if (cdag.is_duplicated(v)) ++count;
+  }
+  return count;
+}
+
+bool has_multiple_copying(const Cdag& cdag) {
+  std::vector<std::uint8_t> has_copy_child(cdag.graph().num_vertices(), 0);
+  for (VertexId v = 0; v < cdag.graph().num_vertices(); ++v) {
+    const VertexId parent = cdag.copy_parent(v);
+    if (parent == kInvalidVertex) continue;
+    if (has_copy_child[parent]) return true;
+    has_copy_child[parent] = 1;
+  }
+  return false;
+}
+
+}  // namespace pathrouting::cdag

@@ -1,0 +1,35 @@
+// Meta-vertex structure checks and queries (Section 3, Figure 2).
+//
+// A meta-vertex groups all vertices carrying the same value: a root
+// (the unique member with a non-copy definition) plus copies reachable
+// through chains of trivial encoding rows. Under the paper's single-use
+// assumption every meta-vertex in the base graph is a single vertex or
+// rooted at an input; in G_r roots can also sit at intermediate
+// encoding ranks (a trivial row applied to a nontrivial combination).
+#pragma once
+
+#include <vector>
+
+#include "pathrouting/cdag/cdag.hpp"
+
+namespace pathrouting::cdag {
+
+/// All members of the meta-vertex rooted at `root` (root included),
+/// discovered by walking copy edges upward. `root` must be a root.
+std::vector<VertexId> meta_members(const Cdag& cdag, VertexId root);
+
+/// Structural validation of the copy forest: every copy vertex has
+/// in-degree 1 with unit coefficient, parents have smaller ids, roots
+/// are fixed points, meta sizes are consistent, and each meta-vertex is
+/// an upward-branching subtree (each member's path of copy-parents
+/// reaches the root). Returns true when all hold.
+bool validate_meta_structure(const Cdag& cdag);
+
+/// Number of duplicated vertices (members of meta-vertices of size >1).
+std::uint64_t count_duplicated_vertices(const Cdag& cdag);
+
+/// True iff some meta-vertex branches (a vertex is copy-parent of two
+/// or more copies) — the paper's "multiple copying".
+bool has_multiple_copying(const Cdag& cdag);
+
+}  // namespace pathrouting::cdag

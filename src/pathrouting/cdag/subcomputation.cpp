@@ -1,0 +1,74 @@
+#include "pathrouting/cdag/subcomputation.hpp"
+
+#include <algorithm>
+
+namespace pathrouting::cdag {
+
+SubComputation::SubComputation(const Cdag& cdag, int k, std::uint64_t prefix)
+    : cdag_(&cdag), k_(k), prefix_(prefix) {
+  PR_REQUIRE(k >= 0 && k <= cdag.r());
+  PR_REQUIRE(prefix < cdag.layout().pow_b()(cdag.r() - k));
+}
+
+bool SubComputation::contains(VertexId v) const {
+  const Layout& layout = cdag_->layout();
+  const VertexRef rf = layout.ref(v);
+  if (rf.layer == LayerKind::Dec) {
+    if (rf.rank > k_) return false;
+    // q⃗ has length r-rank; its leading r-k digits must equal prefix.
+    return rf.q / layout.pow_b()(k_ - rf.rank) == prefix_;
+  }
+  const int local_rank = rf.rank - (layout.r() - k_);
+  if (local_rank < 0) return false;
+  return rf.q / layout.pow_b()(local_rank) == prefix_;
+}
+
+std::vector<VertexId> SubComputation::vertices() const {
+  const Layout& layout = cdag_->layout();
+  std::vector<VertexId> out;
+  for (const Side side : {Side::A, Side::B}) {
+    for (int t = 0; t <= k_; ++t) {
+      const std::uint64_t num_q = layout.pow_b()(t);
+      const std::uint64_t num_p = layout.pow_a()(k_ - t);
+      for (std::uint64_t q = 0; q < num_q; ++q) {
+        for (std::uint64_t p = 0; p < num_p; ++p) {
+          out.push_back(enc(side, t, q, p));
+        }
+      }
+    }
+  }
+  for (int t = 0; t <= k_; ++t) {
+    const std::uint64_t num_q = layout.pow_b()(k_ - t);
+    const std::uint64_t num_p = layout.pow_a()(t);
+    for (std::uint64_t q = 0; q < num_q; ++q) {
+      for (std::uint64_t p = 0; p < num_p; ++p) {
+        out.push_back(dec(t, q, p));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<VertexId> SubComputation::input_meta_roots() const {
+  std::vector<VertexId> roots;
+  roots.reserve(2 * inputs_per_side());
+  for (const Side side : {Side::A, Side::B}) {
+    for (std::uint64_t p = 0; p < inputs_per_side(); ++p) {
+      roots.push_back(cdag_->meta_root(input(side, p)));
+    }
+  }
+  return roots;
+}
+
+bool input_disjoint(const SubComputation& x, const SubComputation& y) {
+  std::vector<VertexId> rx = x.input_meta_roots();
+  std::vector<VertexId> ry = y.input_meta_roots();
+  std::sort(rx.begin(), rx.end());
+  std::sort(ry.begin(), ry.end());
+  std::vector<VertexId> common;
+  std::set_intersection(rx.begin(), rx.end(), ry.begin(), ry.end(),
+                        std::back_inserter(common));
+  return common.empty();
+}
+
+}  // namespace pathrouting::cdag

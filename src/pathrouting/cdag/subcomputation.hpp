@@ -1,0 +1,73 @@
+// Fact 1: the middle 2(k+1) ranks of G_r decompose into b^{r-k}
+// vertex-disjoint copies of G_k. A SubComputation is a view of one such
+// copy G_k^i, mapping G_k-local addresses to global vertex ids.
+#pragma once
+
+#include <vector>
+
+#include "pathrouting/cdag/cdag.hpp"
+
+namespace pathrouting::cdag {
+
+class SubComputation {
+ public:
+  /// The i-th copy of G_k inside cdag (0 <= i < b^{r-k}, 0 <= k <= r).
+  /// `prefix` = i is the shared leading recursion path of all its
+  /// vertices.
+  SubComputation(const Cdag& cdag, int k, std::uint64_t prefix);
+
+  [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] std::uint64_t prefix() const { return prefix_; }
+  [[nodiscard]] const Cdag& cdag() const { return *cdag_; }
+
+  /// a^k inputs per side; also the number of outputs.
+  [[nodiscard]] std::uint64_t inputs_per_side() const {
+    return cdag_->layout().pow_a()(k_);
+  }
+  [[nodiscard]] std::uint64_t num_products() const {
+    return cdag_->layout().pow_b()(k_);
+  }
+
+  /// Global id of the G_k-local encoding vertex
+  /// (side, rank t in 0..k, q⃗' in [b]^t, p⃗' in [a]^{k-t}).
+  [[nodiscard]] VertexId enc(Side side, int t, std::uint64_t q,
+                             std::uint64_t p) const {
+    const Layout& layout = cdag_->layout();
+    PR_DCHECK(t >= 0 && t <= k_);
+    return layout.enc(side, layout.r() - k_ + t,
+                      prefix_ * layout.pow_b()(t) + q, p);
+  }
+  /// Global id of the G_k-local decoding vertex
+  /// (rank t in 0..k, q⃗' in [b]^{k-t}, p⃗' in [a]^t).
+  [[nodiscard]] VertexId dec(int t, std::uint64_t q, std::uint64_t p) const {
+    const Layout& layout = cdag_->layout();
+    PR_DCHECK(t >= 0 && t <= k_);
+    return layout.dec(t, prefix_ * layout.pow_b()(k_ - t) + q, p);
+  }
+  [[nodiscard]] VertexId input(Side side, std::uint64_t p) const {
+    return enc(side, 0, 0, p);
+  }
+  [[nodiscard]] VertexId output(std::uint64_t p) const {
+    return dec(k_, 0, p);
+  }
+
+  /// True iff global vertex v belongs to this subcomputation.
+  [[nodiscard]] bool contains(VertexId v) const;
+
+  /// All global ids of this subcomputation, in id order.
+  [[nodiscard]] std::vector<VertexId> vertices() const;
+
+  /// Meta-vertex roots of all 2a^k inputs. Two subcomputations are
+  /// input-disjoint (Section 6) iff these sets are disjoint.
+  [[nodiscard]] std::vector<VertexId> input_meta_roots() const;
+
+ private:
+  const Cdag* cdag_;
+  int k_;
+  std::uint64_t prefix_;
+};
+
+/// True iff no meta-vertex contains inputs of both subcomputations.
+bool input_disjoint(const SubComputation& x, const SubComputation& y);
+
+}  // namespace pathrouting::cdag

@@ -1,0 +1,72 @@
+// Classical matrix multiplication executors: the arithmetic baseline
+// (Theta(n^3) work) against which the Strassen-like recursion is
+// compared in the benches.
+#pragma once
+
+#include "pathrouting/matmul/matrix.hpp"
+
+namespace pathrouting::matmul {
+
+/// Arithmetic-operation counters (multiplications and additions of the
+/// ring; copies and scalar bookkeeping are free).
+struct OpCounts {
+  std::uint64_t mults = 0;
+  std::uint64_t adds = 0;
+  [[nodiscard]] std::uint64_t total() const { return mults + adds; }
+};
+
+/// i-k-j naive triple loop.
+template <typename T>
+Matrix<T> naive_multiply(const Matrix<T>& a, const Matrix<T>& b,
+                         OpCounts* ops = nullptr) {
+  PR_REQUIRE(a.cols() == b.rows());
+  Matrix<T> c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const T aik = a(i, k);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) = c(i, j) + aik * b(k, j);
+      }
+    }
+  }
+  if (ops != nullptr) {
+    ops->mults += a.rows() * a.cols() * b.cols();
+    ops->adds += a.rows() * (a.cols() - 1) * b.cols();
+  }
+  return c;
+}
+
+/// Cache-blocked multiplication with square tiles of side `tile` — the
+/// algorithm that attains Hong-Kung's Theta(n^3/sqrt(M)) with
+/// tile ~ sqrt(M/3).
+template <typename T>
+Matrix<T> blocked_multiply(const Matrix<T>& a, const Matrix<T>& b,
+                           std::size_t tile, OpCounts* ops = nullptr) {
+  PR_REQUIRE(a.cols() == b.rows());
+  PR_REQUIRE(tile >= 1);
+  Matrix<T> c(a.rows(), b.cols());
+  for (std::size_t ii = 0; ii < a.rows(); ii += tile) {
+    for (std::size_t kk = 0; kk < a.cols(); kk += tile) {
+      for (std::size_t jj = 0; jj < b.cols(); jj += tile) {
+        const std::size_t i_end = std::min(ii + tile, a.rows());
+        const std::size_t k_end = std::min(kk + tile, a.cols());
+        const std::size_t j_end = std::min(jj + tile, b.cols());
+        for (std::size_t i = ii; i < i_end; ++i) {
+          for (std::size_t k = kk; k < k_end; ++k) {
+            const T aik = a(i, k);
+            for (std::size_t j = jj; j < j_end; ++j) {
+              c(i, j) = c(i, j) + aik * b(k, j);
+            }
+          }
+        }
+      }
+    }
+  }
+  if (ops != nullptr) {
+    ops->mults += a.rows() * a.cols() * b.cols();
+    ops->adds += a.rows() * (a.cols() - 1) * b.cols();
+  }
+  return c;
+}
+
+}  // namespace pathrouting::matmul

@@ -1,0 +1,56 @@
+// Dense row-major matrix with the small API the executors need.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pathrouting/support/check.hpp"
+#include "pathrouting/support/prng.hpp"
+
+namespace pathrouting::matmul {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, T{}) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  T& operator()(std::size_t i, std::size_t j) {
+    PR_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  const T& operator()(std::size_t i, std::size_t j) const {
+    PR_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  [[nodiscard]] std::span<const T> data() const { return data_; }
+  [[nodiscard]] std::span<T> data() { return data_; }
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// Square matrix with iid entries uniform on [lo, hi] (integral T).
+template <typename T>
+Matrix<T> random_matrix(std::size_t n, support::Xoshiro256& rng,
+                        std::int64_t lo = -8, std::int64_t hi = 8) {
+  Matrix<T> m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      m(i, j) = static_cast<T>(rng.range(lo, hi));
+    }
+  }
+  return m;
+}
+
+}  // namespace pathrouting::matmul

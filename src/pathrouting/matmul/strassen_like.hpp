@@ -1,0 +1,126 @@
+// Generic recursive executor for any catalog bilinear algorithm: one
+// recursion level splits the operands into n0 x n0 blocks, forms the b
+// encoded operand pairs from the U/V rows, recurses on each product,
+// and decodes the outputs with W. Below the cutoff (or when the
+// dimension stops dividing by n0) it falls back to the naive kernel.
+//
+// This is the executable counterpart of the CDAG: evaluating G_r and
+// running this recursion on the same inputs must agree exactly (tested
+// with int64 entries), and its operation counts realise the
+// Theta(n^{omega0}) arithmetic the paper's bounds are parameterised by.
+#pragma once
+
+#include "pathrouting/bilinear/bilinear.hpp"
+#include "pathrouting/matmul/classical.hpp"
+
+namespace pathrouting::matmul {
+
+using bilinear::BilinearAlgorithm;
+
+namespace detail {
+
+template <typename T>
+Matrix<T> extract_block(const Matrix<T>& m, std::size_t bi, std::size_t bj,
+                        std::size_t size) {
+  Matrix<T> block(size, size);
+  for (std::size_t i = 0; i < size; ++i) {
+    for (std::size_t j = 0; j < size; ++j) {
+      block(i, j) = m(bi * size + i, bj * size + j);
+    }
+  }
+  return block;
+}
+
+template <typename T>
+T scaled(const support::Rational& c, const T& x) {
+  if constexpr (std::is_floating_point_v<T>) {
+    return static_cast<T>(c.to_double()) * x;
+  } else {
+    PR_REQUIRE_MSG(c.is_integer(),
+                   "integer executor needs integer coefficients");
+    return static_cast<T>(c.num()) * x;
+  }
+}
+
+}  // namespace detail
+
+template <typename T>
+Matrix<T> strassen_like_multiply(const BilinearAlgorithm& alg,
+                                 const Matrix<T>& a, const Matrix<T>& b,
+                                 std::size_t cutoff = 1,
+                                 OpCounts* ops = nullptr) {
+  PR_REQUIRE(a.rows() == a.cols() && b.rows() == b.cols());
+  PR_REQUIRE(a.rows() == b.rows());
+  const std::size_t n = a.rows();
+  const std::size_t n0 = static_cast<std::size_t>(alg.n0());
+  if (n <= cutoff || n % n0 != 0 || n == 1) {
+    return naive_multiply(a, b, ops);
+  }
+  const std::size_t half = n / n0;
+  // Stage the input blocks once.
+  std::vector<Matrix<T>> a_blocks, b_blocks;
+  a_blocks.reserve(static_cast<std::size_t>(alg.a()));
+  b_blocks.reserve(static_cast<std::size_t>(alg.a()));
+  for (std::size_t i = 0; i < n0; ++i) {
+    for (std::size_t j = 0; j < n0; ++j) {
+      a_blocks.push_back(detail::extract_block(a, i, j, half));
+      b_blocks.push_back(detail::extract_block(b, i, j, half));
+    }
+  }
+  Matrix<T> c(n, n);
+  std::vector<Matrix<T>> products;
+  products.reserve(static_cast<std::size_t>(alg.b()));
+  for (int q = 0; q < alg.b(); ++q) {
+    Matrix<T> ta(half, half), tb(half, half);
+    int nnz_u = 0, nnz_v = 0;
+    for (int d = 0; d < alg.a(); ++d) {
+      const auto& u = alg.u(q, d);
+      if (!u.is_zero()) {
+        ++nnz_u;
+        for (std::size_t i = 0; i < half; ++i) {
+          for (std::size_t j = 0; j < half; ++j) {
+            ta(i, j) = ta(i, j) +
+                       detail::scaled(u, a_blocks[static_cast<std::size_t>(d)](i, j));
+          }
+        }
+      }
+      const auto& v = alg.v(q, d);
+      if (!v.is_zero()) {
+        ++nnz_v;
+        for (std::size_t i = 0; i < half; ++i) {
+          for (std::size_t j = 0; j < half; ++j) {
+            tb(i, j) = tb(i, j) +
+                       detail::scaled(v, b_blocks[static_cast<std::size_t>(d)](i, j));
+          }
+        }
+      }
+    }
+    if (ops != nullptr) {
+      ops->adds += static_cast<std::uint64_t>(nnz_u - 1 + nnz_v - 1) * half * half;
+    }
+    products.push_back(strassen_like_multiply(alg, ta, tb, cutoff, ops));
+  }
+  for (int d = 0; d < alg.a(); ++d) {
+    const std::size_t bi = static_cast<std::size_t>(d) / n0;
+    const std::size_t bj = static_cast<std::size_t>(d) % n0;
+    int nnz_w = 0;
+    for (int q = 0; q < alg.b(); ++q) {
+      const auto& w = alg.w(d, q);
+      if (w.is_zero()) continue;
+      ++nnz_w;
+      for (std::size_t i = 0; i < half; ++i) {
+        for (std::size_t j = 0; j < half; ++j) {
+          c(bi * half + i, bj * half + j) =
+              c(bi * half + i, bj * half + j) +
+              detail::scaled(w, products[static_cast<std::size_t>(q)](i, j));
+        }
+      }
+    }
+    if (ops != nullptr && nnz_w > 1) {
+      ops->adds += static_cast<std::uint64_t>(nnz_w - 1) * half * half;
+    }
+  }
+  return c;
+}
+
+}  // namespace pathrouting::matmul

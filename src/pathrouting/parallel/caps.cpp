@@ -1,0 +1,140 @@
+#include "pathrouting/parallel/caps.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "pathrouting/support/check.hpp"
+
+namespace pathrouting::parallel {
+
+namespace {
+
+/// Effect of one recursive multiply on a (symmetric) processor,
+/// relative to its state at call entry. Contract: on entry the
+/// processor holds its 2s/g operand share (already counted in the
+/// caller's memory); on exit that share is replaced by the s/g product
+/// share, i.e. `net = -s/g`.
+struct Delta {
+  double traffic = 0;      // words sent + received by this processor
+  double words = 0;        // words moved, summed over all processors
+  std::uint64_t supersteps = 0;
+  double peak = 0;         // max memory above entry level during the call
+  double net = 0;          // memory change at exit (negative: frees)
+  int bfs_steps = 0;       // along the recursion path
+  int dfs_steps = 0;
+};
+
+struct Simulator {
+  const BilinearAlgorithm& alg;
+  int r;
+  double m;
+  // The subproblem size and group size are functions of (level,
+  // bfs_remaining), so sibling subproblems have identical deltas.
+  std::map<std::pair<int, int>, Delta> memo;
+
+  [[nodiscard]] double bfs_tail_need(double share, int bfs_remaining) const {
+    const double growth =
+        std::pow(static_cast<double>(alg.b()) / alg.a(), bfs_remaining);
+    return 3.0 * share * growth;
+  }
+
+  Delta run(int level, int bfs_remaining) {
+    const auto key = std::make_pair(level, bfs_remaining);
+    if (const auto it = memo.find(key); it != memo.end()) return it->second;
+    const double a = alg.a();
+    const double b = alg.b();
+    const double s = std::pow(a, r - level);       // operand elements
+    const double g = std::pow(b, bfs_remaining);   // group size
+    Delta d;
+    if (bfs_remaining == 0) {
+      // Sequential base case: transient temporaries, then C replaces
+      // the operands.
+      d.peak = 3.0 * s / a;
+      d.net = -s;  // 2s held -> s held
+      memo[key] = d;
+      return d;
+    }
+    PR_REQUIRE_MSG(level < r, "recursion exhausted before P was spent");
+    const double share = 2.0 * s / g;
+    const bool must_bfs = level + bfs_remaining >= r;
+    const bool bfs_fits = bfs_tail_need(share, bfs_remaining) <= m;
+    if (bfs_fits || must_bfs) {
+      // ---- BFS step: b subproblems solved by disjoint subgroups. ----
+      d.bfs_steps = 1;
+      double mem = 0;  // relative to entry
+      const double enc = 2.0 * b * (s / a) / g;
+      mem += enc;                      // encoded sub-operands
+      d.peak = std::max(d.peak, mem);
+      mem -= 2.0 * s / g;              // parent operands consumed
+      // Redistribute the encodings to their subgroups.
+      d.traffic += 2.0 * (2.0 * (b - 1.0) * (s / a) / g);
+      d.words += 2.0 * (b - 1.0) * (s / a) / g * g;
+      d.supersteps += 1;
+      const Delta child = run(level + 1, bfs_remaining - 1);
+      d.peak = std::max(d.peak, mem + child.peak);
+      mem += child.net;
+      d.traffic += child.traffic;
+      d.words += child.words * (b / 1.0);  // b subgroups act in parallel
+      d.supersteps += child.supersteps;
+      d.bfs_steps += child.bfs_steps;
+      d.dfs_steps += child.dfs_steps;
+      // Gather the b product blocks for decoding.
+      d.traffic += 2.0 * ((b - 1.0) * (s / a) / g);
+      d.words += (b - 1.0) * (s / a) / g * g;
+      d.supersteps += 1;
+      mem += s / g;                    // C share
+      d.peak = std::max(d.peak, mem);
+      mem -= b * (s / a) / g;          // products consumed
+      d.net = mem;
+    } else {
+      // ---- DFS step: all g processors solve the b subproblems in
+      // sequence; encoding is element-aligned and local. ----
+      d.dfs_steps = 1;
+      const Delta child = run(level + 1, bfs_remaining);
+      double mem = 0;
+      for (int q = 0; q < alg.b(); ++q) {
+        mem += 2.0 * (s / a) / g;      // encode subproblem q
+        d.peak = std::max(d.peak, mem + child.peak);
+        mem += child.net;              // operands -> product share
+        d.traffic += child.traffic;
+        d.words += child.words;
+        d.supersteps += child.supersteps;
+      }
+      d.bfs_steps += child.bfs_steps;
+      d.dfs_steps += child.dfs_steps;
+      mem += s / g;                    // decode C
+      d.peak = std::max(d.peak, mem);
+      mem -= b * (s / a) / g;          // products consumed
+      mem -= 2.0 * s / g;              // parent operands consumed
+      d.net = mem;
+    }
+    memo[key] = d;
+    return d;
+  }
+};
+
+}  // namespace
+
+CapsResult simulate_caps(const BilinearAlgorithm& alg, int r,
+                         const CapsOptions& options) {
+  PR_REQUIRE(r >= 1);
+  PR_REQUIRE(options.bfs_levels >= 0);
+  PR_REQUIRE(options.bfs_levels <= r);
+  PR_REQUIRE(options.local_memory >= 1);
+  Simulator sim{alg, r, static_cast<double>(options.local_memory), {}};
+  const double s = std::pow(static_cast<double>(alg.a()), r);
+  const double p = std::pow(static_cast<double>(alg.b()), options.bfs_levels);
+  const Delta d = sim.run(0, options.bfs_levels);
+  CapsResult result;
+  result.procs = p;
+  result.bandwidth_cost = d.traffic;
+  result.total_words = d.words;
+  result.supersteps = d.supersteps;
+  result.peak_memory = 2.0 * s / p + d.peak;  // entry shares + excursion
+  result.bfs_steps = d.bfs_steps;
+  result.dfs_steps = d.dfs_steps;
+  return result;
+}
+
+}  // namespace pathrouting::parallel

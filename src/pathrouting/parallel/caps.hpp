@@ -1,0 +1,56 @@
+// CAPS-style communication simulation of a parallel Strassen-like
+// algorithm ([3]: Ballard, Demmel, Holtz, Lipshitz, Schwartz,
+// "Communication-optimal parallel algorithm for Strassen's matrix
+// multiplication", SPAA'12), generalised to any catalog base.
+//
+// The recursion over P = b^l processors interleaves
+//   * BFS steps: the b subproblems are solved simultaneously by P/b
+//     disjoint processor groups; the encoded operands are redistributed
+//     (Theta(s/g) words per processor, one superstep) and the b product
+//     blocks are gathered back for decoding (second superstep);
+//   * DFS steps: all processors cooperate on the b subproblems one at
+//     a time; encoding/decoding is element-aligned and local, costing
+//     no communication but extra memory for the in-flight operands.
+// The policy takes DFS steps while the all-BFS tail would overflow the
+// local memory M, matching the limited-memory CAPS schedule. Since all
+// processors are symmetric, per-processor accounting of one processor
+// equals the critical-path bandwidth cost.
+//
+// This is an *accounting-level* simulation (word counts move, values do
+// not) — see DESIGN.md's substitution table. The value-level SUMMA
+// simulator (summa.hpp) covers end-to-end correctness of the machine
+// model itself.
+#pragma once
+
+#include "pathrouting/bilinear/bilinear.hpp"
+
+namespace pathrouting::parallel {
+
+using bilinear::BilinearAlgorithm;
+
+struct CapsOptions {
+  int bfs_levels = 0;          // l: P = b^l processors
+  std::uint64_t local_memory = 0;  // M words per processor
+};
+
+struct CapsResult {
+  double procs = 0;            // P = b^l
+  double bandwidth_cost = 0;   // words on the critical path
+  double total_words = 0;      // summed over processors
+  std::uint64_t supersteps = 0;
+  double peak_memory = 0;      // max per-processor words in use
+  int bfs_steps = 0;
+  int dfs_steps = 0;
+  [[nodiscard]] bool within_memory(std::uint64_t m) const {
+    return peak_memory <= static_cast<double>(m);
+  }
+};
+
+/// Simulates multiplying n0^r x n0^r matrices on P = b^l processors
+/// with local memory M. Requires r >= l (enough recursion to spend the
+/// BFS steps). DFS steps beyond r-l are not available, so with very
+/// small M the result may exceed it (reported via within_memory).
+CapsResult simulate_caps(const BilinearAlgorithm& alg, int r,
+                         const CapsOptions& options);
+
+}  // namespace pathrouting::parallel

@@ -1,0 +1,52 @@
+#include "pathrouting/parallel/machine.hpp"
+
+#include <algorithm>
+
+namespace pathrouting::parallel {
+
+Machine::Machine(int num_procs, std::uint64_t local_memory)
+    : local_memory_(local_memory),
+      sent_(static_cast<std::size_t>(num_procs), 0),
+      received_(static_cast<std::size_t>(num_procs), 0),
+      in_use_(static_cast<std::size_t>(num_procs), 0) {
+  PR_REQUIRE(num_procs >= 1);
+}
+
+void Machine::send(int from, int to, std::uint64_t words) {
+  PR_REQUIRE(from >= 0 && from < procs());
+  PR_REQUIRE(to >= 0 && to < procs());
+  if (from == to || words == 0) return;  // local moves are free
+  sent_[static_cast<std::size_t>(from)] += words;
+  received_[static_cast<std::size_t>(to)] += words;
+  total_words_ += words;
+}
+
+void Machine::end_superstep() {
+  std::uint64_t max_traffic = 0;
+  for (int p = 0; p < procs(); ++p) {
+    const std::uint64_t traffic = sent_[static_cast<std::size_t>(p)] +
+                                  received_[static_cast<std::size_t>(p)];
+    max_traffic = std::max(max_traffic, traffic);
+    sent_[static_cast<std::size_t>(p)] = 0;
+    received_[static_cast<std::size_t>(p)] = 0;
+  }
+  if (max_traffic > 0) {
+    bandwidth_ += max_traffic;
+    ++supersteps_;
+  }
+}
+
+void Machine::alloc(int proc, std::uint64_t words) {
+  PR_REQUIRE(proc >= 0 && proc < procs());
+  in_use_[static_cast<std::size_t>(proc)] += words;
+  peak_memory_ =
+      std::max(peak_memory_, in_use_[static_cast<std::size_t>(proc)]);
+}
+
+void Machine::release(int proc, std::uint64_t words) {
+  PR_REQUIRE(proc >= 0 && proc < procs());
+  PR_REQUIRE(in_use_[static_cast<std::size_t>(proc)] >= words);
+  in_use_[static_cast<std::size_t>(proc)] -= words;
+}
+
+}  // namespace pathrouting::parallel

@@ -1,0 +1,54 @@
+// Simulated distributed-memory machine (the paper's parallel model):
+// P processors, each with local memory M words, communicating by
+// point-to-point messages. The bandwidth cost of an execution is the
+// number of words moved along the critical path — modelled here as the
+// sum over supersteps of the maximum per-processor traffic (words sent
+// plus received) in that superstep, the standard BSP accounting that
+// matches "words sent simultaneously count once" ([16], Section 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pathrouting/support/check.hpp"
+
+namespace pathrouting::parallel {
+
+class Machine {
+ public:
+  Machine(int num_procs, std::uint64_t local_memory);
+
+  [[nodiscard]] int procs() const { return static_cast<int>(sent_.size()); }
+  [[nodiscard]] std::uint64_t local_memory() const { return local_memory_; }
+
+  /// Records a `words`-word message in the current superstep.
+  void send(int from, int to, std::uint64_t words);
+
+  /// Closes the superstep: adds the max per-processor traffic to the
+  /// bandwidth cost. No-op if nothing was sent.
+  void end_superstep();
+
+  /// Memory accounting: processors allocate and release words; peak
+  /// usage is tracked against the local memory limit (reported, not
+  /// enforced — experiments explore both regimes).
+  void alloc(int proc, std::uint64_t words);
+  void release(int proc, std::uint64_t words);
+
+  [[nodiscard]] std::uint64_t bandwidth_cost() const { return bandwidth_; }
+  [[nodiscard]] std::uint64_t total_words() const { return total_words_; }
+  [[nodiscard]] std::uint64_t supersteps() const { return supersteps_; }
+  [[nodiscard]] std::uint64_t peak_memory() const { return peak_memory_; }
+  [[nodiscard]] bool within_memory() const {
+    return peak_memory_ <= local_memory_;
+  }
+
+ private:
+  std::uint64_t local_memory_;
+  std::vector<std::uint64_t> sent_, received_, in_use_;
+  std::uint64_t bandwidth_ = 0;
+  std::uint64_t total_words_ = 0;
+  std::uint64_t supersteps_ = 0;
+  std::uint64_t peak_memory_ = 0;
+};
+
+}  // namespace pathrouting::parallel

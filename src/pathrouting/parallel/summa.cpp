@@ -1,0 +1,134 @@
+#include "pathrouting/parallel/summa.hpp"
+
+#include <cmath>
+
+#include "pathrouting/matmul/classical.hpp"
+
+namespace pathrouting::parallel {
+
+namespace {
+
+using matmul::Matrix;
+
+/// Owner (i,j) blocks held by each processor, row-major over the grid.
+struct Blocks {
+  std::vector<Matrix<std::int64_t>> block;  // [i * grid + j]
+};
+
+Blocks scatter(const Matrix<std::int64_t>& m, int grid) {
+  const std::size_t nb = m.rows() / static_cast<std::size_t>(grid);
+  Blocks out;
+  out.block.reserve(static_cast<std::size_t>(grid) * grid);
+  for (int i = 0; i < grid; ++i) {
+    for (int j = 0; j < grid; ++j) {
+      Matrix<std::int64_t> blk(nb, nb);
+      for (std::size_t r = 0; r < nb; ++r) {
+        for (std::size_t c = 0; c < nb; ++c) {
+          blk(r, c) = m(static_cast<std::size_t>(i) * nb + r,
+                        static_cast<std::size_t>(j) * nb + c);
+        }
+      }
+      out.block.push_back(std::move(blk));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SummaResult run_summa(const Matrix<std::int64_t>& a,
+                      const Matrix<std::int64_t>& b, int grid,
+                      std::size_t panel, Machine& machine) {
+  PR_REQUIRE(grid >= 1);
+  PR_REQUIRE(machine.procs() == grid * grid);
+  const std::size_t n = a.rows();
+  PR_REQUIRE(a.cols() == n && b.rows() == n && b.cols() == n);
+  PR_REQUIRE(n % static_cast<std::size_t>(grid) == 0);
+  const std::size_t nb = n / static_cast<std::size_t>(grid);
+  PR_REQUIRE(panel >= 1 && panel <= nb);
+
+  const Blocks ab = scatter(a, grid);
+  const Blocks bb = scatter(b, grid);
+  std::vector<Matrix<std::int64_t>> c_local(
+      static_cast<std::size_t>(grid) * grid, Matrix<std::int64_t>(nb, nb));
+  const auto proc = [&](int i, int j) { return i * grid + j; };
+
+  // March over the global k dimension in panels. The processor column
+  // (resp. row) owning the panel ring-broadcasts its slice along each
+  // processor row (resp. column); every hop is a recorded message.
+  for (std::size_t k0 = 0; k0 < n; k0 += panel) {
+    const std::size_t width = std::min(panel, n - k0);
+    const int k_owner = static_cast<int>(k0 / nb);
+    const std::size_t k_local = k0 % nb;  // panels never straddle blocks
+    PR_ASSERT(k_local + width <= nb);
+    // A-panel: rows of the grid; B-panel: columns of the grid.
+    for (int i = 0; i < grid; ++i) {
+      for (int hop = 1; hop < grid; ++hop) {
+        const int from = (k_owner + hop - 1) % grid;
+        const int to = (k_owner + hop) % grid;
+        machine.send(proc(i, from), proc(i, to), nb * width);  // A slice
+        machine.send(proc(from, i), proc(to, i), nb * width);  // B slice
+      }
+    }
+    machine.end_superstep();
+    // Local rank-`width` update: C(i,j) += A(i,k_owner)[:,panel] *
+    // B(k_owner,j)[panel,:] on every processor (data is value-real; the
+    // "received" slices are read from the owner's block).
+    for (int i = 0; i < grid; ++i) {
+      for (int j = 0; j < grid; ++j) {
+        const Matrix<std::int64_t>& a_blk =
+            ab.block[static_cast<std::size_t>(proc(i, k_owner))];
+        const Matrix<std::int64_t>& b_blk =
+            bb.block[static_cast<std::size_t>(proc(k_owner, j))];
+        Matrix<std::int64_t>& c_blk =
+            c_local[static_cast<std::size_t>(proc(i, j))];
+        for (std::size_t r = 0; r < nb; ++r) {
+          for (std::size_t kk = 0; kk < width; ++kk) {
+            const std::int64_t av = a_blk(r, k_local + kk);
+            for (std::size_t cc = 0; cc < nb; ++cc) {
+              c_blk(r, cc) += av * b_blk(k_local + kk, cc);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Assemble and verify.
+  Matrix<std::int64_t> c(n, n);
+  for (int i = 0; i < grid; ++i) {
+    for (int j = 0; j < grid; ++j) {
+      const Matrix<std::int64_t>& blk =
+          c_local[static_cast<std::size_t>(proc(i, j))];
+      for (std::size_t r = 0; r < nb; ++r) {
+        for (std::size_t cc = 0; cc < nb; ++cc) {
+          c(static_cast<std::size_t>(i) * nb + r,
+            static_cast<std::size_t>(j) * nb + cc) = blk(r, cc);
+        }
+      }
+    }
+  }
+  SummaResult result;
+  result.bandwidth_cost = machine.bandwidth_cost();
+  result.total_words = machine.total_words();
+  result.supersteps = machine.supersteps();
+  result.correct = c == matmul::naive_multiply(a, b);
+  return result;
+}
+
+Cost25D simulate_25d(double n, double p, double c) {
+  PR_REQUIRE(c >= 1 && p >= c);
+  Cost25D cost;
+  cost.procs = p;
+  // One of c layers performs 1/c of the k-rounds of SUMMA on a
+  // sqrt(P/c) grid, plus the initial replication of both operands and
+  // the final reduction of C across layers.
+  const double grid = std::sqrt(p / c);
+  cost.bandwidth_cost = 4.0 * n * n / (c * grid)            // panel traffic
+                        + 2.0 * (n * n / p) * (c - 1.0)     // replication
+                        + (n * n / p) * (c - 1.0);          // reduction
+  cost.memory_per_proc = 3.0 * c * n * n / p;
+  return cost;
+}
+
+}  // namespace pathrouting::parallel

@@ -1,0 +1,44 @@
+// Classical distributed-memory matmul baselines.
+//
+//  * run_summa: a *value-level* 2D SUMMA execution on a g x g processor
+//    grid — blocks of real data move through the Machine (ring-pipelined
+//    panel broadcasts), local GEMMs accumulate, and the assembled result
+//    is verified against a sequential product. Exercises the machine
+//    model end to end and realises the classical Theta(n^2/sqrt(P))
+//    bandwidth that fast algorithms beat.
+//  * simulate_25d: accounting-level 2.5D (c-fold replication) cost
+//    model: 4n^2/sqrt(cP) panel traffic plus replication/reduction.
+#pragma once
+
+#include <cstdint>
+
+#include "pathrouting/matmul/matrix.hpp"
+#include "pathrouting/parallel/machine.hpp"
+
+namespace pathrouting::parallel {
+
+struct SummaResult {
+  std::uint64_t bandwidth_cost = 0;
+  std::uint64_t total_words = 0;
+  std::uint64_t supersteps = 0;
+  bool correct = false;  // distributed result matched the reference
+};
+
+/// Runs SUMMA for C = A*B (square, n divisible by grid) on grid^2
+/// processors with k-panels of width `panel`. The machine records all
+/// traffic; the result is checked against naive_multiply.
+SummaResult run_summa(const matmul::Matrix<std::int64_t>& a,
+                      const matmul::Matrix<std::int64_t>& b, int grid,
+                      std::size_t panel, Machine& machine);
+
+struct Cost25D {
+  double procs = 0;
+  double bandwidth_cost = 0;      // per-processor words on critical path
+  double memory_per_proc = 0;     // c * 3n^2 / P
+};
+
+/// 2.5D cost model: P processors, replication factor c (c | P, P/c a
+/// square).
+Cost25D simulate_25d(double n, double p, double c);
+
+}  // namespace pathrouting::parallel

@@ -1,0 +1,176 @@
+#include "pathrouting/pebble/cache_sim.hpp"
+
+#include <algorithm>
+
+#include "pathrouting/pebble/policies.hpp"
+
+namespace pathrouting::pebble {
+
+namespace {
+
+/// Positions in the schedule at which each vertex is consumed as an
+/// operand, in increasing order (CSR layout).
+struct UseLists {
+  std::vector<std::uint32_t> off;
+  std::vector<std::uint32_t> steps;
+};
+
+UseLists build_use_lists(const Graph& graph,
+                         std::span<const VertexId> schedule) {
+  UseLists uses;
+  uses.off.assign(static_cast<std::size_t>(graph.num_vertices()) + 1, 0);
+  for (const VertexId v : schedule) {
+    for (const VertexId p : graph.in(v)) ++uses.off[p + 1];
+  }
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    uses.off[v + 1] += uses.off[v];
+  }
+  uses.steps.resize(uses.off.back());
+  std::vector<std::uint32_t> cursor(uses.off.begin(), uses.off.end() - 1);
+  for (std::uint32_t s = 0; s < schedule.size(); ++s) {
+    for (const VertexId p : graph.in(schedule[s])) {
+      uses.steps[cursor[p]++] = s;
+    }
+  }
+  return uses;
+}
+
+template <typename Policy>
+PebbleResult run(const Graph& graph, std::span<const VertexId> schedule,
+                 const PebbleOptions& options,
+                 const std::function<bool(VertexId)>& is_output) {
+  const std::uint64_t m = options.cache_size;
+  const VertexId n = graph.num_vertices();
+  const UseLists uses = build_use_lists(graph, schedule);
+  std::vector<std::uint32_t> use_ptr(uses.off.begin(), uses.off.end() - 1);
+
+  Policy policy(n);
+  std::vector<std::uint8_t> in_cache(n, 0), dirty(n, 0), written(n, 0);
+  // Inputs have a slow-memory copy from the start.
+  for (VertexId v = 0; v < n; ++v) written[v] = graph.in_degree(v) == 0;
+  std::vector<std::uint32_t> pin_stamp(n, 0);
+  std::vector<std::uint32_t> next_use(n, 0);
+  std::uint64_t cached = 0;
+  PebbleResult result;
+  result.steps = schedule.size();
+
+  // Segment attribution (optional). `birth_segment[v]` is the segment
+  // that computed v; reads are charged to the segment issuing them and
+  // writes to the written value's birth segment.
+  const auto& ends = options.segment_ends;
+  const bool segmented = !ends.empty();
+  std::vector<std::uint32_t> birth_segment;
+  std::uint32_t current_segment = 0;
+  if (segmented) {
+    PR_REQUIRE(std::is_sorted(ends.begin(), ends.end()));
+    PR_REQUIRE(ends.back() == schedule.size());
+    result.segment_reads.assign(ends.size(), 0);
+    result.segment_writes.assign(ends.size(), 0);
+    birth_segment.assign(n, 0);
+  }
+  if (options.record_step_io) result.step_io.assign(schedule.size(), 0);
+  std::uint32_t current_step = 0;
+  const auto charge_step = [&] {
+    if (options.record_step_io) ++result.step_io[current_step];
+  };
+
+  // Next consumption of v strictly after step s (kNeverUsed if none),
+  // advancing the monotone per-vertex cursor.
+  const auto advance_next_use = [&](VertexId v, std::uint32_t s) {
+    std::uint32_t& ptr = use_ptr[v];
+    while (ptr < uses.off[v + 1] && uses.steps[ptr] <= s) ++ptr;
+    return ptr < uses.off[v + 1] ? std::uint64_t{uses.steps[ptr]} : kNeverUsed;
+  };
+
+  const auto note_access = [&](VertexId v, std::uint64_t nu) {
+    next_use[v] = nu == kNeverUsed ? UINT32_MAX : static_cast<std::uint32_t>(nu);
+    if constexpr (std::is_same_v<Policy, LruPolicy>) {
+      policy.touch(v);
+    } else {
+      policy.update(v, nu);
+    }
+  };
+
+  const auto evict_one = [&](std::uint32_t stamp) {
+    const VertexId victim =
+        policy.pick([&](VertexId u) { return in_cache[u] != 0; },
+                    [&](VertexId u) { return pin_stamp[u] == stamp; });
+    if (dirty[victim] &&
+        (next_use[victim] != UINT32_MAX ||
+         (is_output(victim) && !written[victim]))) {
+      ++result.writes;
+      ++result.evictions_dirty;
+      charge_step();
+      if (segmented) ++result.segment_writes[birth_segment[victim]];
+      written[victim] = 1;
+    } else {
+      ++result.evictions_clean;
+    }
+    dirty[victim] = 0;
+    in_cache[victim] = 0;
+    --cached;
+  };
+
+  for (std::uint32_t s = 0; s < schedule.size(); ++s) {
+    current_step = s;
+    if (segmented && s >= ends[current_segment]) ++current_segment;
+    const VertexId v = schedule[s];
+    const auto preds = graph.in(v);
+    PR_REQUIRE_MSG(!preds.empty(), "inputs are not scheduled");
+    PR_REQUIRE_MSG(preds.size() + 1 <= m, "cache too small for this vertex");
+    const std::uint32_t stamp = s + 1;
+    for (const VertexId p : preds) pin_stamp[p] = stamp;
+    // Stage operands; each read needs a slow-memory copy to exist.
+    for (const VertexId p : preds) {
+      if (!in_cache[p]) {
+        PR_ASSERT_MSG(written[p],
+                      "operand neither cached nor in slow memory: schedule "
+                      "is not topological");
+        while (cached >= m) evict_one(stamp);
+        ++result.reads;
+        charge_step();
+        if (segmented) ++result.segment_reads[current_segment];
+        in_cache[p] = 1;
+        dirty[p] = 0;
+        ++cached;
+      }
+      note_access(p, advance_next_use(p, s));
+    }
+    // Compute v into cache.
+    PR_ASSERT_MSG(!in_cache[v], "vertex computed twice");
+    pin_stamp[v] = stamp;
+    while (cached >= m) evict_one(stamp);
+    in_cache[v] = 1;
+    dirty[v] = 1;
+    if (segmented) birth_segment[v] = current_segment;
+    ++cached;
+    result.peak_cached = std::max(result.peak_cached, cached);
+    note_access(v, advance_next_use(v, s));
+  }
+
+  // Halt: flush outputs that never reached slow memory.
+  for (VertexId v = 0; v < n; ++v) {
+    if (is_output(v) && !written[v]) {
+      PR_ASSERT_MSG(in_cache[v] && dirty[v], "lost output value");
+      ++result.writes;
+      charge_step();
+      if (segmented) ++result.segment_writes[birth_segment[v]];
+      written[v] = 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+PebbleResult simulate(const Graph& graph, std::span<const VertexId> schedule,
+                      const PebbleOptions& options,
+                      const std::function<bool(VertexId)>& is_output) {
+  PR_REQUIRE(options.cache_size >= 2);
+  if (options.eviction == Eviction::Belady) {
+    return run<BeladyPolicy>(graph, schedule, options, is_output);
+  }
+  return run<LruPolicy>(graph, schedule, options, is_output);
+}
+
+}  // namespace pathrouting::pebble

@@ -1,0 +1,102 @@
+// Eviction policies for the pebble-game simulator.
+//
+// Both policies are lazy-heap based: keys are re-pushed on change and
+// stale entries are discarded at pop time. The simulator tells the
+// policy the *next use step* of each cached value; "dead" values (no
+// future use) are preferred victims for both policies.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "pathrouting/cdag/graph.hpp"
+
+namespace pathrouting::pebble {
+
+using cdag::VertexId;
+
+inline constexpr std::uint64_t kNeverUsed = static_cast<std::uint64_t>(-1);
+
+/// Belady / MIN: evict the value whose next use is furthest away.
+class BeladyPolicy {
+ public:
+  explicit BeladyPolicy(std::size_t num_vertices) : key_(num_vertices, 0) {}
+
+  void update(VertexId v, std::uint64_t next_use) {
+    key_[v] = next_use;
+    heap_.push({next_use, v});
+  }
+
+  /// Returns the victim: the cached, unpinned vertex with the furthest
+  /// next use. Stale entries (key changed or evicted) are discarded;
+  /// entries for pinned-but-cached vertices are kept for later.
+  template <typename Cached, typename Pinned>
+  VertexId pick(const Cached& cached, const Pinned& pinned) {
+    VertexId victim = cdag::kInvalidVertex;
+    while (true) {
+      PR_ASSERT_MSG(!heap_.empty(), "no evictable cache entry");
+      const auto [key, v] = heap_.top();
+      heap_.pop();
+      if (key != key_[v] || !cached(v)) continue;  // stale or evicted
+      if (pinned(v)) {
+        deferred_.push_back({key, v});
+        continue;
+      }
+      victim = v;
+      break;
+    }
+    for (const auto& entry : deferred_) heap_.push(entry);
+    deferred_.clear();
+    return victim;
+  }
+
+ private:
+  // Max-heap on next-use step: furthest first (kNeverUsed sorts first).
+  std::priority_queue<std::pair<std::uint64_t, VertexId>> heap_;
+  std::vector<std::pair<std::uint64_t, VertexId>> deferred_;
+  std::vector<std::uint64_t> key_;
+};
+
+/// LRU: evict the least recently touched value.
+class LruPolicy {
+ public:
+  explicit LruPolicy(std::size_t num_vertices) : key_(num_vertices, 0) {}
+
+  void touch(VertexId v) {
+    key_[v] = ++clock_;
+    heap_.push({key_[v], v});
+  }
+
+  template <typename Cached, typename Pinned>
+  VertexId pick(const Cached& cached, const Pinned& pinned) {
+    VertexId victim = cdag::kInvalidVertex;
+    while (true) {
+      PR_ASSERT_MSG(!heap_.empty(), "no evictable cache entry");
+      const auto [key, v] = heap_.top();
+      heap_.pop();
+      if (key != key_[v] || !cached(v)) continue;
+      if (pinned(v)) {
+        deferred_.push_back({key, v});
+        continue;
+      }
+      victim = v;
+      break;
+    }
+    for (const auto& entry : deferred_) heap_.push(entry);
+    deferred_.clear();
+    return victim;
+  }
+
+ private:
+  // Min-heap on last-touch time: oldest first.
+  std::priority_queue<std::pair<std::uint64_t, VertexId>,
+                      std::vector<std::pair<std::uint64_t, VertexId>>,
+                      std::greater<>>
+      heap_;
+  std::vector<std::pair<std::uint64_t, VertexId>> deferred_;
+  std::vector<std::uint64_t> key_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace pathrouting::pebble

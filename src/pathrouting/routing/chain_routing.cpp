@@ -1,0 +1,90 @@
+#include "pathrouting/routing/chain_routing.hpp"
+
+namespace pathrouting::routing {
+
+namespace {
+
+BaseMatching require_matching(const BilinearAlgorithm& alg, Side side) {
+  auto matching = compute_base_matching(alg, side);
+  PR_REQUIRE_MSG(matching.has_value(),
+                 "no Theorem-3 matching: the base algorithm violates the "
+                 "Hall condition of Lemma 5");
+  return *std::move(matching);
+}
+
+}  // namespace
+
+ChainRouter::ChainRouter(const BilinearAlgorithm& alg)
+    : alg_(alg), mu_a_(require_matching(alg, Side::A)),
+      mu_b_(require_matching(alg, Side::B)) {}
+
+void ChainRouter::append_chain(const SubComputation& sub, Side side,
+                               std::uint64_t vpos, std::uint64_t wpos,
+                               std::vector<VertexId>& out) const {
+  const cdag::Layout& layout = sub.cdag().layout();
+  const int k = sub.k();
+  const auto& pow_a = layout.pow_a();
+  const auto& pow_b = layout.pow_b();
+  PR_DCHECK(is_guaranteed_dep(layout, k, side, vpos, wpos));
+  const BaseMatching& mu = matching(side);
+  // Level-wise middle choices q_t = mu(d_t, e_t).
+  std::uint64_t q_word = 0;
+  for (int t = 1; t <= k; ++t) {
+    const int d = static_cast<int>(support::digit_at(pow_a, vpos, k, t - 1));
+    const int e = static_cast<int>(support::digit_at(pow_a, wpos, k, t - 1));
+    q_word = q_word * static_cast<std::uint64_t>(alg_.b()) +
+             static_cast<std::uint64_t>(mu.product(d, e));
+  }
+  // Climb the encoding: at rank t the first t recursion digits are
+  // fixed and the position keeps the remaining k-t input digits.
+  for (int t = 0; t <= k; ++t) {
+    out.push_back(sub.enc(side, t, q_word / pow_b(k - t), vpos % pow_a(k - t)));
+  }
+  // Descend the decoding: at rank t the last t output digits are known.
+  for (int t = 0; t <= k; ++t) {
+    out.push_back(sub.dec(t, q_word / pow_b(t), wpos % pow_a(t)));
+  }
+}
+
+ChainHitCounts count_chain_hits(const ChainRouter& router,
+                                const SubComputation& sub) {
+  const cdag::Layout& layout = sub.cdag().layout();
+  const int k = sub.k();
+  ChainHitCounts counts;
+  counts.hits.assign(sub.cdag().graph().num_vertices(), 0);
+  const std::uint64_t fanout = guaranteed_fanout(layout, k);
+  std::vector<VertexId> chain;
+  for (const Side side : {Side::A, Side::B}) {
+    for (std::uint64_t vpos = 0; vpos < sub.inputs_per_side(); ++vpos) {
+      for (std::uint64_t free = 0; free < fanout; ++free) {
+        const std::uint64_t wpos =
+            guaranteed_output(layout, k, side, vpos, free);
+        chain.clear();
+        router.append_chain(sub, side, vpos, wpos, chain);
+        ++counts.num_chains;
+        for (const VertexId v : chain) {
+          const std::uint64_t h = ++counts.hits[v];
+          if (h > counts.max_hits) {
+            counts.max_hits = h;
+            counts.argmax = v;
+          }
+        }
+      }
+    }
+  }
+  return counts;
+}
+
+HitStats verify_chain_routing(const ChainRouter& router,
+                              const SubComputation& sub) {
+  const ChainHitCounts counts = count_chain_hits(router, sub);
+  HitStats stats;
+  stats.num_paths = counts.num_chains;
+  stats.max_hits = counts.max_hits;
+  stats.argmax = counts.argmax;
+  stats.bound =
+      2 * guaranteed_fanout(sub.cdag().layout(), sub.k());  // 2 * n0^k
+  return stats;
+}
+
+}  // namespace pathrouting::routing

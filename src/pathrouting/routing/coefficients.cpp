@@ -1,0 +1,59 @@
+#include "pathrouting/routing/coefficients.hpp"
+
+#include "pathrouting/support/check.hpp"
+
+namespace pathrouting::routing {
+
+std::vector<Rational> a_coefficient_form(const BilinearAlgorithm& alg,
+                                         const std::vector<bool>& keep, int d,
+                                         int e) {
+  PR_REQUIRE(static_cast<int>(keep.size()) == alg.b());
+  std::vector<Rational> form(static_cast<std::size_t>(alg.a()), Rational(0));
+  for (int q = 0; q < alg.b(); ++q) {
+    if (!keep[static_cast<std::size_t>(q)]) continue;
+    const Rational scale = alg.w(d, q) * alg.u(q, e);
+    if (scale.is_zero()) continue;
+    for (int f = 0; f < alg.a(); ++f) {
+      form[static_cast<std::size_t>(f)] += scale * alg.v(q, f);
+    }
+  }
+  return form;
+}
+
+bool a_coefficient_correct(const BilinearAlgorithm& alg,
+                           const std::vector<bool>& keep, int d, int e) {
+  const int n0 = alg.n0();
+  if (d / n0 != e / n0) return false;  // rows must match
+  const int expected = (e % n0) * n0 + (d % n0);  // b_{j' j}
+  const std::vector<Rational> form = a_coefficient_form(alg, keep, d, e);
+  for (int f = 0; f < alg.a(); ++f) {
+    const Rational want = f == expected ? Rational(1) : Rational(0);
+    if (form[static_cast<std::size_t>(f)] != want) return false;
+  }
+  return true;
+}
+
+Lemma6Counts lemma6_counts(const BilinearAlgorithm& alg,
+                           const std::vector<bool>& keep, int i) {
+  PR_REQUIRE(i >= 0 && i < alg.n0());
+  const int n0 = alg.n0();
+  Lemma6Counts counts;
+  for (int j = 0; j < n0; ++j) {
+    for (int jp = 0; jp < n0; ++jp) {
+      if (a_coefficient_correct(alg, keep, i * n0 + j, i * n0 + jp)) {
+        ++counts.correct;
+      }
+    }
+  }
+  for (int q = 0; q < alg.b(); ++q) {
+    if (!keep[static_cast<std::size_t>(q)]) continue;
+    bool row_support = false;
+    for (int j = 0; j < n0 && !row_support; ++j) {
+      row_support = !alg.u(q, i * n0 + j).is_zero();
+    }
+    if (row_support) ++counts.multiplications;
+  }
+  return counts;
+}
+
+}  // namespace pathrouting::routing

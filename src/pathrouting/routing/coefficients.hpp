@@ -1,0 +1,47 @@
+// Lemma 6: symbolic coefficient accounting in (possibly pruned) base
+// graphs.
+//
+// Treat the b_ij as coefficients and the a_ij as variables (Section
+// 7.3). The coefficient of A-entry e in output d is the linear form
+//   sum_{q kept} W[d,q] * U[q,e] * V[q,·]   in F[b_11, ..., b_n0n0].
+// For d = (i,j) and e = (i,j') the "correct" value for matrix
+// multiplication is the unit form b_{j'j}. Lemma 6: a base CDAG that
+// gets d coefficient pairs (j,j') right for some row i uses at least d
+// multiplications. These helpers compute both sides of that inequality
+// for arbitrary product subsets (the pruning in Figure 9), which is how
+// the test suite exercises the impossibility argument behind Lemma 5.
+#pragma once
+
+#include <vector>
+
+#include "pathrouting/bilinear/bilinear.hpp"
+
+namespace pathrouting::routing {
+
+using bilinear::BilinearAlgorithm;
+using support::Rational;
+
+/// The linear form (length-a vector over B-entries) of A-entry e in
+/// output d, restricted to the products with keep[q] true. Inputs of A
+/// outside e's row are irrelevant to this form (it is per-entry).
+std::vector<Rational> a_coefficient_form(const BilinearAlgorithm& alg,
+                                         const std::vector<bool>& keep, int d,
+                                         int e);
+
+/// True iff the form equals the correct unit form b_{col(e), col(d)}
+/// and d, e share a row.
+bool a_coefficient_correct(const BilinearAlgorithm& alg,
+                           const std::vector<bool>& keep, int d, int e);
+
+struct Lemma6Counts {
+  int correct = 0;          // pairs (j, j') with the right coefficient
+  int multiplications = 0;  // kept products with row-i support in U
+  [[nodiscard]] bool holds() const { return multiplications >= correct; }
+};
+
+/// Both sides of Lemma 6's inequality for input row i, after zeroing
+/// the A-entries outside row i and pruning products to `keep`.
+Lemma6Counts lemma6_counts(const BilinearAlgorithm& alg,
+                           const std::vector<bool>& keep, int i);
+
+}  // namespace pathrouting::routing

@@ -1,0 +1,175 @@
+#include "pathrouting/routing/concat_routing.hpp"
+
+#include <algorithm>
+
+namespace pathrouting::routing {
+
+namespace {
+
+using cdag::Layout;
+using cdag::RowCol;
+
+struct PathSpec {
+  // The three chains of the Lemma-4 sequence, as (side, input position,
+  // output position) triples; the middle chain is traversed in reverse.
+  Side side1;
+  std::uint64_t v1, w1;
+  Side side2;
+  std::uint64_t v2, w2;  // reversed: path goes w2 -> v2
+  Side side3;
+  std::uint64_t v3, w3;
+};
+
+PathSpec make_spec(const Layout& layout, int k, Side in_side,
+                   std::uint64_t vpos, std::uint64_t wpos) {
+  const int n0 = layout.n0();
+  const RowCol v = cdag::morton_to_rowcol(layout.pow_a(), n0, vpos, k);
+  const RowCol w = cdag::morton_to_rowcol(layout.pow_a(), n0, wpos, k);
+  if (in_side == Side::A) {
+    // a_ij -> c_ij' <- b_jj' -> c_i'j' with i = v.row, j = v.col,
+    // i' = w.row, j' = w.col.
+    const std::uint64_t x = cdag::rowcol_to_morton(n0, v.row, w.col, k);
+    const std::uint64_t y = cdag::rowcol_to_morton(n0, v.col, w.col, k);
+    return {Side::A, vpos, x, Side::B, y, x, Side::B, y, wpos};
+  }
+  // b_ij -> c_i'j <- a_i'i -> c_i'j' with i = v.row, j = v.col.
+  const std::uint64_t x = cdag::rowcol_to_morton(n0, w.row, v.col, k);
+  const std::uint64_t y = cdag::rowcol_to_morton(n0, w.row, v.row, k);
+  return {Side::B, vpos, x, Side::A, y, x, Side::A, y, wpos};
+}
+
+}  // namespace
+
+void append_full_path(const ChainRouter& router, const SubComputation& sub,
+                      Side in_side, std::uint64_t vpos, std::uint64_t wpos,
+                      std::vector<VertexId>& out) {
+  const Layout& layout = sub.cdag().layout();
+  const PathSpec spec = make_spec(layout, sub.k(), in_side, vpos, wpos);
+  router.append_chain(sub, spec.side1, spec.v1, spec.w1, out);
+  std::vector<VertexId> middle;
+  router.append_chain(sub, spec.side2, spec.v2, spec.w2, middle);
+  // The middle chain is walked from its output end (= the end of the
+  // first chain) back to its input; drop the duplicated junction.
+  PR_DCHECK(out.back() == middle.back());
+  out.insert(out.end(), middle.rbegin() + 1, middle.rend());
+  std::vector<VertexId> last;
+  router.append_chain(sub, spec.side3, spec.v3, spec.w3, last);
+  PR_DCHECK(out.back() == last.front());
+  out.insert(out.end(), last.begin() + 1, last.end());
+}
+
+bool verify_chain_multiplicities(const ChainRouter& router,
+                                 const SubComputation& sub) {
+  const Layout& layout = sub.cdag().layout();
+  const int k = sub.k();
+  const int n0 = layout.n0();
+  const std::uint64_t num_in = sub.inputs_per_side();
+  const std::uint64_t fanout = guaranteed_fanout(layout, k);  // n0^k
+  // Chain key: input position x fanout + free word (= the unconstrained
+  // row/column word of the chain's output).
+  std::vector<std::uint64_t> uses_a(num_in * fanout, 0);
+  std::vector<std::uint64_t> uses_b(num_in * fanout, 0);
+  const auto use = [&](Side side, std::uint64_t in_pos, std::uint64_t out_pos) {
+    const RowCol oc = cdag::morton_to_rowcol(layout.pow_a(), n0, out_pos, k);
+    const std::uint64_t free = side == Side::A ? oc.col : oc.row;
+    auto& uses = side == Side::A ? uses_a : uses_b;
+    ++uses[in_pos * fanout + free];
+  };
+  for (const Side in_side : {Side::A, Side::B}) {
+    for (std::uint64_t vpos = 0; vpos < num_in; ++vpos) {
+      for (std::uint64_t wpos = 0; wpos < num_in; ++wpos) {
+        const PathSpec spec = make_spec(layout, k, in_side, vpos, wpos);
+        use(spec.side1, spec.v1, spec.w1);
+        use(spec.side2, spec.v2, spec.w2);
+        use(spec.side3, spec.v3, spec.w3);
+      }
+    }
+  }
+  (void)router;
+  const std::uint64_t expected = 3 * fanout;  // 3 * n0^k (Lemma 4)
+  const auto all_expected = [&](const std::vector<std::uint64_t>& uses) {
+    return std::all_of(uses.begin(), uses.end(),
+                       [&](std::uint64_t u) { return u == expected; });
+  };
+  return all_expected(uses_a) && all_expected(uses_b);
+}
+
+FullRoutingStats verify_full_routing_enumerated(const ChainRouter& router,
+                                                const SubComputation& sub) {
+  const cdag::Cdag& owner = sub.cdag();
+  const Layout& layout = owner.layout();
+  const std::uint64_t num_in = sub.inputs_per_side();
+  FullRoutingStats stats;
+  stats.bound = 6 * layout.pow_a()(sub.k());  // 6 * a^k
+  std::vector<std::uint32_t> vertex_hits(owner.graph().num_vertices(), 0);
+  std::vector<std::uint32_t> meta_hits(owner.graph().num_vertices(), 0);
+  std::vector<VertexId> path;
+  std::vector<VertexId> roots_on_path;
+  for (const Side in_side : {Side::A, Side::B}) {
+    for (std::uint64_t vpos = 0; vpos < num_in; ++vpos) {
+      for (std::uint64_t wpos = 0; wpos < num_in; ++wpos) {
+        path.clear();
+        append_full_path(router, sub, in_side, vpos, wpos, path);
+        ++stats.num_paths;
+        roots_on_path.clear();
+        for (const VertexId v : path) {
+          const std::uint32_t h = ++vertex_hits[v];
+          if (h > stats.max_vertex_hits) {
+            stats.max_vertex_hits = h;
+            stats.argmax_vertex = v;
+          }
+          const VertexId root = owner.meta_root(v);
+          if (std::find(roots_on_path.begin(), roots_on_path.end(), root) ==
+              roots_on_path.end()) {
+            roots_on_path.push_back(root);
+            stats.max_meta_hits =
+                std::max<std::uint64_t>(stats.max_meta_hits, ++meta_hits[root]);
+          }
+        }
+        // Root-hit property: a path touching any member of a duplicated
+        // meta-vertex must touch its root.
+        for (const VertexId v : path) {
+          if (owner.is_duplicated(v) && v != owner.meta_root(v) &&
+              std::find(path.begin(), path.end(), owner.meta_root(v)) ==
+                  path.end()) {
+            stats.root_hit_property = false;
+          }
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+FullRoutingStats verify_full_routing_aggregated(const ChainRouter& router,
+                                                const SubComputation& sub) {
+  const cdag::Cdag& owner = sub.cdag();
+  const Layout& layout = owner.layout();
+  const ChainHitCounts chains = count_chain_hits(router, sub);
+  const std::uint64_t multiplicity =
+      3 * guaranteed_fanout(layout, sub.k());  // 3 * n0^k
+  FullRoutingStats stats;
+  stats.bound = 6 * layout.pow_a()(sub.k());
+  stats.num_paths = 2 * sub.inputs_per_side() * sub.inputs_per_side();
+  for (VertexId v = 0; v < owner.graph().num_vertices(); ++v) {
+    const std::uint64_t hits = multiplicity * chains.hits[v];
+    if (hits > stats.max_vertex_hits) {
+      stats.max_vertex_hits = hits;
+      stats.argmax_vertex = v;
+    }
+    // Meta-vertex hits equal the root's vertex hits (chains hit a
+    // meta-vertex iff they pass its root); the necessary structural
+    // consequence checkable here is monotonicity along copy edges.
+    if (owner.copy_parent(v) != cdag::kInvalidVertex) {
+      if (chains.hits[v] > chains.hits[owner.copy_parent(v)]) {
+        stats.root_hit_property = false;
+      }
+    }
+    if (owner.meta_root(v) == v && owner.is_duplicated(v)) {
+      stats.max_meta_hits = std::max(stats.max_meta_hits, hits);
+    }
+  }
+  return stats;
+}
+
+}  // namespace pathrouting::routing

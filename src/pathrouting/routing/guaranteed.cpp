@@ -1,0 +1,35 @@
+#include "pathrouting/routing/guaranteed.hpp"
+
+#include "pathrouting/support/check.hpp"
+
+namespace pathrouting::routing {
+
+bool is_guaranteed_dep(const Layout& layout, int k, Side side,
+                       std::uint64_t vpos, std::uint64_t wpos) {
+  const cdag::RowCol v = cdag::morton_to_rowcol(layout.pow_a(), layout.n0(),
+                                                vpos, k);
+  const cdag::RowCol w = cdag::morton_to_rowcol(layout.pow_a(), layout.n0(),
+                                                wpos, k);
+  // Digit-wise row (resp. column) equality is equality of the whole
+  // interleaved row (resp. column) word.
+  return side == Side::A ? v.row == w.row : v.col == w.col;
+}
+
+std::uint64_t guaranteed_output(const Layout& layout, int k, Side side,
+                                std::uint64_t vpos, std::uint64_t free) {
+  PR_REQUIRE(free < guaranteed_fanout(layout, k));
+  const cdag::RowCol v = cdag::morton_to_rowcol(layout.pow_a(), layout.n0(),
+                                                vpos, k);
+  // A-inputs fix the output's row word; B-inputs fix its column word.
+  return side == Side::A
+             ? cdag::rowcol_to_morton(layout.n0(), v.row, free, k)
+             : cdag::rowcol_to_morton(layout.n0(), free, v.col, k);
+}
+
+std::uint64_t guaranteed_fanout(const Layout& layout, int k) {
+  std::uint64_t fanout = 1;
+  for (int i = 0; i < k; ++i) fanout *= static_cast<std::uint64_t>(layout.n0());
+  return fanout;
+}
+
+}  // namespace pathrouting::routing

@@ -1,0 +1,35 @@
+// Guaranteed dependencies of G_k (Section 7): input-output pairs that
+// every correct matrix multiplication algorithm must connect.
+//
+// An A-input at Morton position p (digits d_1..d_k, d = (i,j)) has a
+// guaranteed dependence on output position p' (digits e_1..e_k) iff
+// row(d_t) == row(e_t) at every level t; B-inputs pair by columns. Each
+// input therefore has exactly n0^k guaranteed outputs, indexed by a free
+// base-n0 word (the unconstrained column/row digits).
+#pragma once
+
+#include <cstdint>
+
+#include "pathrouting/cdag/layout.hpp"
+
+namespace pathrouting::routing {
+
+using bilinear::Side;
+using cdag::Layout;
+
+/// True iff (input position `vpos` on `side`, output position `wpos`)
+/// is a guaranteed dependence in G_k (k = layout.r() when routing a
+/// whole CDAG; positions are length-k Morton words).
+bool is_guaranteed_dep(const Layout& layout, int k, Side side,
+                       std::uint64_t vpos, std::uint64_t wpos);
+
+/// The `free`-th guaranteed output of input `vpos` (0 <= free < n0^k):
+/// keeps the constrained digit halves of vpos and substitutes the
+/// digits of `free` for the unconstrained halves.
+std::uint64_t guaranteed_output(const Layout& layout, int k, Side side,
+                                std::uint64_t vpos, std::uint64_t free);
+
+/// Number of guaranteed outputs per input: n0^k.
+std::uint64_t guaranteed_fanout(const Layout& layout, int k);
+
+}  // namespace pathrouting::routing

@@ -1,0 +1,89 @@
+#include "pathrouting/routing/maxflow.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "pathrouting/support/check.hpp"
+
+namespace pathrouting::routing {
+
+MaxFlow::MaxFlow(int num_nodes)
+    : adj_(static_cast<std::size_t>(num_nodes)) {
+  PR_REQUIRE(num_nodes >= 2);
+}
+
+int MaxFlow::add_edge(int from, int to, std::int64_t capacity) {
+  PR_REQUIRE(from >= 0 && from < static_cast<int>(adj_.size()));
+  PR_REQUIRE(to >= 0 && to < static_cast<int>(adj_.size()));
+  PR_REQUIRE(capacity >= 0);
+  auto& fwd_list = adj_[static_cast<std::size_t>(from)];
+  auto& rev_list = adj_[static_cast<std::size_t>(to)];
+  fwd_list.push_back({to, capacity, static_cast<int>(rev_list.size())});
+  rev_list.push_back({from, 0, static_cast<int>(fwd_list.size()) - 1});
+  handles_.emplace_back(from, static_cast<int>(fwd_list.size()) - 1);
+  original_cap_.push_back(capacity);
+  return static_cast<int>(handles_.size()) - 1;
+}
+
+bool MaxFlow::bfs(int s, int t) {
+  level_.assign(adj_.size(), -1);
+  std::deque<int> queue = {s};
+  level_[static_cast<std::size_t>(s)] = 0;
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop_front();
+    for (const Edge& e : adj_[static_cast<std::size_t>(v)]) {
+      if (e.cap > 0 && level_[static_cast<std::size_t>(e.to)] < 0) {
+        level_[static_cast<std::size_t>(e.to)] =
+            level_[static_cast<std::size_t>(v)] + 1;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(t)] >= 0;
+}
+
+std::int64_t MaxFlow::dfs(int v, int t, std::int64_t limit) {
+  if (v == t) return limit;
+  for (std::size_t& i = iter_[static_cast<std::size_t>(v)];
+       i < adj_[static_cast<std::size_t>(v)].size(); ++i) {
+    Edge& e = adj_[static_cast<std::size_t>(v)][i];
+    if (e.cap <= 0 || level_[static_cast<std::size_t>(e.to)] !=
+                          level_[static_cast<std::size_t>(v)] + 1) {
+      continue;
+    }
+    const std::int64_t pushed = dfs(e.to, t, std::min(limit, e.cap));
+    if (pushed > 0) {
+      e.cap -= pushed;
+      adj_[static_cast<std::size_t>(e.to)][static_cast<std::size_t>(e.rev)]
+          .cap += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+std::int64_t MaxFlow::solve(int s, int t) {
+  PR_REQUIRE(s != t);
+  std::int64_t total = 0;
+  while (bfs(s, t)) {
+    iter_.assign(adj_.size(), 0);
+    while (true) {
+      const std::int64_t pushed = dfs(s, t, INT64_MAX);
+      if (pushed == 0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+std::int64_t MaxFlow::flow_on(int edge_handle) const {
+  PR_REQUIRE(edge_handle >= 0 &&
+             edge_handle < static_cast<int>(handles_.size()));
+  const auto [node, index] = handles_[static_cast<std::size_t>(edge_handle)];
+  const Edge& e =
+      adj_[static_cast<std::size_t>(node)][static_cast<std::size_t>(index)];
+  return original_cap_[static_cast<std::size_t>(edge_handle)] - e.cap;
+}
+
+}  // namespace pathrouting::routing

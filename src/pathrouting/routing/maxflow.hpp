@@ -1,0 +1,47 @@
+// Dinic's maximum-flow algorithm on small integer-capacity networks.
+//
+// Used to construct the many-to-one Hall matching of Theorem 3 (each
+// guaranteed dependence of G'_1 -> a middle-rank vertex, capacities n0)
+// and to decide the Hall condition of Lemma 5 for bases too large to
+// check exhaustively. Networks here have O(a^2 + b) nodes, so
+// simplicity beats micro-optimisation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pathrouting::routing {
+
+class MaxFlow {
+ public:
+  explicit MaxFlow(int num_nodes);
+
+  /// Adds a directed edge with the given capacity; returns an edge
+  /// handle usable with `flow_on`.
+  int add_edge(int from, int to, std::int64_t capacity);
+
+  /// Runs Dinic from s to t; returns the max-flow value. May be called
+  /// once per instance.
+  std::int64_t solve(int s, int t);
+
+  /// Flow routed through the edge returned by add_edge.
+  [[nodiscard]] std::int64_t flow_on(int edge_handle) const;
+
+ private:
+  struct Edge {
+    int to;
+    std::int64_t cap;  // residual capacity
+    int rev;           // index of the reverse edge in adj_[to]
+  };
+
+  bool bfs(int s, int t);
+  std::int64_t dfs(int v, int t, std::int64_t limit);
+
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+  std::vector<std::pair<int, int>> handles_;  // (node, index in adj_[node])
+  std::vector<std::int64_t> original_cap_;
+};
+
+}  // namespace pathrouting::routing

@@ -1,0 +1,108 @@
+#include "pathrouting/schedule/schedules.hpp"
+
+#include <algorithm>
+
+#include "pathrouting/support/prng.hpp"
+
+namespace pathrouting::schedule {
+
+namespace {
+
+using bilinear::Side;
+
+void dfs_visit(const Cdag& cdag, int t, std::uint64_t prefix,
+               std::vector<VertexId>& order) {
+  const cdag::Layout& layout = cdag.layout();
+  const int r = layout.r();
+  if (t == r) {
+    order.push_back(layout.product(prefix));
+    return;
+  }
+  const std::uint64_t b = static_cast<std::uint64_t>(layout.b());
+  const std::uint64_t child_positions = layout.pow_a()(r - t - 1);
+  for (std::uint64_t q = 0; q < b; ++q) {
+    const std::uint64_t child = prefix * b + q;
+    // Encode both operands of child q, then solve it recursively.
+    for (const Side side : {Side::A, Side::B}) {
+      for (std::uint64_t p = 0; p < child_positions; ++p) {
+        order.push_back(layout.enc(side, t + 1, child, p));
+      }
+    }
+    dfs_visit(cdag, t + 1, child, order);
+  }
+  // All children decoded their sub-results; combine them.
+  const std::uint64_t positions = layout.pow_a()(r - t);
+  for (std::uint64_t p = 0; p < positions; ++p) {
+    order.push_back(layout.dec(r - t, prefix, p));
+  }
+}
+
+}  // namespace
+
+std::vector<VertexId> dfs_schedule(const Cdag& cdag) {
+  std::vector<VertexId> order;
+  order.reserve(cdag.graph().num_vertices() -
+                2 * cdag.layout().inputs_per_side());
+  dfs_visit(cdag, 0, 0, order);
+  return order;
+}
+
+std::vector<VertexId> bfs_schedule(const Cdag& cdag) {
+  const cdag::Layout& layout = cdag.layout();
+  const int r = layout.r();
+  std::vector<VertexId> order;
+  order.reserve(cdag.graph().num_vertices() - 2 * layout.inputs_per_side());
+  for (int t = 1; t <= r; ++t) {
+    for (const Side side : {Side::A, Side::B}) {
+      const std::uint64_t num_q = layout.pow_b()(t);
+      const std::uint64_t num_p = layout.pow_a()(r - t);
+      for (std::uint64_t q = 0; q < num_q; ++q) {
+        for (std::uint64_t p = 0; p < num_p; ++p) {
+          order.push_back(layout.enc(side, t, q, p));
+        }
+      }
+    }
+  }
+  for (int t = 0; t <= r; ++t) {
+    const std::uint64_t num_q = layout.pow_b()(r - t);
+    const std::uint64_t num_p = layout.pow_a()(t);
+    for (std::uint64_t q = 0; q < num_q; ++q) {
+      for (std::uint64_t p = 0; p < num_p; ++p) {
+        order.push_back(layout.dec(t, q, p));
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<VertexId> random_topological_schedule(const Graph& graph,
+                                                  std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  const VertexId n = graph.num_vertices();
+  std::vector<std::uint32_t> missing(n);
+  std::vector<VertexId> ready;
+  for (VertexId v = 0; v < n; ++v) {
+    missing[v] = graph.in_degree(v);
+    if (missing[v] == 0) ready.push_back(v);  // inputs seed the frontier
+  }
+  std::vector<VertexId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    // Swap a uniformly random ready vertex to the back and pop it.
+    const std::size_t pick =
+        static_cast<std::size_t>(rng.below(ready.size()));
+    std::swap(ready[pick], ready.back());
+    const VertexId v = ready.back();
+    ready.pop_back();
+    if (graph.in_degree(v) > 0) order.push_back(v);  // inputs are not steps
+    for (const VertexId succ : graph.out(v)) {
+      if (--missing[succ] == 0) ready.push_back(succ);
+    }
+  }
+  PR_ENSURE_MSG(std::count_if(missing.begin(), missing.end(),
+                              [](std::uint32_t m) { return m != 0; }) == 0,
+                "graph has a cycle");
+  return order;
+}
+
+}  // namespace pathrouting::schedule

@@ -1,0 +1,38 @@
+// Schedule (topological order) generators for the pebble game.
+//
+// The I/O-complexity of an algorithm is the minimum over all schedules;
+// the lower bound of Theorem 1 must hold for every one of them, while
+// the recursive depth-first order (the schedule of the
+// communication-optimal algorithm [3]) attains it within a constant
+// factor. BFS and random topological orders provide the contrast.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pathrouting/cdag/cdag.hpp"
+
+namespace pathrouting::schedule {
+
+using cdag::Cdag;
+using cdag::Graph;
+using cdag::VertexId;
+
+/// The natural recursive execution order: at each recursion node,
+/// encode the operands of each child, recurse, and after all children
+/// are done decode the node's outputs. With an ideal cache this order
+/// achieves O((n/sqrt(M))^{omega0} * M) I/Os — the matching upper bound
+/// for Theorem 1 ([3] in the paper).
+std::vector<VertexId> dfs_schedule(const Cdag& cdag);
+
+/// Rank by rank (all of encoding rank 1, then rank 2, ...): the
+/// breadth-first order. Each rank is streamed through cache, costing
+/// Theta(|V|) I/Os once ranks exceed M.
+std::vector<VertexId> bfs_schedule(const Cdag& cdag);
+
+/// Uniformly random topological order (Kahn's algorithm with random
+/// tie-breaking). Works on any DAG, not just G_r.
+std::vector<VertexId> random_topological_schedule(const Graph& graph,
+                                                  std::uint64_t seed);
+
+}  // namespace pathrouting::schedule

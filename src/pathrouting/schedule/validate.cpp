@@ -1,0 +1,35 @@
+#include "pathrouting/schedule/validate.hpp"
+
+#include <vector>
+
+namespace pathrouting::schedule {
+
+ValidationResult validate_schedule(const Graph& graph,
+                                   std::span<const VertexId> order) {
+  const VertexId n = graph.num_vertices();
+  std::vector<std::uint8_t> done(n, 0);
+  // Inputs are available from the start.
+  std::uint64_t num_inputs = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (graph.in_degree(v) == 0) {
+      done[v] = 1;
+      ++num_inputs;
+    }
+  }
+  for (std::size_t s = 0; s < order.size(); ++s) {
+    const VertexId v = order[s];
+    if (v >= n) return {false, "vertex id out of range"};
+    if (graph.in_degree(v) == 0) return {false, "schedule contains an input"};
+    if (done[v]) return {false, "vertex scheduled twice"};
+    for (const VertexId p : graph.in(v)) {
+      if (!done[p]) return {false, "operand used before it is computed"};
+    }
+    done[v] = 1;
+  }
+  if (order.size() + num_inputs != n) {
+    return {false, "schedule does not cover every computed vertex"};
+  }
+  return {};
+}
+
+}  // namespace pathrouting::schedule

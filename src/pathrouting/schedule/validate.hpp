@@ -1,0 +1,25 @@
+// Schedule validation: the pebble game's preconditions.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "pathrouting/cdag/graph.hpp"
+
+namespace pathrouting::schedule {
+
+using cdag::Graph;
+using cdag::VertexId;
+
+struct ValidationResult {
+  bool ok = true;
+  std::string error;
+};
+
+/// Checks that `order` contains every non-input vertex exactly once, no
+/// input vertices, and respects all edges (operands computed before
+/// use).
+ValidationResult validate_schedule(const Graph& graph,
+                                   std::span<const VertexId> order);
+
+}  // namespace pathrouting::schedule

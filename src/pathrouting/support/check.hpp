@@ -1,0 +1,55 @@
+// Contract-checking macros (C++ Core Guidelines I.6 / I.8 style).
+//
+// PR_REQUIRE  - precondition on the caller; always on.
+// PR_ENSURE   - postcondition promised to the caller; always on.
+// PR_ASSERT   - internal invariant; always on (this library's correctness
+//               claims are the product, so checks stay enabled in release).
+// PR_DCHECK   - expensive internal check, compiled out unless
+//               PATHROUTING_DEBUG_CHECKS is defined.
+//
+// All failures print the condition, a formatted message, and abort. The
+// library never throws for contract violations: a violated contract is a
+// bug, not a recoverable condition.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pathrouting::support {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* cond,
+                                          const char* file, int line,
+                                          const char* msg) {
+  std::fprintf(stderr, "[pathrouting] %s failed: %s\n  at %s:%d\n", kind, cond,
+               file, line);
+  if (msg != nullptr && msg[0] != '\0') {
+    std::fprintf(stderr, "  %s\n", msg);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace pathrouting::support
+
+#define PR_CHECK_IMPL(kind, cond, msg)                                       \
+  do {                                                                       \
+    if (!(cond)) [[unlikely]] {                                              \
+      ::pathrouting::support::contract_failure(kind, #cond, __FILE__,        \
+                                               __LINE__, msg);               \
+    }                                                                        \
+  } while (false)
+
+#define PR_REQUIRE(cond) PR_CHECK_IMPL("precondition", cond, "")
+#define PR_REQUIRE_MSG(cond, msg) PR_CHECK_IMPL("precondition", cond, msg)
+#define PR_ENSURE(cond) PR_CHECK_IMPL("postcondition", cond, "")
+#define PR_ENSURE_MSG(cond, msg) PR_CHECK_IMPL("postcondition", cond, msg)
+#define PR_ASSERT(cond) PR_CHECK_IMPL("invariant", cond, "")
+#define PR_ASSERT_MSG(cond, msg) PR_CHECK_IMPL("invariant", cond, msg)
+
+#if defined(PATHROUTING_DEBUG_CHECKS)
+#define PR_DCHECK(cond) PR_CHECK_IMPL("debug invariant", cond, "")
+#else
+#define PR_DCHECK(cond) \
+  do {                  \
+  } while (false)
+#endif

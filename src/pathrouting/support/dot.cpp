@@ -1,0 +1,29 @@
+#include "pathrouting/support/dot.hpp"
+
+#include <ostream>
+#include <vector>
+
+namespace pathrouting::support {
+
+void DotWriter::write(std::ostream& os, const VertexAttr& vertex_attr,
+                      const EdgeVisitor& for_each_edge) const {
+  os << "digraph \"" << name_ << "\" {\n";
+  if (!preamble_.empty()) os << "  " << preamble_ << "\n";
+  std::vector<bool> present(num_vertices_, false);
+  for (std::uint32_t v = 0; v < num_vertices_; ++v) {
+    const std::string attr = vertex_attr(v);
+    if (attr.empty()) continue;
+    present[v] = true;
+    os << "  v" << v << " [" << attr << "];\n";
+  }
+  for_each_edge([&](std::uint32_t from, std::uint32_t to,
+                    const std::string& attr) {
+    if (!present[from] || !present[to]) return;
+    os << "  v" << from << " -> v" << to;
+    if (!attr.empty()) os << " [" << attr << "]";
+    os << ";\n";
+  });
+  os << "}\n";
+}
+
+}  // namespace pathrouting::support

@@ -1,0 +1,39 @@
+// Graphviz DOT export, used to regenerate the paper's illustrative
+// figures (base graphs, meta-vertices, routing paths, the matching graph
+// H, the reduced graph G1°).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace pathrouting::support {
+
+/// Streams a DOT digraph. The caller supplies per-vertex attributes and
+/// iterates edges through `for_each_edge`; vertices with an empty
+/// attribute string are omitted (useful for drawing induced subgraphs).
+class DotWriter {
+ public:
+  using VertexAttr = std::function<std::string(std::uint32_t)>;
+  using EdgeVisitor =
+      std::function<void(const std::function<void(std::uint32_t, std::uint32_t,
+                                                  const std::string&)>&)>;
+
+  DotWriter(std::string graph_name, std::uint32_t num_vertices)
+      : name_(std::move(graph_name)), num_vertices_(num_vertices) {}
+
+  /// Extra statements injected verbatim at the top of the graph body
+  /// (rankdir, clusters, etc.).
+  void set_preamble(std::string preamble) { preamble_ = std::move(preamble); }
+
+  void write(std::ostream& os, const VertexAttr& vertex_attr,
+             const EdgeVisitor& for_each_edge) const;
+
+ private:
+  std::string name_;
+  std::uint32_t num_vertices_;
+  std::string preamble_;
+};
+
+}  // namespace pathrouting::support

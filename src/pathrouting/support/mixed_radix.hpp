@@ -1,0 +1,85 @@
+// Fixed-radix digit-string codecs.
+//
+// CDAG vertices are addressed by digit strings: a recursion path
+// q⃗ ∈ [b]^t and a block position p⃗ ∈ [a]^(r-t) (Morton order). We pack a
+// digit string into a uint64 with digit 0 the MOST significant — digit 0
+// is the outermost recursion level, which makes "strip the leading digit"
+// (descend one recursion level) a division by base^(len-1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pathrouting/support/check.hpp"
+
+namespace pathrouting::support {
+
+/// Precomputed powers base^0 .. base^max_exp with overflow checking.
+class PowTable {
+ public:
+  PowTable() = default;
+  PowTable(std::uint64_t base, int max_exp) : base_(base) {
+    PR_REQUIRE(base >= 1);
+    PR_REQUIRE(max_exp >= 0);
+    pows_.reserve(static_cast<std::size_t>(max_exp) + 1);
+    std::uint64_t p = 1;
+    pows_.push_back(p);
+    for (int e = 1; e <= max_exp; ++e) {
+      PR_REQUIRE_MSG(p <= UINT64_MAX / base, "PowTable overflow");
+      p *= base;
+      pows_.push_back(p);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t base() const { return base_; }
+  [[nodiscard]] int max_exp() const { return static_cast<int>(pows_.size()) - 1; }
+  [[nodiscard]] std::uint64_t operator()(int exp) const {
+    PR_REQUIRE(exp >= 0 && exp <= max_exp());
+    return pows_[static_cast<std::size_t>(exp)];
+  }
+
+ private:
+  std::uint64_t base_ = 1;
+  std::vector<std::uint64_t> pows_;
+};
+
+/// Digit `i` (0 = most significant) of `word` seen as `len` digits in
+/// `base`, using the supplied power table for that base.
+inline std::uint64_t digit_at(const PowTable& pows, std::uint64_t word,
+                              int len, int i) {
+  PR_REQUIRE(i >= 0 && i < len);
+  return (word / pows(len - 1 - i)) % pows.base();
+}
+
+/// Replace digit `i` (0 = most significant) of `word`.
+inline std::uint64_t with_digit(const PowTable& pows, std::uint64_t word,
+                                int len, int i, std::uint64_t digit) {
+  PR_REQUIRE(digit < pows.base());
+  const std::uint64_t old = digit_at(pows, word, len, i);
+  return word + (digit - old) * pows(len - 1 - i);
+}
+
+/// Decompose `word` into its `len` digits, most significant first.
+inline std::vector<std::uint64_t> to_digits(const PowTable& pows,
+                                            std::uint64_t word, int len) {
+  std::vector<std::uint64_t> digits(static_cast<std::size_t>(len));
+  for (int i = len - 1; i >= 0; --i) {
+    digits[static_cast<std::size_t>(i)] = word % pows.base();
+    word /= pows.base();
+  }
+  PR_ENSURE(word == 0);
+  return digits;
+}
+
+/// Recompose digits (most significant first) into a word.
+inline std::uint64_t from_digits(const PowTable& pows,
+                                 const std::vector<std::uint64_t>& digits) {
+  std::uint64_t word = 0;
+  for (const std::uint64_t d : digits) {
+    PR_REQUIRE(d < pows.base());
+    word = word * pows.base() + d;
+  }
+  return word;
+}
+
+}  // namespace pathrouting::support

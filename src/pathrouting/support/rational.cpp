@@ -1,0 +1,13 @@
+#include "pathrouting/support/rational.hpp"
+
+#include <ostream>
+
+namespace pathrouting::support {
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  os << r.num();
+  if (!r.is_integer()) os << '/' << r.den();
+  return os;
+}
+
+}  // namespace pathrouting::support

@@ -1,0 +1,108 @@
+// Exact rational arithmetic over overflow-checked 64-bit integers.
+//
+// The paper's objects (bilinear algorithm coefficients, Brent equations,
+// CDAG evaluation for correctness checks) are exact; Rational keeps them
+// exact. Coefficients in practice are tiny (Strassen: +-1, Bini-style
+// algorithms: small fractions), so int64 with overflow checks is ample.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <iosfwd>
+#include <numeric>
+
+#include "pathrouting/support/check.hpp"
+
+namespace pathrouting::support {
+
+/// Exact rational number; always stored in lowest terms with positive
+/// denominator. Arithmetic aborts on int64 overflow (never wraps).
+class Rational {
+ public:
+  constexpr Rational() = default;
+  constexpr Rational(std::int64_t value) : num_(value) {}  // NOLINT(google-explicit-constructor): numeric literals should convert
+  Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+    PR_REQUIRE_MSG(den != 0, "rational with zero denominator");
+    normalize();
+  }
+
+  [[nodiscard]] constexpr std::int64_t num() const { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const { return den_; }
+  [[nodiscard]] constexpr bool is_zero() const { return num_ == 0; }
+  [[nodiscard]] constexpr bool is_one() const { return num_ == 1 && den_ == 1; }
+  /// True for integers (denominator 1).
+  [[nodiscard]] constexpr bool is_integer() const { return den_ == 1; }
+
+  [[nodiscard]] double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  friend Rational operator+(const Rational& x, const Rational& y) {
+    return Rational(checked_add(checked_mul(x.num_, y.den_),
+                                checked_mul(y.num_, x.den_)),
+                    checked_mul(x.den_, y.den_));
+  }
+  friend Rational operator-(const Rational& x, const Rational& y) {
+    return Rational(checked_sub(checked_mul(x.num_, y.den_),
+                                checked_mul(y.num_, x.den_)),
+                    checked_mul(x.den_, y.den_));
+  }
+  friend Rational operator*(const Rational& x, const Rational& y) {
+    return Rational(checked_mul(x.num_, y.num_), checked_mul(x.den_, y.den_));
+  }
+  friend Rational operator/(const Rational& x, const Rational& y) {
+    PR_REQUIRE_MSG(!y.is_zero(), "rational division by zero");
+    return Rational(checked_mul(x.num_, y.den_), checked_mul(x.den_, y.num_));
+  }
+  Rational operator-() const { return Rational(checked_neg(num_), den_); }
+
+  Rational& operator+=(const Rational& y) { return *this = *this + y; }
+  Rational& operator-=(const Rational& y) { return *this = *this - y; }
+  Rational& operator*=(const Rational& y) { return *this = *this * y; }
+  Rational& operator/=(const Rational& y) { return *this = *this / y; }
+
+  friend constexpr bool operator==(const Rational&, const Rational&) = default;
+  friend std::strong_ordering operator<=>(const Rational& x,
+                                          const Rational& y) {
+    // Denominators are positive, so cross-multiplication preserves order.
+    return checked_mul(x.num_, y.den_) <=> checked_mul(y.num_, x.den_);
+  }
+
+ private:
+  static std::int64_t checked_add(std::int64_t x, std::int64_t y) {
+    std::int64_t r = 0;
+    PR_ASSERT_MSG(!__builtin_add_overflow(x, y, &r), "rational overflow (+)");
+    return r;
+  }
+  static std::int64_t checked_sub(std::int64_t x, std::int64_t y) {
+    std::int64_t r = 0;
+    PR_ASSERT_MSG(!__builtin_sub_overflow(x, y, &r), "rational overflow (-)");
+    return r;
+  }
+  static std::int64_t checked_mul(std::int64_t x, std::int64_t y) {
+    std::int64_t r = 0;
+    PR_ASSERT_MSG(!__builtin_mul_overflow(x, y, &r), "rational overflow (*)");
+    return r;
+  }
+  static std::int64_t checked_neg(std::int64_t x) { return checked_sub(0, x); }
+
+  void normalize() {
+    if (den_ < 0) {
+      num_ = checked_neg(num_);
+      den_ = checked_neg(den_);
+    }
+    const std::int64_t g = std::gcd(num_, den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+    if (num_ == 0) den_ = 1;
+  }
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace pathrouting::support

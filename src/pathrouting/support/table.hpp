@@ -1,0 +1,39 @@
+// Plain-text table printer for benchmark harness output.
+//
+// Benches in this repository regenerate "paper tables"; this printer keeps
+// their output aligned and diff-friendly. Cells are strings; helpers
+// format counts, ratios, and scientific values consistently.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pathrouting::support {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column alignment and a rule under the header.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats an integer with thousands separators: 1234567 -> "1,234,567".
+std::string fmt_count(std::uint64_t value);
+/// Fixed-point with `digits` decimals.
+std::string fmt_fixed(double value, int digits = 3);
+/// Scientific with 3 significant digits: "1.23e+06".
+std::string fmt_sci(double value);
+
+}  // namespace pathrouting::support

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "pathrouting/bilinear/analysis.hpp"
+#include "pathrouting/bilinear/catalog.hpp"
+
+namespace {
+
+using namespace pathrouting::bilinear;  // NOLINT
+using pathrouting::support::Rational;
+
+class CatalogTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CatalogTest, BrentEquationsHold) {
+  EXPECT_TRUE(by_name(GetParam()).verify_brent());
+}
+
+TEST_P(CatalogTest, ShapesAreConsistent) {
+  const BilinearAlgorithm alg = by_name(GetParam());
+  EXPECT_EQ(alg.a(), alg.n0() * alg.n0());
+  EXPECT_GE(alg.b(), alg.a());  // rank of matmul is at least n0^2
+  EXPECT_GT(alg.omega0(), 2.0);
+  EXPECT_LE(alg.omega0(), 3.0);
+}
+
+TEST_P(CatalogTest, Lemma1PreconditionMatchesFastness) {
+  // Fast algorithms compute nontrivial combinations on both sides; the
+  // classical algorithm never does (its operands are verbatim inputs),
+  // which is exactly the case the discussion after Lemma 1 excludes.
+  const BilinearAlgorithm alg = by_name(GetParam());
+  const bool classical_like = GetParam().rfind("classical", 0) == 0 &&
+                              GetParam().find('x') == std::string::npos;
+  EXPECT_EQ(lemma1_precondition(alg), !classical_like);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, CatalogTest,
+                         ::testing::ValuesIn(catalog_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(Catalog, KnownRanksAndExponents) {
+  EXPECT_EQ(strassen().b(), 7);
+  EXPECT_EQ(winograd().b(), 7);
+  EXPECT_EQ(laderman().b(), 23);
+  EXPECT_EQ(classical(2).b(), 8);
+  EXPECT_EQ(classical(3).b(), 27);
+  EXPECT_EQ(strassen_squared().b(), 49);
+  EXPECT_EQ(classical2_x_strassen().b(), 56);
+  EXPECT_NEAR(strassen().omega0(), 2.8073549, 1e-6);
+  EXPECT_NEAR(laderman().omega0(), 2.8540498, 1e-6);
+  EXPECT_NEAR(classical(3).omega0(), 3.0, 1e-12);
+  EXPECT_NEAR(classical2_x_strassen().omega0(), 2.9036775, 1e-6);
+}
+
+TEST(Catalog, BrokenAlgorithmFailsBrent) {
+  // Flip one coefficient of Strassen and the equations must fail.
+  const BilinearAlgorithm s = strassen();
+  std::vector<Rational> u, v, w;
+  for (int q = 0; q < s.b(); ++q) {
+    for (int e = 0; e < s.a(); ++e) {
+      u.push_back(s.u(q, e));
+      v.push_back(s.v(q, e));
+    }
+  }
+  for (int d = 0; d < s.a(); ++d) {
+    for (int q = 0; q < s.b(); ++q) w.push_back(s.w(d, q));
+  }
+  u[0] = u[0] + Rational(1);
+  const BilinearAlgorithm broken("broken", 2, 7, std::move(u), std::move(v),
+                                 std::move(w));
+  EXPECT_FALSE(broken.verify_brent());
+}
+
+TEST(TensorProduct, MultipliesRanksAndComposesExactly) {
+  const BilinearAlgorithm t = tensor_product(strassen(), laderman());
+  EXPECT_EQ(t.n0(), 6);
+  EXPECT_EQ(t.b(), 7 * 23);
+  EXPECT_TRUE(t.verify_brent());
+}
+
+TEST(TensorProduct, OrderMattersStructurally) {
+  const BilinearAlgorithm x = classical2_x_strassen();
+  const BilinearAlgorithm y = strassen_x_classical2();
+  EXPECT_EQ(x.b(), y.b());
+  // Same rank, different coefficient tables.
+  bool identical = true;
+  for (int q = 0; q < x.b() && identical; ++q) {
+    for (int e = 0; e < x.a() && identical; ++e) {
+      identical = x.u(q, e) == y.u(q, e);
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(Analysis, StrassenTrivialRows) {
+  const BilinearAlgorithm s = strassen();
+  // M3 multiplies A11 alone, M4 multiplies A22 alone.
+  EXPECT_EQ(trivial_rows(s, Side::A), (std::vector<int>{2, 3}));
+  // M2 uses B11 alone, M5 uses B22 alone.
+  EXPECT_EQ(trivial_rows(s, Side::B), (std::vector<int>{1, 4}));
+}
+
+TEST(Analysis, ClassicalIsAllTrivial) {
+  const BilinearAlgorithm c = classical(2);
+  EXPECT_EQ(trivial_rows(c, Side::A).size(), 8u);
+  EXPECT_EQ(trivial_rows(c, Side::B).size(), 8u);
+}
+
+TEST(Analysis, SingleUseAssumption) {
+  EXPECT_TRUE(satisfies_single_use_assumption(strassen()));
+  EXPECT_TRUE(satisfies_single_use_assumption(winograd()));
+  EXPECT_TRUE(satisfies_single_use_assumption(laderman()));
+  EXPECT_TRUE(satisfies_single_use_assumption(strassen_squared()));
+  // classical x strassen repeats the same nontrivial combination for
+  // every output column of the outer classical factor.
+  EXPECT_FALSE(satisfies_single_use_assumption(classical2_x_strassen()));
+}
+
+TEST(Analysis, ConnectivityMatchesThePaperCaseSplit) {
+  // Strassen-like bases handled by [6]: fully connected pieces.
+  EXPECT_EQ(encoding_components(strassen(), Side::A), 1);
+  EXPECT_EQ(decoding_components(strassen()), 1);
+  EXPECT_EQ(decoding_components(laderman()), 1);
+  // The disconnected-decoding case only this paper's technique covers.
+  EXPECT_EQ(decoding_components(classical2_x_strassen()), 4);
+  EXPECT_EQ(encoding_components(classical2_x_strassen(), Side::A), 4);
+  // Classical: one star per output.
+  EXPECT_EQ(decoding_components(classical(2)), 4);
+  EXPECT_EQ(decoding_components(classical(3)), 9);
+}
+
+TEST(Analysis, AdditionCounts) {
+  // Strassen's classic count: 18 additions per recursion step.
+  const AdditionCounts s = addition_counts(strassen());
+  EXPECT_EQ(s.encode_a, 5);
+  EXPECT_EQ(s.encode_b, 5);
+  EXPECT_EQ(s.decode, 8);
+  EXPECT_EQ(s.total(), 18);
+  // Classical n0: no encode additions, n0^2 (n0-1) decode additions.
+  const AdditionCounts c = addition_counts(classical(3));
+  EXPECT_EQ(c.encode_a, 0);
+  EXPECT_EQ(c.encode_b, 0);
+  EXPECT_EQ(c.decode, 9 * 2);
+}
+
+TEST(Analysis, TrivialRowDetectionRequiresUnitCoefficient) {
+  // A single entry with coefficient 2 is not a copy.
+  std::vector<Rational> u(4 * 1, Rational(0)), v(4 * 1, Rational(0)),
+      w(4 * 1, Rational(0));
+  u[0] = Rational(2);
+  v[1] = Rational(1);
+  w[0 * 1 + 0] = Rational(1);
+  w[1] = Rational(1);
+  w[2] = Rational(1);
+  w[3] = Rational(1);
+  const BilinearAlgorithm weird("weird", 2, 1, std::move(u), std::move(v),
+                                std::move(w));
+  EXPECT_FALSE(is_trivial_row(weird, Side::A, 0));
+  EXPECT_TRUE(is_trivial_row(weird, Side::B, 0));
+}
+
+}  // namespace

@@ -1,0 +1,448 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/bounds/disjoint_family.hpp"
+#include "pathrouting/bounds/expansion.hpp"
+#include "pathrouting/bounds/formulas.hpp"
+#include "pathrouting/bounds/hong_kung.hpp"
+#include "pathrouting/bounds/segment_certifier.hpp"
+#include "pathrouting/pebble/cache_sim.hpp"
+#include "pathrouting/schedule/schedules.hpp"
+
+namespace {
+
+using namespace pathrouting;          // NOLINT
+using namespace pathrouting::bounds;  // NOLINT
+using cdag::Cdag;
+using cdag::SubComputation;
+using cdag::VertexId;
+
+TEST(FormulasTest, CeilLog) {
+  EXPECT_EQ(ceil_log(4, 1), 0);
+  EXPECT_EQ(ceil_log(4, 2), 1);
+  EXPECT_EQ(ceil_log(4, 4), 1);
+  EXPECT_EQ(ceil_log(4, 5), 2);
+  EXPECT_EQ(ceil_log(4, 16), 2);
+  EXPECT_EQ(ceil_log(2, 1024), 10);
+  EXPECT_EQ(ceil_log(7, 50), 3);
+}
+
+TEST(FormulasTest, Omega0) {
+  EXPECT_NEAR(omega0(4, 7), 2.8073549, 1e-6);
+  EXPECT_NEAR(omega0(4, 8), 3.0, 1e-12);
+  EXPECT_NEAR(omega0(9, 23), 2.8540498, 1e-6);
+}
+
+TEST(FormulasTest, Theorem1PaperConstantForm) {
+  // For M = 1: k = ceil(log_4 72) = 4; with r = 8 and Strassen
+  // (a=4, b=7): floor(3 * 4^4 * 7^4 / (49 * 36)) * 1.
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(3.0 * 256 * 2401 / (49.0 * 36.0));
+  EXPECT_EQ(theorem1_io_lower_bound(4, 7, 8, 1), expected);
+  // Vacuous when k > r-2.
+  EXPECT_EQ(theorem1_io_lower_bound(4, 7, 5, 1), 0u);
+  // Monotone in r.
+  EXPECT_GT(theorem1_io_lower_bound(4, 7, 9, 1),
+            theorem1_io_lower_bound(4, 7, 8, 1));
+}
+
+TEST(FormulasTest, Section5Form) {
+  // k = ceil(log_4 132) = 4, r = 6: floor(4^4 * 7^2 / 66) * 1 = 190.
+  EXPECT_EQ(section5_io_lower_bound(6, 1), 190u);
+  EXPECT_EQ(section5_io_lower_bound(3, 1), 0u);  // k > r
+}
+
+TEST(FormulasTest, AsymptoticFormsScaleAsExpected) {
+  const double w0 = omega0(4, 7);
+  // Doubling n multiplies the bound by 2^w0.
+  EXPECT_NEAR(asymptotic_io(128, 64, w0) / asymptotic_io(64, 64, w0),
+              std::pow(2.0, w0), 1e-9);
+  // Quadrupling M multiplies it by 4^{1 - w0/2}.
+  EXPECT_NEAR(asymptotic_io(128, 256, w0) / asymptotic_io(128, 64, w0),
+              std::pow(4.0, 1.0 - w0 / 2.0), 1e-9);
+  // Hong-Kung grows with slope 3 in n, strictly steeper than the fast
+  // bound's slope omega0.
+  EXPECT_NEAR(hong_kung_classical(512, 64) / hong_kung_classical(256, 64),
+              8.0, 0.01);
+  EXPECT_LT(std::pow(2.0, w0), 8.0);
+  EXPECT_NEAR(parallel_bandwidth_lb(128, 64, 8, w0),
+              asymptotic_io(128, 64, w0) / 8, 1e-9);
+  EXPECT_NEAR(memory_independent_lb(128, 64, 2.0), 128.0 * 128.0 / 64.0,
+              1e-9);
+}
+
+TEST(FormulasTest, DfsIoModelScalesLikeTheorem1) {
+  // Strassen: e_u = e_v = 12, e_w = 12. Above the cutoff the model
+  // grows by ~b per level (same exponent as the lower bound) and
+  // shrinks with M like M^{1 - w0/2}.
+  const auto io = [&](int r, std::uint64_t m) {
+    return dfs_io_model(4, 7, 12, 12, 12, r, m);
+  };
+  EXPECT_NEAR(io(9, 64) / io(8, 64), 7.0, 0.15);
+  const double w0 = omega0(4, 7);
+  // Quadrupling M (one more in-cache level) scales by ~4^{1-w0/2}.
+  EXPECT_NEAR(io(9, 1024) / io(9, 256),
+              std::pow(4.0, 1.0 - w0 / 2.0), 0.12);
+  // Fully in cache: compulsory traffic only.
+  EXPECT_DOUBLE_EQ(io(2, 1u << 20), 3.0 * 16);
+}
+
+TEST(FormulasTest, DfsIoModelBracketsMeasuredIo) {
+  // The streaming model is an upper-style estimate: measured Belady
+  // I/O of the DFS schedule lands between the asymptotic lower form
+  // and the model.
+  const auto alg = bilinear::strassen();
+  const cdag::Cdag graph(alg, 6, {.with_coefficients = false});
+  const auto order = schedule::dfs_schedule(graph);
+  for (const std::uint64_t m : {64ull, 256ull}) {
+    const auto res = pebble::simulate(
+        graph.graph(), order, {.cache_size = m},
+        [&](VertexId v) { return graph.layout().is_output(v); });
+    const double model = dfs_io_model(4, 7, 12, 12, 12, 6, m);
+    const double asym = asymptotic_io(64.0, static_cast<double>(m),
+                                      omega0(4, 7));
+    EXPECT_LT(static_cast<double>(res.io()), model);
+    EXPECT_GT(static_cast<double>(res.io()), asym);
+  }
+}
+
+TEST(DisjointFamilyTest, FamiliesArePairwiseDisjointAndLargeEnough) {
+  for (const char* name : {"strassen", "winograd", "laderman"}) {
+    const Cdag cdag(bilinear::by_name(name), 3, {.with_coefficients = false});
+    const DisjointFamily family = build_disjoint_family(cdag, 1);
+    EXPECT_TRUE(family.meets_lemma1()) << name;
+    // Verify pairwise input-disjointness directly on a sample.
+    const std::size_t n = std::min<std::size_t>(family.prefixes.size(), 12);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        EXPECT_TRUE(input_disjoint(
+            SubComputation(cdag, 1, family.prefixes[i]),
+            SubComputation(cdag, 1, family.prefixes[j])))
+            << name;
+      }
+    }
+  }
+}
+
+TEST(DisjointFamilyTest, StrassenKeepsEverySubcomputation) {
+  // Strassen's copy roots are injective in the recursion path, so the
+  // greedy family keeps all b^{r-k} subcomputations.
+  const Cdag cdag(bilinear::strassen(), 4, {.with_coefficients = false});
+  const DisjointFamily family = build_disjoint_family(cdag, 2);
+  EXPECT_EQ(family.prefixes.size(), 49u);
+}
+
+TEST(DisjointFamilyTest, RejectsClassicalLikeBases) {
+  // classical violates the Lemma 1 precondition - the builder aborts,
+  // which we cannot catch; instead confirm the precondition flag.
+  EXPECT_FALSE(bilinear::lemma1_precondition(bilinear::classical(2)));
+}
+
+class CertifierTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CertifierTest, Equation2HoldsOnEverySchedule) {
+  const auto alg = bilinear::by_name(GetParam());
+  // Keep the instance small: k must satisfy a^k >= 72M and k <= r-2,
+  // so n0=2 bases use (M=2, k=4, r=6) and n0=3 bases (M=1, k=2, r=4).
+  const std::uint64_t m = alg.n0() == 2 ? 2 : 1;
+  const int r = alg.n0() == 2 ? 6 : 4;
+  const Cdag cdag(alg, r, {.with_coefficients = false});
+  for (const auto& order :
+       {schedule::dfs_schedule(cdag), schedule::bfs_schedule(cdag),
+        schedule::random_topological_schedule(cdag.graph(), 11)}) {
+    const CertifyResult result =
+        certify_segments(cdag, order, {.cache_size = m});
+    EXPECT_GE(result.family_size, result.family_guaranteed);
+    ASSERT_GE(result.complete_segments(), 1u) << GetParam();
+    EXPECT_TRUE(result.eq_holds(12)) << GetParam();       // Equation (2)
+    EXPECT_TRUE(result.boundary_ge(3 * m)) << GetParam(); // delta' >= 3M
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FastAlgorithms, CertifierTest,
+                         ::testing::Values("strassen", "winograd",
+                                           "laderman"),
+                         [](const auto& info) { return info.param; });
+
+TEST(CertifierTest, Section5DecodeOnlyCertifierHolds) {
+  const auto alg = bilinear::strassen();
+  const std::uint64_t m = 2;
+  const Cdag cdag(alg, 6, {.with_coefficients = false});
+  for (const auto& order :
+       {schedule::dfs_schedule(cdag), schedule::bfs_schedule(cdag)}) {
+    const CertifyResult result =
+        certify_segments_decode_only(cdag, order, {.cache_size = m});
+    ASSERT_GE(result.complete_segments(), 1u);
+    EXPECT_TRUE(result.eq_holds(22));        // Equation (1)
+    EXPECT_TRUE(result.boundary_ge(3 * m));  // 66M/22 = 3M
+  }
+}
+
+TEST(CertifierTest, CertifiedBoundNeverExceedsSimulatedIo) {
+  // The content of Theorem 1: every legal execution pays at least M
+  // I/Os per complete segment.
+  const auto alg = bilinear::strassen();
+  const std::uint64_t m = 8;
+  const Cdag cdag(alg, 7, {.with_coefficients = false});
+  const auto is_out = [&](VertexId v) { return cdag.layout().is_output(v); };
+  for (const std::uint64_t seed : {1ull, 2ull}) {
+    const auto order =
+        schedule::random_topological_schedule(cdag.graph(), seed);
+    const CertifyResult cert = certify_segments(cdag, order, {.cache_size = m});
+    const auto sim = pebble::simulate(cdag.graph(), order, {.cache_size = m},
+                                      is_out);
+    EXPECT_LE(cert.io_lower_bound(m), sim.io());
+  }
+}
+
+TEST(CertifierTest, PerSegmentIoRespectsBoundaryMinus2M) {
+  // The vertex-level boundary |R(S)|+|W(S)| counts values that must
+  // move, minus at most M cached on entry and at most M retained in
+  // cache afterwards: per-segment attributed I/O >= boundary - 2M for
+  // every segment, on the real simulated execution.
+  const auto alg = bilinear::strassen();
+  const std::uint64_t m = 8;
+  const Cdag cdag(alg, 7, {.with_coefficients = false});
+  const auto order = schedule::dfs_schedule(cdag);
+  const CertifyResult cert = certify_segments(cdag, order, {.cache_size = m});
+  ASSERT_GE(cert.complete_segments(), 2u);
+  pebble::PebbleOptions opts{.cache_size = m};
+  opts.segment_ends =
+      cert.segment_ends(static_cast<std::uint32_t>(order.size()));
+  const auto sim = pebble::simulate(cdag.graph(), order, opts, [&](VertexId v) {
+    return cdag.layout().is_output(v);
+  });
+  std::size_t nontrivial = 0;
+  for (std::size_t i = 0; i < cert.segments.size(); ++i) {
+    const std::uint64_t attributed =
+        sim.segment_reads[i] + sim.segment_writes[i];
+    const std::uint64_t bv = cert.segments[i].boundary_vertices;
+    const std::uint64_t required = bv > 2 * m ? bv - 2 * m : 0;
+    EXPECT_GE(attributed, required) << "segment " << i;
+    nontrivial += required > 0 ? 1 : 0;
+  }
+  EXPECT_GT(nontrivial, 0u);  // the check must have teeth
+}
+
+TEST(CertifierTest, CountedVerticesMatchFamilyRanks) {
+  const auto alg = bilinear::strassen();
+  const Cdag cdag(alg, 6, {.with_coefficients = false});
+  const CertifyResult result = certify_segments(
+      cdag, schedule::dfs_schedule(cdag), {.cache_size = 2});
+  // 3 a^k counted vertices per family member.
+  EXPECT_EQ(result.counted_total,
+            result.family_size *
+                3 * cdag.layout().pow_a()(static_cast<int>(result.k)));
+}
+
+TEST(CertifierTest, Equation2HasRealisticSlack) {
+  // The certifier is not vacuous: segment boundaries sit within a small
+  // constant of the counted quota (not orders of magnitude above the
+  // 1/12 the paper proves), so Equation (2) is doing real work.
+  const auto alg = bilinear::strassen();
+  const Cdag cdag(alg, 6, {.with_coefficients = false});
+  const CertifyResult result = certify_segments(
+      cdag, schedule::bfs_schedule(cdag), {.cache_size = 2});
+  ASSERT_GE(result.complete_segments(), 1u);
+  double min_ratio = 1e18;
+  for (const auto& seg : result.segments) {
+    if (!seg.complete) continue;
+    min_ratio = std::min(min_ratio, static_cast<double>(seg.boundary) /
+                                        static_cast<double>(seg.s_bar));
+  }
+  EXPECT_GE(min_ratio, 1.0 / 12.0);
+  EXPECT_LE(min_ratio, 8.0);
+}
+
+}  // namespace
+
+namespace hong_kung_tests {
+
+using namespace pathrouting;          // NOLINT
+using namespace pathrouting::bounds;  // NOLINT
+using cdag::VertexId;
+
+TEST(HongKungTest, PartitionLemmaHoldsOnEverySchedule) {
+  // [10]'s partition lemma, on real executions of the fast CDAG and
+  // the flat classical one: every <=M-I/O segment has dominator and
+  // minimum set of size <= M + io(S) (the atomic-step 2M bound).
+  const auto alg = bilinear::strassen();
+  const Cdag graph(alg, 5, {.with_coefficients = false});
+  const auto is_out = [&](VertexId v) { return graph.layout().is_output(v); };
+  for (const std::uint64_t m : {8ull, 32ull, 128ull}) {
+    for (const auto& order :
+         {schedule::dfs_schedule(graph), schedule::bfs_schedule(graph),
+          schedule::random_topological_schedule(graph.graph(), 13)}) {
+      pebble::PebbleOptions opts{.cache_size = m};
+      opts.record_step_io = true;
+      const auto sim = pebble::simulate(graph.graph(), order, opts, is_out);
+      const auto hk =
+          hong_kung_partition(graph.graph(), order, sim.step_io, m);
+      EXPECT_TRUE(hk.lemma_holds()) << "M=" << m;
+      // Segmentation is exhaustive and consistent with the totals.
+      std::uint64_t total = 0;
+      for (const auto& seg : hk.segments) total += seg.io;
+      EXPECT_EQ(total, sim.io());
+      EXPECT_EQ(hk.segments.back().end_step, order.size());
+    }
+  }
+}
+
+TEST(HongKungTest, StepIoSumsToTotals) {
+  const auto alg = bilinear::winograd();
+  const Cdag graph(alg, 4, {.with_coefficients = false});
+  const auto order = schedule::dfs_schedule(graph);
+  pebble::PebbleOptions opts{.cache_size = 64};
+  opts.record_step_io = true;
+  const auto sim = pebble::simulate(
+      graph.graph(), order, opts,
+      [&](VertexId v) { return graph.layout().is_output(v); });
+  std::uint64_t total = 0;
+  for (const std::uint32_t io : sim.step_io) total += io;
+  EXPECT_EQ(total, sim.io());
+}
+
+TEST(HongKungTest, DominatorsAreTightAtSmallCaches) {
+  // With quota-M segments the classical bound is ~2M; observed maxima
+  // should land in (M, 2M + max-step-io].
+  const auto alg = bilinear::strassen();
+  const Cdag graph(alg, 5, {.with_coefficients = false});
+  const auto order = schedule::dfs_schedule(graph);
+  const std::uint64_t m = 16;
+  pebble::PebbleOptions opts{.cache_size = m};
+  opts.record_step_io = true;
+  const auto sim = pebble::simulate(
+      graph.graph(), order, opts,
+      [&](VertexId v) { return graph.layout().is_output(v); });
+  const auto hk = hong_kung_partition(graph.graph(), order, sim.step_io, m);
+  EXPECT_GT(hk.max_dominator(), m / 2);  // not vacuous
+  EXPECT_LE(hk.max_dominator(), 3 * m);
+}
+
+}  // namespace hong_kung_tests
+
+namespace expansion_tests {
+
+using namespace pathrouting;          // NOLINT
+using namespace pathrouting::bounds;  // NOLINT
+using cdag::Graph;
+using cdag::VertexId;
+
+TEST(ExpansionTest, CompleteBipartiteHasLambda2Half) {
+  // K_{m,m}: the non-lazy walk has eigenvalues {1, 0, ..., 0, -1}, so
+  // the lazy walk's lambda2 is exactly 1/2.
+  const int m = 6;
+  std::vector<std::uint32_t> off = {0};
+  std::vector<VertexId> adj;
+  for (int left = 0; left < m; ++left) off.push_back(0);  // sources
+  for (int right = 0; right < m; ++right) {
+    for (int left = 0; left < m; ++left) {
+      adj.push_back(static_cast<VertexId>(left));
+    }
+    off.push_back(static_cast<std::uint32_t>(adj.size()));
+  }
+  const Graph g(std::move(off), std::move(adj));
+  std::vector<VertexId> all(static_cast<std::size_t>(2 * m));
+  std::iota(all.begin(), all.end(), 0);
+  const auto est = estimate_expansion(g, all, 3, 500);
+  EXPECT_EQ(est.components, 1);
+  EXPECT_NEAR(est.lambda2, 0.5, 0.01);
+  EXPECT_NEAR(est.cheeger_lower(), 0.25, 0.01);
+}
+
+TEST(ExpansionTest, DisconnectedGraphsHaveLambda2One) {
+  // Two disjoint edges.
+  std::vector<std::uint32_t> off = {0, 0, 0, 1, 2};
+  std::vector<VertexId> adj = {0, 1};
+  const Graph g(std::move(off), std::move(adj));
+  const std::vector<VertexId> all = {0, 1, 2, 3};
+  const auto est = estimate_expansion(g, all, 1, 10);
+  EXPECT_EQ(est.components, 2);
+  EXPECT_DOUBLE_EQ(est.lambda2, 1.0);
+  EXPECT_DOUBLE_EQ(est.cheeger_lower(), 0.0);
+}
+
+TEST(ExpansionTest, DecodingGraphConnectivityMatchesAnalysis) {
+  // Strassen's decoder is connected with positive spectral gap; the
+  // classical-tensor decoders are disconnected with gap zero — the
+  // dichotomy that separates [6]'s reach from this paper's.
+  const auto decode_vertices = [](const cdag::Cdag& graph) {
+    const auto& layout = graph.layout();
+    std::vector<VertexId> out;
+    for (int t = 0; t <= layout.r(); ++t) {
+      const std::uint64_t nq = layout.pow_b()(layout.r() - t);
+      const std::uint64_t np = layout.pow_a()(t);
+      for (std::uint64_t q = 0; q < nq; ++q) {
+        for (std::uint64_t p = 0; p < np; ++p) out.push_back(layout.dec(t, q, p));
+      }
+    }
+    return out;
+  };
+  const cdag::Cdag strassen_g(bilinear::strassen(), 2,
+                              {.with_coefficients = false});
+  const auto s = estimate_expansion(strassen_g.graph(),
+                                    decode_vertices(strassen_g), 2, 300);
+  EXPECT_EQ(s.components, 1);
+  EXPECT_LT(s.lambda2, 0.99);
+  EXPECT_GT(s.cheeger_lower(), 0.0);
+  const cdag::Cdag mixed(bilinear::classical2_x_strassen(), 1,
+                         {.with_coefficients = false});
+  const auto m = estimate_expansion(mixed.graph(), decode_vertices(mixed), 2,
+                                    50);
+  EXPECT_GT(m.components, 1);
+  EXPECT_DOUBLE_EQ(m.lambda2, 1.0);
+}
+
+}  // namespace expansion_tests
+
+namespace more_bounds_tests {
+
+using namespace pathrouting;          // NOLINT
+using namespace pathrouting::bounds;  // NOLINT
+using cdag::Graph;
+using cdag::VertexId;
+
+TEST(ExpansionTest, CycleGraphMatchesClosedForm) {
+  // C_n: the non-lazy walk has lambda2 = cos(2*pi/n), so the lazy walk
+  // gives (1 + cos(2*pi/n)) / 2 exactly.
+  const int n = 8;
+  std::vector<std::uint32_t> off = {0};
+  std::vector<VertexId> adj;
+  for (int v = 0; v < n; ++v) {
+    // Edge from each vertex to its successor (undirected in the
+    // estimator), entered as the in-edge of v+1.
+    adj.push_back(static_cast<VertexId>((v + n - 1) % n));
+    off.push_back(static_cast<std::uint32_t>(adj.size()));
+  }
+  const Graph g(std::move(off), std::move(adj));
+  std::vector<VertexId> all(static_cast<std::size_t>(n));
+  std::iota(all.begin(), all.end(), 0);
+  const auto est = estimate_expansion(g, all, 5, 2000);
+  EXPECT_EQ(est.components, 1);
+  EXPECT_NEAR(est.lambda2, (1.0 + std::cos(2.0 * M_PI / n)) / 2.0, 5e-3);
+}
+
+TEST(FormulasTest, DfsIoModelFitFactorIsMonotone) {
+  // A stricter fit requirement (bigger factor) can only raise the cost.
+  const double loose = dfs_io_model(4, 7, 12, 12, 12, 8, 256, 3.0);
+  const double tight = dfs_io_model(4, 7, 12, 12, 12, 8, 256, 12.0);
+  EXPECT_LE(loose, tight);
+}
+
+TEST(CertifierTest, SegmentEndsCoverTheWholeSchedule) {
+  const auto alg = bilinear::strassen();
+  const Cdag graph(alg, 6, {.with_coefficients = false});
+  const auto order = schedule::dfs_schedule(graph);
+  const auto cert = certify_segments(graph, order, {.cache_size = 2});
+  const auto ends =
+      cert.segment_ends(static_cast<std::uint32_t>(order.size()));
+  ASSERT_FALSE(ends.empty());
+  EXPECT_TRUE(std::is_sorted(ends.begin(), ends.end()));
+  EXPECT_EQ(ends.back(), order.size());
+}
+
+}  // namespace more_bounds_tests

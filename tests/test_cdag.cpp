@@ -1,0 +1,385 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/cdag/cdag.hpp"
+#include "pathrouting/cdag/evaluate.hpp"
+#include "pathrouting/cdag/flat_classical.hpp"
+#include "pathrouting/cdag/meta.hpp"
+#include "pathrouting/cdag/subcomputation.hpp"
+#include "pathrouting/matmul/classical.hpp"
+#include "pathrouting/support/prng.hpp"
+
+namespace {
+
+using namespace pathrouting;          // NOLINT
+using namespace pathrouting::cdag;    // NOLINT
+using bilinear::BilinearAlgorithm;
+using bilinear::Side;
+
+TEST(GraphTest, CsrRoundTrip) {
+  // 0,1 inputs; 2 = f(0,1); 3 = f(2); 4 = f(2,3).
+  std::vector<std::uint32_t> off = {0, 0, 0, 2, 3, 5};
+  std::vector<VertexId> adj = {0, 1, 2, 2, 3};
+  const Graph g(std::move(off), std::move(adj));
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.in_degree(2), 2u);
+  EXPECT_EQ(g.out_degree(2), 2u);
+  EXPECT_EQ(g.out_degree(4), 0u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 4));
+  EXPECT_FALSE(g.has_edge(0, 4));
+  EXPECT_EQ(g.in(4)[0], 2u);
+  EXPECT_EQ(g.in(4)[1], 3u);
+}
+
+TEST(LayoutTest, SizesMatchClosedForms) {
+  const Layout layout(2, 7, 3);  // strassen r=3
+  // Total = 2 * sum_t 7^t 4^{3-t} + sum_t 4^t 7^{3-t}.
+  std::uint64_t enc = 0, dec = 0;
+  for (int t = 0; t <= 3; ++t) {
+    enc += layout.enc_rank_size(t);
+    dec += layout.dec_rank_size(t);
+  }
+  EXPECT_EQ(enc, 64u + 112u + 196u + 343u);
+  EXPECT_EQ(dec, 343u + 196u + 112u + 64u);
+  EXPECT_EQ(layout.num_vertices(), 2 * enc + dec);
+  EXPECT_EQ(layout.n(), 8u);
+  EXPECT_EQ(layout.inputs_per_side(), 64u);
+  EXPECT_EQ(layout.num_products(), 343u);
+}
+
+TEST(LayoutTest, RefRoundTrip) {
+  const Layout layout(2, 7, 3);
+  for (VertexId v = 0; v < layout.num_vertices(); ++v) {
+    const VertexRef rf = layout.ref(v);
+    VertexId back = kInvalidVertex;
+    switch (rf.layer) {
+      case LayerKind::EncA:
+        back = layout.enc(Side::A, rf.rank, rf.q, rf.p);
+        break;
+      case LayerKind::EncB:
+        back = layout.enc(Side::B, rf.rank, rf.q, rf.p);
+        break;
+      case LayerKind::Dec:
+        back = layout.dec(rf.rank, rf.q, rf.p);
+        break;
+    }
+    ASSERT_EQ(back, v);
+  }
+}
+
+TEST(LayoutTest, LevelsAreMonotoneAlongEdges) {
+  const bilinear::BilinearAlgorithm alg = bilinear::strassen();
+  const Cdag cdag(alg, 2);
+  const Layout& layout = cdag.layout();
+  for (VertexId v = 0; v < cdag.graph().num_vertices(); ++v) {
+    for (const VertexId p : cdag.graph().in(v)) {
+      EXPECT_EQ(layout.level(p) + 1, layout.level(v));
+    }
+  }
+}
+
+TEST(LayoutTest, MortonRoundTrip) {
+  const Layout layout(3, 23, 2);
+  for (std::uint64_t p = 0; p < layout.inputs_per_side(); ++p) {
+    const RowCol rc = morton_to_rowcol(layout.pow_a(), 3, p, 2);
+    EXPECT_LT(rc.row, 9u);
+    EXPECT_LT(rc.col, 9u);
+    EXPECT_EQ(rowcol_to_morton(3, rc.row, rc.col, 2), p);
+  }
+}
+
+TEST(LayoutTest, InputOutputPredicates) {
+  const bilinear::BilinearAlgorithm alg = bilinear::strassen();
+  const Cdag cdag(alg, 2);
+  const Layout& layout = cdag.layout();
+  std::uint64_t inputs = 0, outputs = 0;
+  for (VertexId v = 0; v < layout.num_vertices(); ++v) {
+    inputs += layout.is_input(v) ? 1 : 0;
+    outputs += layout.is_output(v) ? 1 : 0;
+    EXPECT_EQ(layout.is_input(v), cdag.graph().in_degree(v) == 0);
+    EXPECT_EQ(layout.is_output(v), cdag.graph().out_degree(v) == 0);
+  }
+  EXPECT_EQ(inputs, 2 * layout.inputs_per_side());
+  EXPECT_EQ(outputs, layout.inputs_per_side());
+}
+
+class EvalTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(EvalTest, CdagComputesMatrixProduct) {
+  const auto& [name, r] = GetParam();
+  const BilinearAlgorithm alg = bilinear::by_name(name);
+  const Cdag cdag(alg, r);
+  const std::uint64_t n = cdag.layout().n();
+  support::Xoshiro256 rng(1000 + r);
+  std::vector<std::int64_t> a(n * n), b(n * n);
+  for (auto& x : a) x = rng.range(-5, 5);
+  for (auto& x : b) x = rng.range(-5, 5);
+  const auto am = to_morton<std::int64_t>(cdag, a);
+  const auto bm = to_morton<std::int64_t>(cdag, b);
+  const auto cm = evaluate<std::int64_t>(cdag, am, bm);
+  const auto c = from_morton<std::int64_t>(cdag, cm);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    for (std::uint64_t j = 0; j < n; ++j) {
+      std::int64_t expected = 0;
+      for (std::uint64_t k = 0; k < n; ++k) {
+        expected += a[i * n + k] * b[k * n + j];
+      }
+      ASSERT_EQ(c[i * n + j], expected) << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsAndDepths, EvalTest,
+    ::testing::Combine(::testing::Values("strassen", "winograd", "classical2",
+                                         "laderman", "strassen_squared",
+                                         "classical2_x_strassen",
+                                         "strassen_x_classical2"),
+                       ::testing::Values(1, 2, 3)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_r" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(EvalTest, RationalEvaluationIsExact) {
+  const Cdag cdag(bilinear::strassen(), 2);
+  const std::uint64_t n = 4;
+  std::vector<support::Rational> a, b;
+  for (std::uint64_t i = 0; i < n * n; ++i) {
+    a.emplace_back(static_cast<std::int64_t>(i) - 7, 3);
+    b.emplace_back(static_cast<std::int64_t>(i * i) % 11 - 5, 2);
+  }
+  const auto am = to_morton<support::Rational>(cdag, a);
+  const auto bm = to_morton<support::Rational>(cdag, b);
+  const auto c =
+      from_morton<support::Rational>(cdag, evaluate<support::Rational>(cdag, am, bm));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    for (std::uint64_t j = 0; j < n; ++j) {
+      support::Rational expected(0);
+      for (std::uint64_t k = 0; k < n; ++k) {
+        expected += a[i * n + k] * b[k * n + j];
+      }
+      ASSERT_EQ(c[i * n + j], expected);
+    }
+  }
+}
+
+TEST(MetaTest, StructureValidatesForCatalog) {
+  for (const auto& name : bilinear::catalog_names()) {
+    const Cdag cdag(bilinear::by_name(name), 2);
+    EXPECT_TRUE(validate_meta_structure(cdag)) << name;
+  }
+}
+
+TEST(MetaTest, StrassenHasChainsOnly) {
+  const Cdag cdag(bilinear::strassen(), 3);
+  EXPECT_FALSE(has_multiple_copying(cdag));
+  EXPECT_GT(count_duplicated_vertices(cdag), 0u);
+}
+
+TEST(MetaTest, ClassicalHasMultipleCopying) {
+  const Cdag cdag(bilinear::classical(2), 2);
+  EXPECT_TRUE(has_multiple_copying(cdag));
+}
+
+TEST(MetaTest, MembersShareRootAndValues) {
+  const Cdag cdag(bilinear::strassen(), 3);
+  // Evaluate and confirm every meta member carries the root's value.
+  const std::uint64_t in = cdag.layout().inputs_per_side();
+  support::Xoshiro256 rng(3);
+  std::vector<std::int64_t> am(in), bm(in);
+  for (auto& x : am) x = rng.range(-9, 9);
+  for (auto& x : bm) x = rng.range(-9, 9);
+  const auto values = evaluate_all<std::int64_t>(cdag, am, bm);
+  for (VertexId v = 0; v < cdag.graph().num_vertices(); ++v) {
+    ASSERT_EQ(values[v], values[cdag.meta_root(v)]);
+  }
+}
+
+TEST(MetaTest, MetaMembersEnumerationMatchesSizes) {
+  const Cdag cdag(bilinear::classical(2), 2);
+  for (VertexId v = 0; v < cdag.graph().num_vertices(); ++v) {
+    if (cdag.meta_root(v) != v) continue;
+    const auto members = meta_members(cdag, v);
+    EXPECT_EQ(members.size(), cdag.meta_size(v));
+    for (const VertexId member : members) {
+      EXPECT_EQ(cdag.meta_root(member), v);
+    }
+  }
+}
+
+TEST(Fact1Test, SubcomputationsAreVertexDisjointAndCoverMiddleRanks) {
+  const Cdag cdag(bilinear::strassen(), 3);
+  const Layout& layout = cdag.layout();
+  const int k = 1;
+  const std::uint64_t num_subs = layout.pow_b()(layout.r() - k);
+  std::set<VertexId> seen;
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 0; i < num_subs; ++i) {
+    const SubComputation sub(cdag, k, i);
+    for (const VertexId v : sub.vertices()) {
+      EXPECT_TRUE(seen.insert(v).second) << "vertex in two subcomputations";
+      EXPECT_TRUE(sub.contains(v));
+      ++total;
+    }
+  }
+  // Middle 2(k+1) ranks: enc ranks r-k..r (both sides) + dec ranks 0..k.
+  std::uint64_t expected = 0;
+  for (int t = layout.r() - k; t <= layout.r(); ++t) {
+    expected += 2 * layout.enc_rank_size(t);
+  }
+  for (int t = 0; t <= k; ++t) expected += layout.dec_rank_size(t);
+  EXPECT_EQ(total, expected);
+}
+
+TEST(Fact1Test, SubcomputationIsomorphicToStandaloneGk) {
+  // Edges inside G_k^i must mirror the standalone G_k edge rule.
+  const BilinearAlgorithm alg = bilinear::winograd();
+  const Cdag big(alg, 3);
+  const Cdag small(alg, 2);
+  const SubComputation sub(big, 2, /*prefix=*/4);
+  const Layout& sl = small.layout();
+  // Map standalone id -> embedded id via the shared (layer, rank, q, p)
+  // coordinates.
+  const auto embed = [&](VertexId v) {
+    const VertexRef rf = sl.ref(v);
+    switch (rf.layer) {
+      case LayerKind::EncA:
+        return sub.enc(Side::A, rf.rank, rf.q, rf.p);
+      case LayerKind::EncB:
+        return sub.enc(Side::B, rf.rank, rf.q, rf.p);
+      case LayerKind::Dec:
+        return sub.dec(rf.rank, rf.q, rf.p);
+    }
+    return kInvalidVertex;
+  };
+  for (VertexId v = 0; v < small.graph().num_vertices(); ++v) {
+    const auto small_in = small.graph().in(v);
+    const auto big_in = big.graph().in(embed(v));
+    if (small_in.empty()) {
+      // Standalone inputs correspond to embedded vertices whose
+      // predecessors all lie outside the induced subgraph.
+      for (const VertexId p : big_in) ASSERT_FALSE(sub.contains(p));
+      continue;
+    }
+    ASSERT_EQ(small_in.size(), big_in.size());
+    for (std::size_t e = 0; e < small_in.size(); ++e) {
+      ASSERT_EQ(embed(small_in[e]), big_in[e]);
+    }
+  }
+}
+
+TEST(Fact1Test, InputDisjointnessIsDetected) {
+  // Strassen's trivial rows select distinct blocks (M3 -> A11,
+  // M4 -> A22, M2 -> B11, M5 -> B22), so copy roots encode the whole
+  // recursion path injectively and all subcomputations are mutually
+  // input-disjoint.
+  const Cdag strassen_cdag(bilinear::strassen(), 3);
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    for (std::uint64_t j = i + 1; j < 7; ++j) {
+      EXPECT_TRUE(input_disjoint(SubComputation(strassen_cdag, 2, i),
+                                 SubComputation(strassen_cdag, 2, j)));
+    }
+  }
+  const SubComputation self(strassen_cdag, 2, 0);
+  EXPECT_FALSE(input_disjoint(self, self));
+  // Classical reuses A(i,k) across all j: products (i,k,j) and
+  // (i,k,j') share the A-input meta-vertex, so the corresponding
+  // subcomputations are NOT input-disjoint. Products 0 = (0,0,0) and
+  // 1 = (0,0,1) of classical2 are such a pair.
+  const Cdag classical_cdag(bilinear::classical(2), 2);
+  EXPECT_FALSE(input_disjoint(SubComputation(classical_cdag, 1, 0),
+                              SubComputation(classical_cdag, 1, 1)));
+  // (0,0,0) and (1,1,1) = product index 7 share nothing.
+  EXPECT_TRUE(input_disjoint(SubComputation(classical_cdag, 1, 0),
+                             SubComputation(classical_cdag, 1, 7)));
+}
+
+TEST(FlatClassicalTest, StructureAndDegrees) {
+  const FlatClassicalCdag flat(4);
+  const Graph& g = flat.graph();
+  EXPECT_EQ(g.num_vertices(), 2u * 16 + 64 + 16 * 3);
+  for (int i = 0; i < 4; ++i) {
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_EQ(g.in_degree(flat.a(i, k)), 0u);
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_EQ(g.in_degree(flat.product(i, k, j)), 2u);
+        EXPECT_TRUE(g.has_edge(flat.a(i, k), flat.product(i, k, j)));
+        EXPECT_TRUE(g.has_edge(flat.b(k, j), flat.product(i, k, j)));
+      }
+    }
+  }
+  EXPECT_EQ(g.out_degree(flat.output(1, 2)), 0u);
+  EXPECT_TRUE(g.has_edge(flat.partial(0, 0, 2), flat.partial(0, 0, 3)));
+}
+
+TEST(FlatClassicalTest, BlockedScheduleIsTopological) {
+  const FlatClassicalCdag flat(6);
+  for (const int tile : {1, 2, 3, 6}) {
+    const auto order = flat.blocked_schedule(tile);
+    // Validate directly: operands precede uses.
+    std::vector<bool> done(flat.graph().num_vertices(), false);
+    for (VertexId v = 0; v < flat.graph().num_vertices(); ++v) {
+      if (flat.graph().in_degree(v) == 0) done[v] = true;
+    }
+    std::uint64_t count = 0;
+    for (const VertexId v : order) {
+      for (const VertexId p : flat.graph().in(v)) {
+        ASSERT_TRUE(done[p]) << "tile " << tile;
+      }
+      ASSERT_FALSE(done[v]);
+      done[v] = true;
+      ++count;
+    }
+    EXPECT_EQ(count, 6u * 6 * 6 + 6u * 6 * 5);
+  }
+}
+
+TEST(FlatClassicalTest, AllLoopOrdersAreValidSchedules) {
+  const FlatClassicalCdag flat(5);
+  using LO = FlatClassicalCdag::LoopOrder;
+  for (const LO order : {LO::kIJK, LO::kIKJ, LO::kJIK, LO::kJKI, LO::kKIJ,
+                         LO::kKJI}) {
+    const auto sched = flat.loop_schedule(order);
+    std::vector<bool> done(flat.graph().num_vertices(), false);
+    for (VertexId v = 0; v < flat.graph().num_vertices(); ++v) {
+      if (flat.graph().in_degree(v) == 0) done[v] = true;
+    }
+    for (const VertexId v : sched) {
+      for (const VertexId p : flat.graph().in(v)) {
+        ASSERT_TRUE(done[p]) << "order " << static_cast<int>(order);
+      }
+      ASSERT_FALSE(done[v]);
+      done[v] = true;
+    }
+    EXPECT_EQ(sched.size(), 5u * 5 * 5 + 5u * 5 * 4);
+  }
+}
+
+TEST(CdagTest, EdgeCoefficientsMatchBaseTables) {
+  const BilinearAlgorithm alg = bilinear::laderman();
+  const Cdag cdag(alg, 1);
+  const Layout& layout = cdag.layout();
+  // Rank-1 encoding vertex q has in-edges with U row q's coefficients.
+  for (int q = 0; q < alg.b(); ++q) {
+    const VertexId v = layout.enc(Side::A, 1, static_cast<std::uint64_t>(q), 0);
+    const auto preds = cdag.graph().in(v);
+    const std::uint32_t base = cdag.graph().in_edge_base(v);
+    std::size_t e = 0;
+    for (int d = 0; d < alg.a(); ++d) {
+      if (alg.u(q, d).is_zero()) continue;
+      ASSERT_EQ(preds[e], layout.input(Side::A, static_cast<std::uint64_t>(d)));
+      ASSERT_EQ(cdag.in_coeff(base + static_cast<std::uint32_t>(e)), alg.u(q, d));
+      ++e;
+    }
+    ASSERT_EQ(e, preds.size());
+  }
+}
+
+}  // namespace

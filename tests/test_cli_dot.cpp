@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pathrouting/support/cli.hpp"
+#include "pathrouting/support/dot.hpp"
+
+namespace {
+
+using pathrouting::support::Cli;
+using pathrouting::support::DotWriter;
+
+TEST(CliTest, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "7", "--gamma"};
+  Cli cli(5, argv);
+  EXPECT_EQ(cli.flag_int("alpha", 0, ""), 3);
+  EXPECT_EQ(cli.flag_int("beta", 0, ""), 7);
+  EXPECT_TRUE(cli.flag_bool("gamma", false, ""));
+  cli.finish("test");
+}
+
+TEST(CliTest, DefaultsApplyWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  EXPECT_EQ(cli.flag_int("missing", 42, ""), 42);
+  EXPECT_EQ(cli.flag_str("name", "dflt", ""), "dflt");
+  EXPECT_FALSE(cli.flag_bool("switch", false, ""));
+  cli.finish("test");
+}
+
+TEST(CliTest, StringAndNegativeValues) {
+  const char* argv[] = {"prog", "--mode=fast", "--offset=-12"};
+  Cli cli(3, argv);
+  EXPECT_EQ(cli.flag_str("mode", "", ""), "fast");
+  EXPECT_EQ(cli.flag_int("offset", 0, ""), -12);
+  cli.finish("test");
+}
+
+TEST(CliTest, BoolValueForms) {
+  const char* argv[] = {"prog", "--a=true", "--b=1", "--c=yes", "--d=false"};
+  Cli cli(5, argv);
+  EXPECT_TRUE(cli.flag_bool("a", false, ""));
+  EXPECT_TRUE(cli.flag_bool("b", false, ""));
+  EXPECT_TRUE(cli.flag_bool("c", false, ""));
+  EXPECT_FALSE(cli.flag_bool("d", true, ""));
+  cli.finish("test");
+}
+
+TEST(DotTest, EmitsVerticesAndEdges) {
+  DotWriter writer("g", 3);
+  writer.set_preamble("rankdir=BT;");
+  std::ostringstream os;
+  writer.write(
+      os,
+      [](std::uint32_t v) {
+        return v == 2 ? std::string() : "label=\"v" + std::to_string(v) + "\"";
+      },
+      [](const auto& emit) {
+        emit(0, 1, "");
+        emit(1, 2, "");  // suppressed: vertex 2 has no attributes
+        emit(1, 0, "color=red");
+      });
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph \"g\""), std::string::npos);
+  EXPECT_NE(dot.find("rankdir=BT;"), std::string::npos);
+  EXPECT_NE(dot.find("v0 -> v1"), std::string::npos);
+  EXPECT_NE(dot.find("v1 -> v0 [color=red]"), std::string::npos);
+  EXPECT_EQ(dot.find("v1 -> v2"), std::string::npos);  // filtered out
+  EXPECT_EQ(dot.find("v2 ["), std::string::npos);
+}
+
+}  // namespace

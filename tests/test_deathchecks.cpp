@@ -1,0 +1,86 @@
+// Failure-injection tests: the library's contracts abort loudly rather
+// than corrupting results. gtest death tests confirm the guard rails
+// actually fire.
+#include <gtest/gtest.h>
+
+#include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/cdag/cdag.hpp"
+#include "pathrouting/cdag/evaluate.hpp"
+#include "pathrouting/cdag/subcomputation.hpp"
+#include "pathrouting/parallel/machine.hpp"
+#include "pathrouting/pebble/cache_sim.hpp"
+#include "pathrouting/schedule/schedules.hpp"
+#include "pathrouting/support/rational.hpp"
+
+namespace {
+
+using namespace pathrouting;  // NOLINT
+using support::Rational;
+
+TEST(DeathTest, RationalDivisionByZeroAborts) {
+  const Rational x(3, 4);
+  EXPECT_DEATH((void)(x / Rational(0)), "division by zero");
+}
+
+TEST(DeathTest, RationalZeroDenominatorAborts) {
+  EXPECT_DEATH(Rational(1, 0), "zero denominator");
+}
+
+TEST(DeathTest, NonTopologicalScheduleAborts) {
+  const cdag::Cdag graph(bilinear::strassen(), 2, {.with_coefficients = false});
+  auto order = schedule::dfs_schedule(graph);
+  // Move the final output to the front: its operands are not computed.
+  std::swap(order.front(), order.back());
+  EXPECT_DEATH(pebble::simulate(graph.graph(), order, {.cache_size = 64},
+                                [](cdag::VertexId) { return false; }),
+               "not topological");
+}
+
+TEST(DeathTest, CacheTooSmallAborts) {
+  const cdag::Cdag graph(bilinear::strassen(), 2, {.with_coefficients = false});
+  const auto order = schedule::dfs_schedule(graph);
+  // Strassen decode vertices have in-degree 4; M = 3 cannot stage them.
+  EXPECT_DEATH(pebble::simulate(graph.graph(), order, {.cache_size = 3},
+                                [](cdag::VertexId) { return false; }),
+               "cache too small");
+}
+
+TEST(DeathTest, ScheduleWithInputsAborts) {
+  const cdag::Cdag graph(bilinear::strassen(), 2, {.with_coefficients = false});
+  auto order = schedule::dfs_schedule(graph);
+  order.insert(order.begin(), graph.layout().input(bilinear::Side::A, 0));
+  EXPECT_DEATH(pebble::simulate(graph.graph(), order, {.cache_size = 64},
+                                [](cdag::VertexId) { return false; }),
+               "inputs are not scheduled");
+}
+
+TEST(DeathTest, EvaluationWithoutCoefficientsAborts) {
+  const cdag::Cdag graph(bilinear::strassen(), 1, {.with_coefficients = false});
+  const std::vector<std::int64_t> a(4, 1), b(4, 1);
+  EXPECT_DEATH((void)cdag::evaluate<std::int64_t>(graph, a, b),
+               "with_coefficients");
+}
+
+TEST(DeathTest, OversizedSubcomputationPrefixAborts) {
+  const cdag::Cdag graph(bilinear::strassen(), 2, {.with_coefficients = false});
+  EXPECT_DEATH(cdag::SubComputation(graph, 1, /*prefix=*/7), "");
+}
+
+}  // namespace
+
+namespace more_death_tests {
+
+using namespace pathrouting;  // NOLINT
+
+TEST(DeathTest, MachineReleaseUnderflowAborts) {
+  parallel::Machine machine(2, 100);
+  machine.alloc(0, 5);
+  EXPECT_DEATH(machine.release(0, 6), "");
+}
+
+TEST(DeathTest, UnknownCatalogNameAborts) {
+  EXPECT_DEATH((void)bilinear::by_name("does-not-exist"),
+               "unknown catalog algorithm");
+}
+
+}  // namespace more_death_tests

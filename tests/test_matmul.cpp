@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/cdag/cdag.hpp"
+#include "pathrouting/cdag/evaluate.hpp"
+#include "pathrouting/matmul/strassen_like.hpp"
+
+namespace {
+
+using namespace pathrouting;          // NOLINT
+using namespace pathrouting::matmul;  // NOLINT
+
+TEST(NaiveTest, KnownSmallProduct) {
+  Matrix<std::int64_t> a(2, 3), b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12].
+  std::int64_t v = 1;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = v++;
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) b(i, j) = v++;
+  }
+  const auto c = naive_multiply(a, b);
+  EXPECT_EQ(c(0, 0), 58);
+  EXPECT_EQ(c(0, 1), 64);
+  EXPECT_EQ(c(1, 0), 139);
+  EXPECT_EQ(c(1, 1), 154);
+}
+
+TEST(BlockedTest, MatchesNaiveForAllTileSizes) {
+  support::Xoshiro256 rng(1);
+  const auto a = random_matrix<std::int64_t>(12, rng);
+  const auto b = random_matrix<std::int64_t>(12, rng);
+  const auto ref = naive_multiply(a, b);
+  for (const std::size_t tile : {1u, 2u, 3u, 5u, 12u, 16u}) {
+    EXPECT_EQ(blocked_multiply(a, b, tile), ref) << "tile " << tile;
+  }
+}
+
+class StrassenLikeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StrassenLikeTest, MatchesNaive) {
+  const auto alg = bilinear::by_name(GetParam());
+  support::Xoshiro256 rng(7);
+  const std::size_t n = static_cast<std::size_t>(alg.n0()) *
+                        static_cast<std::size_t>(alg.n0()) *
+                        static_cast<std::size_t>(alg.n0());
+  const auto a = random_matrix<std::int64_t>(n, rng);
+  const auto b = random_matrix<std::int64_t>(n, rng);
+  EXPECT_EQ(strassen_like_multiply(alg, a, b), naive_multiply(a, b));
+}
+
+TEST_P(StrassenLikeTest, CutoffDoesNotChangeResult) {
+  const auto alg = bilinear::by_name(GetParam());
+  support::Xoshiro256 rng(8);
+  const std::size_t n = static_cast<std::size_t>(alg.n0()) *
+                        static_cast<std::size_t>(alg.n0());
+  const auto a = random_matrix<std::int64_t>(n, rng);
+  const auto b = random_matrix<std::int64_t>(n, rng);
+  const auto ref = naive_multiply(a, b);
+  for (const std::size_t cutoff : {1u, 2u, 4u, 64u}) {
+    EXPECT_EQ(strassen_like_multiply(alg, a, b, cutoff), ref);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, StrassenLikeTest,
+                         ::testing::ValuesIn(bilinear::catalog_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(StrassenLikeTest, HandlesNonPowerSizesViaFallback) {
+  const auto alg = bilinear::strassen();
+  support::Xoshiro256 rng(9);
+  for (const std::size_t n : {6u, 10u, 12u, 20u}) {
+    const auto a = random_matrix<std::int64_t>(n, rng);
+    const auto b = random_matrix<std::int64_t>(n, rng);
+    EXPECT_EQ(strassen_like_multiply(alg, a, b), naive_multiply(a, b))
+        << "n=" << n;
+  }
+}
+
+TEST(StrassenLikeTest, MultiplicationCountFollowsRank) {
+  // Full recursion to 1x1: exactly b^r scalar multiplications.
+  const auto alg = bilinear::strassen();
+  support::Xoshiro256 rng(10);
+  const auto a = random_matrix<std::int64_t>(8, rng);
+  const auto b = random_matrix<std::int64_t>(8, rng);
+  OpCounts ops;
+  strassen_like_multiply(alg, a, b, 1, &ops);
+  EXPECT_EQ(ops.mults, 343u);  // 7^3
+  // One recursion level on top of a 4x4 naive base: 7 * 4^3 mults.
+  OpCounts ops2;
+  strassen_like_multiply(alg, a, b, 4, &ops2);
+  EXPECT_EQ(ops2.mults, 7u * 64u);
+}
+
+TEST(StrassenLikeTest, AdditionCountMatchesClosedForm) {
+  // Strassen with full recursion on n = 2^r: additions satisfy
+  // A(n) = 7 A(n/2) + 18 (n/2)^2, A(1) = 0 -> A(2^r) = 6 (7^r - 4^r).
+  const auto alg = bilinear::strassen();
+  support::Xoshiro256 rng(11);
+  for (const int r : {1, 2, 3}) {
+    const std::size_t n = std::size_t{1} << r;
+    const auto a = random_matrix<std::int64_t>(n, rng);
+    const auto b = random_matrix<std::int64_t>(n, rng);
+    OpCounts ops;
+    strassen_like_multiply(alg, a, b, 1, &ops);
+    std::uint64_t p7 = 1, p4 = 1;
+    for (int i = 0; i < r; ++i) {
+      p7 *= 7;
+      p4 *= 4;
+    }
+    EXPECT_EQ(ops.adds, 6 * (p7 - p4)) << "r=" << r;
+  }
+}
+
+TEST(StrassenLikeTest, AgreesWithCdagEvaluation) {
+  // The CDAG and the executor are two independent implementations of
+  // the same recursion; they must agree exactly.
+  const auto alg = bilinear::laderman();
+  const int r = 2;
+  const cdag::Cdag graph(alg, r);
+  const std::size_t n = 9;
+  support::Xoshiro256 rng(12);
+  const auto a = random_matrix<std::int64_t>(n, rng);
+  const auto b = random_matrix<std::int64_t>(n, rng);
+  const auto am = cdag::to_morton<std::int64_t>(
+      graph, std::span<const std::int64_t>(a.data()));
+  const auto bm = cdag::to_morton<std::int64_t>(
+      graph, std::span<const std::int64_t>(b.data()));
+  const auto cm = cdag::evaluate<std::int64_t>(graph, am, bm);
+  const auto c_flat = cdag::from_morton<std::int64_t>(graph, cm);
+  const auto c = strassen_like_multiply(alg, a, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(c(i, j), c_flat[i * n + j]);
+    }
+  }
+}
+
+TEST(StrassenLikeTest, DoubleEntriesWithinTolerance) {
+  const auto alg = bilinear::winograd();
+  support::Xoshiro256 rng(13);
+  const std::size_t n = 16;
+  Matrix<double> a(n, n), b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = rng.uniform01() - 0.5;
+      b(i, j) = rng.uniform01() - 0.5;
+    }
+  }
+  const auto fast = strassen_like_multiply(alg, a, b);
+  const auto ref = naive_multiply(a, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_NEAR(fast(i, j), ref(i, j), 1e-10);
+    }
+  }
+}
+
+}  // namespace

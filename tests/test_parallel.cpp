@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/bounds/formulas.hpp"
+#include "pathrouting/parallel/caps.hpp"
+#include "pathrouting/parallel/distributed_strassen.hpp"
+#include "pathrouting/parallel/summa.hpp"
+
+namespace {
+
+using namespace pathrouting;            // NOLINT
+using namespace pathrouting::parallel;  // NOLINT
+
+TEST(MachineTest, BandwidthIsPerSuperstepMax) {
+  Machine machine(3, 100);
+  machine.send(0, 1, 10);
+  machine.send(1, 2, 5);
+  // proc 1 sends 5 and receives 10 -> traffic 15 is the superstep max.
+  machine.end_superstep();
+  EXPECT_EQ(machine.bandwidth_cost(), 15u);
+  EXPECT_EQ(machine.total_words(), 15u);
+  machine.send(2, 0, 7);
+  machine.end_superstep();
+  EXPECT_EQ(machine.bandwidth_cost(), 22u);
+  EXPECT_EQ(machine.supersteps(), 2u);
+}
+
+TEST(MachineTest, SelfSendsAndEmptySuperstepsAreFree) {
+  Machine machine(2, 10);
+  machine.send(0, 0, 1000);
+  machine.end_superstep();
+  EXPECT_EQ(machine.bandwidth_cost(), 0u);
+  EXPECT_EQ(machine.supersteps(), 0u);
+}
+
+TEST(MachineTest, MemoryPeakTracking) {
+  Machine machine(2, 100);
+  machine.alloc(0, 60);
+  machine.alloc(1, 30);
+  machine.alloc(0, 50);
+  EXPECT_EQ(machine.peak_memory(), 110u);
+  EXPECT_FALSE(machine.within_memory());
+  machine.release(0, 50);
+  EXPECT_EQ(machine.peak_memory(), 110u);  // peak is sticky
+}
+
+TEST(SummaTest, ComputesCorrectProduct) {
+  support::Xoshiro256 rng(21);
+  for (const int grid : {1, 2, 4}) {
+    const std::size_t n = 16;
+    const auto a = matmul::random_matrix<std::int64_t>(n, rng);
+    const auto b = matmul::random_matrix<std::int64_t>(n, rng);
+    Machine machine(grid * grid, 1u << 20);
+    const SummaResult res = run_summa(a, b, grid, 4, machine);
+    EXPECT_TRUE(res.correct) << "grid " << grid;
+  }
+}
+
+TEST(SummaTest, BandwidthScalesAsNSquaredOverGrid) {
+  support::Xoshiro256 rng(22);
+  const std::size_t n = 32;
+  const auto a = matmul::random_matrix<std::int64_t>(n, rng);
+  const auto b = matmul::random_matrix<std::int64_t>(n, rng);
+  std::uint64_t prev = 0;
+  for (const int grid : {2, 4, 8}) {
+    Machine machine(grid * grid, 1u << 20);
+    const SummaResult res = run_summa(a, b, grid, 4, machine);
+    ASSERT_TRUE(res.correct);
+    // Ring broadcast: middle processors relay an A and a B slice both
+    // ways, so bandwidth ~ 4 n^2 / grid (grid = 2 has no middle
+    // relays and costs half that).
+    const double expected = 4.0 * static_cast<double>(n) * n / grid;
+    EXPECT_NEAR(static_cast<double>(res.bandwidth_cost), expected,
+                0.6 * expected)
+        << "grid " << grid;
+    if (prev != 0) {
+      EXPECT_LE(res.bandwidth_cost, prev);
+    }
+    prev = res.bandwidth_cost;
+  }
+}
+
+TEST(SummaTest, SingleProcessorMovesNothing) {
+  support::Xoshiro256 rng(23);
+  const auto a = matmul::random_matrix<std::int64_t>(8, rng);
+  const auto b = matmul::random_matrix<std::int64_t>(8, rng);
+  Machine machine(1, 1u << 20);
+  const SummaResult res = run_summa(a, b, 1, 8, machine);
+  EXPECT_TRUE(res.correct);
+  EXPECT_EQ(res.bandwidth_cost, 0u);
+}
+
+TEST(Summa25DTest, ReplicationReducesBandwidth) {
+  const double n = 1 << 12;
+  const Cost25D c1 = simulate_25d(n, 64, 1);
+  const Cost25D c4 = simulate_25d(n, 64, 4);
+  EXPECT_LT(c4.bandwidth_cost, c1.bandwidth_cost);
+  EXPECT_GT(c4.memory_per_proc, c1.memory_per_proc);
+  // c = 1 is plain SUMMA: 4 n^2 / sqrt(P).
+  EXPECT_NEAR(c1.bandwidth_cost, 4.0 * n * n / 8.0, 1e-6);
+}
+
+TEST(DistributedStrassenTest, OneBfsLevelComputesCorrectProduct) {
+  support::Xoshiro256 rng(41);
+  for (const char* name : {"strassen", "winograd", "laderman"}) {
+    const auto alg = bilinear::by_name(name);
+    const std::size_t n =
+        static_cast<std::size_t>(alg.n0()) * static_cast<std::size_t>(alg.n0()) * 4;
+    const auto a = matmul::random_matrix<std::int64_t>(n, rng);
+    const auto b = matmul::random_matrix<std::int64_t>(n, rng);
+    Machine machine(alg.b(), 1ull << 30);
+    const auto res = run_distributed_strassen_like(alg, a, b, machine, 4);
+    EXPECT_TRUE(res.correct) << name;
+    EXPECT_GT(res.bandwidth_cost, 0u);
+    EXPECT_EQ(res.supersteps, 2u);
+  }
+}
+
+TEST(DistributedStrassenTest, TrafficMatchesCapsAccounting) {
+  // The value-level execution must move exactly the words the CAPS
+  // accounting model charges for one BFS step:
+  //   per superstep, proc p sends (b-1) * rows_p * (n/n0) words per
+  //   phase-1 operand pair, and receives the complementary slices.
+  const auto alg = bilinear::strassen();
+  support::Xoshiro256 rng(42);
+  const std::size_t n = 56;  // divisible by n0=2; inner rows 28 over 7 procs
+  const auto a = matmul::random_matrix<std::int64_t>(n, rng);
+  const auto b = matmul::random_matrix<std::int64_t>(n, rng);
+  Machine machine(7, 1ull << 30);
+  const auto res = run_distributed_strassen_like(alg, a, b, machine, 8);
+  ASSERT_TRUE(res.correct);
+  const std::uint64_t half = n / 2;            // 28
+  const std::uint64_t rows = half / 7;         // 4 inner rows per proc
+  // Phase 1 total: each of 7 procs sends 6 * 2*rows*half words; phase 3
+  // total: each sends 6 * rows*half.
+  const std::uint64_t phase1 = 7ull * 6 * 2 * rows * half;
+  const std::uint64_t phase3 = 7ull * 6 * rows * half;
+  EXPECT_EQ(res.total_words, phase1 + phase3);
+  // Balanced: critical-path cost = per-proc traffic (sent + received).
+  EXPECT_EQ(res.bandwidth_cost,
+            (6 * 2 * rows * half) * 2 + (6 * rows * half) * 2);
+}
+
+TEST(CapsTest, UnlimitedMemoryIsAllBfs) {
+  const auto alg = bilinear::strassen();
+  const CapsResult res =
+      simulate_caps(alg, 8, {.bfs_levels = 3, .local_memory = 1ull << 40});
+  EXPECT_EQ(res.bfs_steps, 3);
+  EXPECT_EQ(res.dfs_steps, 0);
+  EXPECT_DOUBLE_EQ(res.procs, 343.0);
+}
+
+TEST(CapsTest, TightMemoryForcesDfsSteps) {
+  const auto alg = bilinear::strassen();
+  const double n = std::pow(2.0, 10);
+  // Memory just above the lower limit 3n^2/P forces DFS interleaving.
+  const std::uint64_t m =
+      static_cast<std::uint64_t>(4.0 * n * n / 343.0);
+  const CapsResult res =
+      simulate_caps(alg, 10, {.bfs_levels = 3, .local_memory = m});
+  EXPECT_EQ(res.bfs_steps, 3);
+  EXPECT_GT(res.dfs_steps, 0);
+  EXPECT_TRUE(res.within_memory(2 * m));  // stays near the budget
+}
+
+TEST(CapsTest, BandwidthRespectsBothLowerBounds) {
+  const auto alg = bilinear::strassen();
+  const double w0 = bounds::omega0(4, 7);
+  for (const int l : {1, 2, 3}) {
+    for (const std::uint64_t mem_scale : {1ull, 8ull}) {
+      const int r = 10;
+      const double n = std::pow(2.0, r);
+      const double p = std::pow(7.0, l);
+      const std::uint64_t m = static_cast<std::uint64_t>(
+          3.0 * n * n / p * static_cast<double>(mem_scale));
+      const CapsResult res =
+          simulate_caps(alg, r, {.bfs_levels = l, .local_memory = m});
+      const double lb_mem = bounds::parallel_bandwidth_lb(
+          n, static_cast<double>(res.peak_memory), p, w0);
+      const double lb_ind = bounds::memory_independent_lb(n, p, w0);
+      // Theorem 1: the bandwidth cost is at least both bounds (up to
+      // the paper's unoptimised constants; we allow a 36x constant as
+      // in the Theorem-1 form).
+      EXPECT_GT(res.bandwidth_cost, lb_mem / 36.0) << "l=" << l;
+      EXPECT_GT(res.bandwidth_cost, lb_ind / 36.0) << "l=" << l;
+    }
+  }
+}
+
+TEST(CapsTest, BandwidthDecreasesWithMoreProcessors) {
+  const auto alg = bilinear::strassen();
+  double prev = 1e300;
+  for (const int l : {1, 2, 3, 4}) {
+    const CapsResult res =
+        simulate_caps(alg, 9, {.bfs_levels = l, .local_memory = 1ull << 40});
+    EXPECT_LT(res.bandwidth_cost, prev) << "l=" << l;
+    prev = res.bandwidth_cost;
+  }
+}
+
+TEST(CapsTest, StrongScalingShapeInUnlimitedMemory) {
+  // With unlimited memory the per-processor bandwidth of the all-BFS
+  // schedule scales like n^2 / P^{2/w0} (the memory-independent bound).
+  const auto alg = bilinear::strassen();
+  const double w0 = bounds::omega0(4, 7);
+  const int r = 10;
+  const double n = std::pow(2.0, r);
+  for (const int l : {1, 2, 3}) {
+    const double p = std::pow(7.0, l);
+    const CapsResult res =
+        simulate_caps(alg, r, {.bfs_levels = l, .local_memory = 1ull << 40});
+    const double predicted = bounds::memory_independent_lb(n, p, w0);
+    const double ratio = res.bandwidth_cost / predicted;
+    EXPECT_GT(ratio, 0.3) << "l=" << l;
+    EXPECT_LT(ratio, 40.0) << "l=" << l;
+  }
+}
+
+TEST(CapsTest, GeneralisesToOtherBases) {
+  for (const char* name : {"winograd", "laderman", "strassen_squared"}) {
+    const auto alg = bilinear::by_name(name);
+    const CapsResult res = simulate_caps(
+        alg, 6, {.bfs_levels = 2, .local_memory = 1ull << 40});
+    EXPECT_EQ(res.bfs_steps, 2) << name;
+    EXPECT_GT(res.bandwidth_cost, 0.0) << name;
+    EXPECT_DOUBLE_EQ(res.procs,
+                     std::pow(static_cast<double>(alg.b()), 2.0))
+        << name;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,206 @@
+// Cross-module property suites: the statements the paper quantifies
+// over "every algorithm / every schedule / every cache size", swept as
+// parameterised tests.
+#include <gtest/gtest.h>
+
+#include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/bounds/formulas.hpp"
+#include "pathrouting/bounds/segment_certifier.hpp"
+#include "pathrouting/cdag/evaluate.hpp"
+#include "pathrouting/matmul/strassen_like.hpp"
+#include "pathrouting/pebble/cache_sim.hpp"
+#include "pathrouting/routing/concat_routing.hpp"
+#include "pathrouting/schedule/schedules.hpp"
+#include "pathrouting/schedule/validate.hpp"
+
+namespace {
+
+using namespace pathrouting;  // NOLINT
+using cdag::Cdag;
+using cdag::VertexId;
+
+// ---------------------------------------------------------------------
+// Property: the certified I/O lower bound holds for EVERY schedule.
+// ---------------------------------------------------------------------
+
+struct EverySchedule {
+  std::string schedule;
+  std::uint64_t cache;
+};
+
+class LowerBoundEverySchedule
+    : public ::testing::TestWithParam<EverySchedule> {};
+
+TEST_P(LowerBoundEverySchedule, CertifiedBoundBelowSimulatedIo) {
+  const auto& param = GetParam();
+  const auto alg = bilinear::strassen();
+  const Cdag cdag(alg, 7, {.with_coefficients = false});
+  std::vector<VertexId> order;
+  if (param.schedule == "dfs") {
+    order = schedule::dfs_schedule(cdag);
+  } else if (param.schedule == "bfs") {
+    order = schedule::bfs_schedule(cdag);
+  } else {
+    order = schedule::random_topological_schedule(
+        cdag.graph(), std::hash<std::string>{}(param.schedule));
+  }
+  const bounds::CertifyResult cert =
+      bounds::certify_segments(cdag, order, {.cache_size = param.cache});
+  EXPECT_TRUE(cert.eq_holds(12));
+  EXPECT_TRUE(cert.boundary_ge(3 * param.cache));
+  const auto sim =
+      pebble::simulate(cdag.graph(), order, {.cache_size = param.cache},
+                       [&](VertexId v) { return cdag.layout().is_output(v); });
+  EXPECT_LE(cert.io_lower_bound(param.cache), sim.io());
+  // The paper-constant closed form is itself below the certified count
+  // whenever non-vacuous.
+  const std::uint64_t closed =
+      bounds::theorem1_io_lower_bound(4, 7, 7, param.cache);
+  EXPECT_LE(closed, sim.io());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchedulesAndCaches, LowerBoundEverySchedule,
+    // M = 8 is the largest cache for which k = ceil(log_4 144M) still
+    // fits below r-2 = 5 at r = 7 (and the smallest the pebble game
+    // accepts for Strassen's in-degree-4 decode vertices is 5).
+    ::testing::Values(EverySchedule{"dfs", 8}, EverySchedule{"bfs", 8},
+                      EverySchedule{"rnd1", 8}, EverySchedule{"rnd2", 8},
+                      EverySchedule{"rnd3", 8}, EverySchedule{"rnd4", 8}),
+    [](const auto& info) {
+      return info.param.schedule + "_M" + std::to_string(info.param.cache);
+    });
+
+// ---------------------------------------------------------------------
+// Property: Belady <= LRU and I/O monotone in M, across the catalog.
+// ---------------------------------------------------------------------
+
+class CachePropertyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CachePropertyTest, BeladyBeatsLruAndIoIsMonotoneInM) {
+  const auto alg = bilinear::by_name(GetParam());
+  const int r = alg.n0() == 2 ? 4 : (alg.b() <= 23 ? 3 : 2);
+  const Cdag cdag(alg, r, {.with_coefficients = false});
+  const auto order = schedule::dfs_schedule(cdag);
+  const auto is_out = [&](VertexId v) { return cdag.layout().is_output(v); };
+  std::uint64_t prev = UINT64_MAX;
+  // Floors at 32: strassen_squared decode vertices have in-degree 16.
+  for (const std::uint64_t m : {32ull, 128ull, 512ull}) {
+    const auto belady = pebble::simulate(
+        cdag.graph(), order,
+        {.cache_size = m, .eviction = pebble::Eviction::Belady}, is_out);
+    const auto lru = pebble::simulate(
+        cdag.graph(), order,
+        {.cache_size = m, .eviction = pebble::Eviction::Lru}, is_out);
+    EXPECT_LE(belady.io(), lru.io()) << "M=" << m;
+    EXPECT_LE(belady.io(), prev) << "M=" << m;
+    prev = belady.io();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, CachePropertyTest,
+                         ::testing::Values("strassen", "winograd", "laderman",
+                                           "classical2", "strassen_squared",
+                                           "classical2_x_strassen"),
+                         [](const auto& info) { return info.param; });
+
+// ---------------------------------------------------------------------
+// Property: Equation (2) holds for arbitrary segment quotas, not just
+// the paper's 36M (with k chosen so a^k >= 2 * quota).
+// ---------------------------------------------------------------------
+
+class QuotaSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuotaSweepTest, Equation2HoldsForArbitraryQuotas) {
+  const std::uint64_t quota = GetParam();
+  const auto alg = bilinear::strassen();
+  const Cdag cdag(alg, 6, {.with_coefficients = false});
+  const auto order = schedule::random_topological_schedule(cdag.graph(), 99);
+  const bounds::CertifyResult cert = bounds::certify_segments(
+      cdag, order, {.cache_size = 1, .s_bar_target = quota});
+  ASSERT_GE(cert.complete_segments(), 1u);
+  EXPECT_TRUE(cert.eq_holds(12)) << "quota " << quota;
+}
+
+INSTANTIATE_TEST_SUITE_P(Quotas, QuotaSweepTest,
+                         ::testing::Values(8, 24, 36, 72, 100, 128),
+                         [](const auto& info) {
+                           return "q" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------
+// Property: evaluation agrees between the CDAG and the executor on
+// random inputs for every algorithm (two independent implementations).
+// ---------------------------------------------------------------------
+
+class CrossValidationTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CrossValidationTest, CdagAndExecutorAgree) {
+  const auto alg = bilinear::by_name(GetParam());
+  const int r = 2;
+  const Cdag graph(alg, r);
+  const std::size_t n = static_cast<std::size_t>(graph.layout().n());
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    support::Xoshiro256 rng(seed);
+    const auto a = matmul::random_matrix<std::int64_t>(n, rng);
+    const auto b = matmul::random_matrix<std::int64_t>(n, rng);
+    const auto am = cdag::to_morton<std::int64_t>(
+        graph, std::span<const std::int64_t>(a.data()));
+    const auto bm = cdag::to_morton<std::int64_t>(
+        graph, std::span<const std::int64_t>(b.data()));
+    const auto c_flat = cdag::from_morton<std::int64_t>(
+        graph, cdag::evaluate<std::int64_t>(graph, am, bm));
+    const auto c = matmul::strassen_like_multiply(alg, a, b);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        ASSERT_EQ(c(i, j), c_flat[i * n + j]) << GetParam();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, CrossValidationTest,
+                         ::testing::Values("strassen", "winograd", "laderman",
+                                           "classical2"),
+                         [](const auto& info) { return info.param; });
+
+// ---------------------------------------------------------------------
+// Property: Theorem 2's bound holds for every subcomputation of a
+// larger CDAG, not just the standalone G_k (prefix 0).
+// ---------------------------------------------------------------------
+
+TEST(SubcomputationRoutingTest, BoundHoldsInEveryEmbeddedGk) {
+  const auto alg = bilinear::strassen();
+  const routing::ChainRouter router(alg);
+  const Cdag cdag(alg, 4, {.with_coefficients = false});
+  const int k = 2;
+  for (std::uint64_t prefix = 0; prefix < 49; ++prefix) {
+    const cdag::SubComputation sub(cdag, k, prefix);
+    const auto stats = routing::verify_full_routing_aggregated(router, sub);
+    ASSERT_TRUE(stats.max_vertex_hits <= stats.bound) << "prefix " << prefix;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Property: schedules from all generators stay valid across the
+// catalog after being fed through the certifier and simulator (no
+// hidden state corruption).
+// ---------------------------------------------------------------------
+
+TEST(PipelineTest, CertifyThenSimulateLeavesScheduleValid) {
+  const auto alg = bilinear::winograd();
+  const Cdag cdag(alg, 6, {.with_coefficients = false});
+  const auto order = schedule::dfs_schedule(cdag);
+  ASSERT_TRUE(schedule::validate_schedule(cdag.graph(), order).ok);
+  const bounds::CertifyResult cert =
+      bounds::certify_segments(cdag, order, {.cache_size = 2});
+  pebble::PebbleOptions opts{.cache_size = 8};
+  opts.segment_ends = cert.segment_ends(static_cast<std::uint32_t>(order.size()));
+  const auto sim = pebble::simulate(cdag.graph(), order, opts, [&](VertexId v) {
+    return cdag.layout().is_output(v);
+  });
+  EXPECT_GT(sim.io(), 0u);
+  EXPECT_TRUE(schedule::validate_schedule(cdag.graph(), order).ok);
+}
+
+}  // namespace

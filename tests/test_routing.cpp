@@ -1,0 +1,450 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/cdag/cdag.hpp"
+#include "pathrouting/routing/coefficients.hpp"
+#include "pathrouting/routing/concat_routing.hpp"
+#include "pathrouting/routing/decode_routing.hpp"
+#include "pathrouting/routing/maxflow.hpp"
+#include "pathrouting/support/prng.hpp"
+
+namespace {
+
+using namespace pathrouting;           // NOLINT
+using namespace pathrouting::routing;  // NOLINT
+using cdag::Cdag;
+using cdag::SubComputation;
+using cdag::VertexId;
+
+TEST(MaxFlowTest, SimpleNetwork) {
+  // s=0, t=1; two disjoint augmenting paths of capacity 2 and 1.
+  MaxFlow flow(4);
+  const int e1 = flow.add_edge(0, 2, 2);
+  flow.add_edge(2, 1, 2);
+  const int e2 = flow.add_edge(0, 3, 5);
+  flow.add_edge(3, 1, 1);
+  EXPECT_EQ(flow.solve(0, 1), 3);
+  EXPECT_EQ(flow.flow_on(e1), 2);
+  EXPECT_EQ(flow.flow_on(e2), 1);
+}
+
+TEST(MaxFlowTest, BottleneckInMiddle) {
+  MaxFlow flow(5);
+  flow.add_edge(0, 2, 10);
+  flow.add_edge(0, 3, 10);
+  const int mid = flow.add_edge(2, 4, 1);
+  flow.add_edge(3, 4, 2);
+  flow.add_edge(4, 1, 100);
+  EXPECT_EQ(flow.solve(0, 1), 3);
+  EXPECT_EQ(flow.flow_on(mid), 1);
+}
+
+TEST(HallTest, GuaranteedDigitPairs) {
+  // n0=2: A pairs by rows, B pairs by columns.
+  EXPECT_TRUE(is_guaranteed_digit_pair(2, Side::A, 0, 1));   // a00 -> c01
+  EXPECT_FALSE(is_guaranteed_digit_pair(2, Side::A, 0, 2));  // a00 -> c10
+  EXPECT_TRUE(is_guaranteed_digit_pair(2, Side::B, 1, 3));   // b01 -> c11
+  EXPECT_FALSE(is_guaranteed_digit_pair(2, Side::B, 1, 0));  // b01 -> c00
+}
+
+TEST(HallTest, ExhaustiveAgreesWithFlowOnN0Equals2) {
+  for (const char* name : {"strassen", "winograd", "classical2"}) {
+    const auto alg = bilinear::by_name(name);
+    for (const Side side : {Side::A, Side::B}) {
+      EXPECT_EQ(hall_condition_exhaustive(alg, side),
+                hall_condition_flow(alg, side))
+          << name;
+    }
+  }
+}
+
+class HallCatalogTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(HallCatalogTest, Lemma5HallConditionHolds) {
+  const auto alg = bilinear::by_name(GetParam());
+  EXPECT_TRUE(hall_condition_flow(alg, Side::A));
+  EXPECT_TRUE(hall_condition_flow(alg, Side::B));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, HallCatalogTest,
+                         ::testing::ValuesIn(bilinear::catalog_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(HallTest, MatchingRespectsEdgesAndCapacities) {
+  for (const char* name : {"strassen", "laderman", "strassen_squared"}) {
+    const auto alg = bilinear::by_name(name);
+    for (const Side side : {Side::A, Side::B}) {
+      const auto matching = compute_base_matching(alg, side);
+      ASSERT_TRUE(matching.has_value()) << name;
+      std::map<int, int> load;
+      for (int d_in = 0; d_in < alg.a(); ++d_in) {
+        for (int d_out = 0; d_out < alg.a(); ++d_out) {
+          if (!is_guaranteed_digit_pair(alg.n0(), side, d_in, d_out)) {
+            EXPECT_FALSE(matching->defined(d_in, d_out));
+            continue;
+          }
+          ASSERT_TRUE(matching->defined(d_in, d_out));
+          const int q = matching->product(d_in, d_out);
+          EXPECT_TRUE(h_edge(alg, side, d_in, d_out, q)) << name;
+          ++load[q];
+        }
+      }
+      for (const auto& [q, uses] : load) {
+        EXPECT_LE(uses, alg.n0()) << name << " product " << q;
+      }
+    }
+  }
+}
+
+TEST(HallTest, InfeasibleForACraftedBrokenBase) {
+  // A "base" whose product 0 is the only one touching the outputs: the
+  // Hall condition must fail (not a correct matmul algorithm, of
+  // course — this exercises the failure path).
+  using support::Rational;
+  const int a = 4, b = 7;
+  std::vector<Rational> u(static_cast<std::size_t>(b) * a, Rational(0));
+  std::vector<Rational> v(static_cast<std::size_t>(b) * a, Rational(0));
+  std::vector<Rational> w(static_cast<std::size_t>(a) * b, Rational(0));
+  for (int e = 0; e < a; ++e) {
+    u[static_cast<std::size_t>(e)] = Rational(1);  // product 0 reads all of A
+    v[static_cast<std::size_t>(e)] = Rational(1);
+    w[static_cast<std::size_t>(e) * b] = Rational(e + 1);
+  }
+  for (int q = 1; q < b; ++q) {
+    u[static_cast<std::size_t>(q) * a] = Rational(1);
+    v[static_cast<std::size_t>(q) * a] = Rational(1);
+  }
+  const bilinear::BilinearAlgorithm broken("broken", 2, b, std::move(u),
+                                           std::move(v), std::move(w));
+  EXPECT_FALSE(hall_condition_flow(broken, Side::A));
+  EXPECT_FALSE(hall_condition_exhaustive(broken, Side::A));
+}
+
+TEST(ChainTest, ChainsAreGraphPaths) {
+  for (const char* name : {"strassen", "winograd", "laderman"}) {
+    const auto alg = bilinear::by_name(name);
+    const ChainRouter router(alg);
+    const int k = 2;
+    const Cdag cdag(alg, k, {.with_coefficients = false});
+    const SubComputation sub(cdag, k, 0);
+    const auto& layout = cdag.layout();
+    std::vector<VertexId> chain;
+    for (const Side side : {Side::A, Side::B}) {
+      for (std::uint64_t vpos = 0; vpos < sub.inputs_per_side(); ++vpos) {
+        for (std::uint64_t free = 0; free < guaranteed_fanout(layout, k);
+             ++free) {
+          const std::uint64_t wpos =
+              guaranteed_output(layout, k, side, vpos, free);
+          chain.clear();
+          router.append_chain(sub, side, vpos, wpos, chain);
+          ASSERT_EQ(chain.size(), 2u * k + 2);
+          ASSERT_EQ(chain.front(), sub.input(side, vpos));
+          ASSERT_EQ(chain.back(), sub.output(wpos));
+          for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+            ASSERT_TRUE(cdag.graph().has_edge(chain[i], chain[i + 1]))
+                << name << " hop " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ChainTest, EveryInputHasExactlyN0kGuaranteedOutputs) {
+  const auto alg = bilinear::strassen();
+  const int k = 2;
+  const Cdag cdag(alg, k, {.with_coefficients = false});
+  const auto& layout = cdag.layout();
+  for (std::uint64_t vpos = 0; vpos < layout.inputs_per_side(); ++vpos) {
+    std::uint64_t count = 0;
+    for (std::uint64_t wpos = 0; wpos < layout.inputs_per_side(); ++wpos) {
+      count += is_guaranteed_dep(layout, k, Side::A, vpos, wpos) ? 1 : 0;
+    }
+    EXPECT_EQ(count, guaranteed_fanout(layout, k));
+  }
+}
+
+TEST(ChainTest, GuaranteedOutputEnumerationIsConsistent) {
+  const auto alg = bilinear::laderman();
+  const int k = 2;
+  const Cdag cdag(alg, k, {.with_coefficients = false});
+  const auto& layout = cdag.layout();
+  for (const Side side : {Side::A, Side::B}) {
+    for (std::uint64_t vpos = 0; vpos < 20; ++vpos) {
+      std::set<std::uint64_t> outputs;
+      for (std::uint64_t free = 0; free < guaranteed_fanout(layout, k);
+           ++free) {
+        const std::uint64_t wpos =
+            guaranteed_output(layout, k, side, vpos, free);
+        EXPECT_TRUE(is_guaranteed_dep(layout, k, side, vpos, wpos));
+        outputs.insert(wpos);
+      }
+      EXPECT_EQ(outputs.size(), guaranteed_fanout(layout, k));  // distinct
+    }
+  }
+}
+
+class RoutingBoundsTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(RoutingBoundsTest, Lemma3ChainRoutingBound) {
+  const auto& [name, k] = GetParam();
+  const auto alg = bilinear::by_name(name);
+  const ChainRouter router(alg);
+  const Cdag cdag(alg, k, {.with_coefficients = false});
+  const SubComputation sub(cdag, k, 0);
+  const HitStats stats = verify_chain_routing(router, sub);
+  EXPECT_TRUE(stats.ok()) << "max " << stats.max_hits << " bound "
+                          << stats.bound;
+  // The routing is tight: inputs/outputs themselves are hit exactly
+  // n0^k times per side, so the bound is attained.
+  EXPECT_EQ(stats.max_hits, stats.bound);
+}
+
+TEST_P(RoutingBoundsTest, Lemma4MultiplicitiesAreExactly3N0k) {
+  const auto& [name, k] = GetParam();
+  const auto alg = bilinear::by_name(name);
+  const ChainRouter router(alg);
+  const Cdag cdag(alg, k, {.with_coefficients = false});
+  EXPECT_TRUE(verify_chain_multiplicities(router, SubComputation(cdag, k, 0)));
+}
+
+TEST_P(RoutingBoundsTest, Theorem2RoutingBound) {
+  const auto& [name, k] = GetParam();
+  const auto alg = bilinear::by_name(name);
+  const ChainRouter router(alg);
+  const Cdag cdag(alg, k, {.with_coefficients = false});
+  const SubComputation sub(cdag, k, 0);
+  const FullRoutingStats agg = verify_full_routing_aggregated(router, sub);
+  EXPECT_TRUE(agg.ok()) << "max " << agg.max_vertex_hits << " bound "
+                        << agg.bound;
+  if (k <= 2) {
+    const FullRoutingStats full = verify_full_routing_enumerated(router, sub);
+    EXPECT_TRUE(full.ok());
+    // Aggregated and enumerated counting agree on the max vertex hits.
+    EXPECT_EQ(full.max_vertex_hits, agg.max_vertex_hits);
+    EXPECT_TRUE(full.root_hit_property);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsAndDepths, RoutingBoundsTest,
+    ::testing::Combine(::testing::Values("strassen", "winograd", "laderman",
+                                         "strassen_squared"),
+                       ::testing::Values(1, 2, 3)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(FullPathTest, PathsConnectInputsToOutputs) {
+  const auto alg = bilinear::strassen();
+  const ChainRouter router(alg);
+  const int k = 2;
+  const Cdag cdag(alg, k, {.with_coefficients = false});
+  const SubComputation sub(cdag, k, 0);
+  support::Xoshiro256 rng(17);
+  std::vector<VertexId> path;
+  for (int trial = 0; trial < 200; ++trial) {
+    const Side side = rng.below(2) == 0 ? Side::A : Side::B;
+    const std::uint64_t vpos = rng.below(sub.inputs_per_side());
+    const std::uint64_t wpos = rng.below(sub.inputs_per_side());
+    path.clear();
+    append_full_path(router, sub, side, vpos, wpos, path);
+    ASSERT_EQ(path.front(), sub.input(side, vpos));
+    ASSERT_EQ(path.back(), sub.output(wpos));
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const bool fwd = cdag.graph().has_edge(path[i], path[i + 1]);
+      const bool bwd = cdag.graph().has_edge(path[i + 1], path[i]);
+      ASSERT_TRUE(fwd || bwd) << "hop " << i << " is not an edge";
+    }
+  }
+}
+
+TEST(DecodeRoutingTest, PathsAreValidAndClaim1BoundHolds) {
+  for (const char* name : {"strassen", "winograd", "laderman"}) {
+    const auto alg = bilinear::by_name(name);
+    const DecodeRouter router(alg);
+    EXPECT_EQ(router.d1_size(), alg.a() + alg.b());
+    const int k = alg.n0() == 2 ? 3 : 2;
+    const Cdag cdag(alg, k, {.with_coefficients = false});
+    const SubComputation sub(cdag, k, 0);
+    support::Xoshiro256 rng(5);
+    std::vector<VertexId> path;
+    for (int trial = 0; trial < 100; ++trial) {
+      const std::uint64_t q = rng.below(sub.num_products());
+      const std::uint64_t e = rng.below(sub.inputs_per_side());
+      path.clear();
+      router.append_path(sub, q, e, path);
+      ASSERT_EQ(path.front(), sub.dec(0, q, 0));
+      ASSERT_EQ(path.back(), sub.output(e));
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const bool fwd = cdag.graph().has_edge(path[i], path[i + 1]);
+        const bool bwd = cdag.graph().has_edge(path[i + 1], path[i]);
+        ASSERT_TRUE(fwd || bwd) << name << " hop " << i;
+      }
+    }
+    const HitStats stats = verify_decode_routing(router, sub);
+    EXPECT_TRUE(stats.ok()) << name << ": max " << stats.max_hits << " bound "
+                            << stats.bound;
+  }
+}
+
+TEST(DecodeRoutingTest, D1PathsAlternateAndConnect) {
+  const auto alg = bilinear::strassen();
+  const DecodeRouter router(alg);
+  for (int q = 0; q < alg.b(); ++q) {
+    for (int e = 0; e < alg.a(); ++e) {
+      const auto& path = router.d1_path(q, e);
+      ASSERT_GE(path.size(), 2u);
+      ASSERT_EQ(path.size() % 2, 0u);
+      EXPECT_EQ(path.front(), q);
+      EXPECT_EQ(path.back(), e);
+      // Consecutive hops are W-adjacent (even index = product, odd =
+      // output).
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const int prod = static_cast<int>(i % 2 == 0 ? path[i] : path[i + 1]);
+        const int out = static_cast<int>(i % 2 == 0 ? path[i + 1] : path[i]);
+        EXPECT_FALSE(alg.w(out, prod).is_zero());
+      }
+    }
+  }
+}
+
+TEST(Lemma6Test, FullAlgorithmHasAllCoefficientsCorrect) {
+  for (const char* name : {"strassen", "winograd", "laderman"}) {
+    const auto alg = bilinear::by_name(name);
+    const std::vector<bool> keep(static_cast<std::size_t>(alg.b()), true);
+    for (int i = 0; i < alg.n0(); ++i) {
+      const Lemma6Counts counts = lemma6_counts(alg, keep, i);
+      EXPECT_EQ(counts.correct, alg.n0() * alg.n0()) << name;
+      EXPECT_TRUE(counts.holds()) << name;
+    }
+  }
+}
+
+TEST(Lemma6Test, HoldsUnderRandomPruning) {
+  support::Xoshiro256 rng(2024);
+  for (const char* name : {"strassen", "laderman"}) {
+    const auto alg = bilinear::by_name(name);
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<bool> keep(static_cast<std::size_t>(alg.b()));
+      for (std::size_t q = 0; q < keep.size(); ++q) {
+        keep[q] = rng.below(2) == 1;
+      }
+      for (int i = 0; i < alg.n0(); ++i) {
+        const Lemma6Counts counts = lemma6_counts(alg, keep, i);
+        ASSERT_TRUE(counts.holds())
+            << name << " trial " << trial << " row " << i
+            << ": correct=" << counts.correct
+            << " mults=" << counts.multiplications;
+      }
+    }
+  }
+}
+
+TEST(Lemma6Test, CoefficientFormMatchesBrentView) {
+  const auto alg = bilinear::strassen();
+  const std::vector<bool> keep(7, true);
+  // Coefficient of a01 in c01 must be the unit form b11 (entries:
+  // a01 = 1, c01 = 1, b_{j'=1,j=1} = entry 3).
+  const auto form = a_coefficient_form(alg, keep, 1, 1);
+  for (int f = 0; f < 4; ++f) {
+    EXPECT_EQ(form[static_cast<std::size_t>(f)],
+              f == 3 ? support::Rational(1) : support::Rational(0));
+  }
+  EXPECT_TRUE(a_coefficient_correct(alg, keep, 1, 1));
+  EXPECT_FALSE(a_coefficient_correct(alg, keep, 1, 2));  // rows differ
+}
+
+}  // namespace
+
+namespace tensor_decode_tests {
+
+using namespace pathrouting;           // NOLINT
+using namespace pathrouting::routing;  // NOLINT
+
+TEST(DecodeRoutingTest, WorksOnTensorSquareBases) {
+  // strassen (x) strassen has a connected decoder with a = 16, b = 49:
+  // Claim 1's general bound |D_1| * max(a,b)^k applies.
+  const auto alg = bilinear::strassen_squared();
+  const DecodeRouter router(alg);
+  EXPECT_EQ(router.d1_size(), 16 + 49);
+  const cdag::Cdag graph(alg, 2, {.with_coefficients = false});
+  const auto stats =
+      verify_decode_routing(router, cdag::SubComputation(graph, 2, 0));
+  EXPECT_TRUE(stats.ok());
+}
+
+TEST(DecodeRoutingTest, AbortsOnDisconnectedDecoders) {
+  // classical2 (x) strassen's decoder is disconnected: Claim 1 does not
+  // apply and the router must refuse rather than emit broken paths.
+  EXPECT_DEATH(DecodeRouter router(bilinear::classical2_x_strassen()),
+               "disconnected");
+}
+
+}  // namespace tensor_decode_tests
+
+namespace recursion_consistency_tests {
+
+using namespace pathrouting;           // NOLINT
+using namespace pathrouting::routing;  // NOLINT
+using cdag::Cdag;
+using cdag::SubComputation;
+using cdag::VertexId;
+
+TEST(ChainTest, RoutingIsRecursivelyConsistent) {
+  // Claim 2's structure, checked directly: the chain routed inside an
+  // embedded G_k^i equals the standalone G_k chain mapped through the
+  // Fact-1 coordinate correspondence.
+  const auto alg = bilinear::strassen();
+  const ChainRouter router(alg);
+  const int k = 2;
+  const Cdag big(alg, 4, {.with_coefficients = false});
+  const Cdag small(alg, k, {.with_coefficients = false});
+  const SubComputation embedded(big, k, /*prefix=*/13);
+  const SubComputation standalone(small, k, 0);
+  const auto& small_layout = small.layout();
+  const auto embed = [&](VertexId v) {
+    const cdag::VertexRef ref = small_layout.ref(v);
+    switch (ref.layer) {
+      case cdag::LayerKind::EncA:
+        return embedded.enc(Side::A, ref.rank, ref.q, ref.p);
+      case cdag::LayerKind::EncB:
+        return embedded.enc(Side::B, ref.rank, ref.q, ref.p);
+      case cdag::LayerKind::Dec:
+        return embedded.dec(ref.rank, ref.q, ref.p);
+    }
+    return cdag::kInvalidVertex;
+  };
+  std::vector<VertexId> small_chain, big_chain;
+  for (const Side side : {Side::A, Side::B}) {
+    for (std::uint64_t vpos = 0; vpos < 16; ++vpos) {
+      for (std::uint64_t free = 0; free < 4; ++free) {
+        const std::uint64_t wpos =
+            guaranteed_output(small_layout, k, side, vpos, free);
+        small_chain.clear();
+        big_chain.clear();
+        router.append_chain(standalone, side, vpos, wpos, small_chain);
+        router.append_chain(embedded, side, vpos, wpos, big_chain);
+        ASSERT_EQ(small_chain.size(), big_chain.size());
+        for (std::size_t i = 0; i < small_chain.size(); ++i) {
+          ASSERT_EQ(embed(small_chain[i]), big_chain[i]);
+        }
+      }
+    }
+  }
+}
+
+TEST(GuaranteedTest, FanoutFormula) {
+  const cdag::Layout l2(2, 7, 5);
+  EXPECT_EQ(guaranteed_fanout(l2, 3), 8u);   // 2^3
+  const cdag::Layout l3(3, 23, 4);
+  EXPECT_EQ(guaranteed_fanout(l3, 2), 9u);   // 3^2
+  EXPECT_EQ(guaranteed_fanout(l3, 0), 1u);
+}
+
+}  // namespace recursion_consistency_tests

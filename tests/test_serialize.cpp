@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/bilinear/serialize.hpp"
+#include "pathrouting/bilinear/transform.hpp"
+
+namespace {
+
+using namespace pathrouting::bilinear;  // NOLINT
+using pathrouting::support::Rational;
+
+class RoundTripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RoundTripTest, TextRoundTripPreservesTables) {
+  const BilinearAlgorithm alg = by_name(GetParam());
+  std::stringstream buffer;
+  to_text(alg, buffer);
+  const ParseResult parsed = from_text(buffer);
+  ASSERT_TRUE(parsed.algorithm.has_value()) << parsed.error;
+  const BilinearAlgorithm& back = *parsed.algorithm;
+  EXPECT_EQ(back.name(), alg.name());
+  EXPECT_EQ(back.n0(), alg.n0());
+  EXPECT_EQ(back.b(), alg.b());
+  for (int q = 0; q < alg.b(); ++q) {
+    for (int e = 0; e < alg.a(); ++e) {
+      ASSERT_EQ(back.u(q, e), alg.u(q, e));
+      ASSERT_EQ(back.v(q, e), alg.v(q, e));
+    }
+  }
+  for (int d = 0; d < alg.a(); ++d) {
+    for (int q = 0; q < alg.b(); ++q) {
+      ASSERT_EQ(back.w(d, q), alg.w(d, q));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, RoundTripTest,
+                         ::testing::ValuesIn(catalog_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(SerializeTest, RationalCoefficientsSurvive) {
+  // Transformed algorithms have non-integer coefficients.
+  const auto alg = random_transform(strassen(), 99);
+  std::stringstream buffer;
+  to_text(alg, buffer);
+  const ParseResult parsed = from_text(buffer);
+  ASSERT_TRUE(parsed.algorithm.has_value()) << parsed.error;
+  EXPECT_TRUE(parsed.algorithm->verify_brent());
+}
+
+TEST(SerializeTest, CommentsAndWhitespaceAreIgnored) {
+  std::stringstream in(R"(
+pathrouting-bilinear-v1
+# a 1-product "algorithm" on 2x2 blocks (not a matmul - skip verify)
+name tiny
+n0 2
+products 1
+U
+1 0 0 0   # row for the single product
+V
+0 1 0 0
+W
+1
+1
+1
+1
+)");
+  const ParseResult parsed = from_text(in, /*verify=*/false);
+  ASSERT_TRUE(parsed.algorithm.has_value()) << parsed.error;
+  EXPECT_EQ(parsed.algorithm->name(), "tiny");
+  EXPECT_EQ(parsed.algorithm->b(), 1);
+  EXPECT_EQ(parsed.algorithm->u(0, 0), Rational(1));
+}
+
+TEST(SerializeTest, RejectsMalformedInput) {
+  const auto expect_error = [](const std::string& text) {
+    std::stringstream in(text);
+    const ParseResult parsed = from_text(in, /*verify=*/false);
+    EXPECT_FALSE(parsed.algorithm.has_value());
+    EXPECT_FALSE(parsed.error.empty());
+  };
+  expect_error("");                                      // no header
+  expect_error("bogus-header name x");                   // wrong header
+  expect_error("pathrouting-bilinear-v1\nU\n1");         // tables before n0
+  expect_error("pathrouting-bilinear-v1\nn0 2\nproducts 1\nU\n1 0 0");  // short
+  expect_error(
+      "pathrouting-bilinear-v1\nn0 2\nproducts 1\nU\n1 0 0 zebra");  // token
+  expect_error(
+      "pathrouting-bilinear-v1\nn0 2\nproducts 1\nU\n1 0 0 1/0");  // div 0
+  expect_error("pathrouting-bilinear-v1\nn0 2\nproducts 1\nmystery 3");
+  expect_error("pathrouting-bilinear-v1\nn0 2\nproducts 1\nU\n1 0 0 0");  // no V/W
+}
+
+TEST(SerializeTest, VerifyRejectsWrongAlgorithms) {
+  // Correct shape, wrong maths: verify=true must reject.
+  std::stringstream in(R"(
+pathrouting-bilinear-v1
+name liar
+n0 2
+products 8
+U
+1 0 0 0
+1 0 0 0
+0 1 0 0
+0 1 0 0
+0 0 1 0
+0 0 1 0
+0 0 0 1
+0 0 0 1
+V
+1 0 0 0
+0 1 0 0
+0 0 1 0
+0 0 0 1
+1 0 0 0
+0 1 0 0
+0 0 1 0
+0 0 0 1
+W
+0 1 0 1 0 0 0 0
+1 0 1 0 0 0 0 0
+0 0 0 0 1 0 1 0
+0 0 0 0 0 1 0 1
+)");
+  const ParseResult parsed = from_text(in, /*verify=*/true);
+  EXPECT_FALSE(parsed.algorithm.has_value());
+  EXPECT_NE(parsed.error.find("Brent"), std::string::npos);
+}
+
+}  // namespace

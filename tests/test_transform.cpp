@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "pathrouting/bilinear/analysis.hpp"
+#include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/bilinear/transform.hpp"
+#include "pathrouting/cdag/cdag.hpp"
+#include "pathrouting/cdag/evaluate.hpp"
+#include "pathrouting/bounds/segment_certifier.hpp"
+#include "pathrouting/cdag/meta.hpp"
+#include "pathrouting/schedule/schedules.hpp"
+#include "pathrouting/routing/concat_routing.hpp"
+
+namespace {
+
+using namespace pathrouting;            // NOLINT
+using namespace pathrouting::bilinear;  // NOLINT
+using support::Rational;
+
+TEST(SquareMatrixTest, InverseRoundTrip) {
+  support::Xoshiro256 rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 2 + static_cast<int>(rng.below(3));
+    const SquareMatrix m = random_unimodular(n, rng);
+    const SquareMatrix prod = multiply(m, inverse(m));
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        ASSERT_EQ(prod.at(i, j), i == j ? Rational(1) : Rational(0));
+      }
+    }
+  }
+}
+
+TEST(TransformTest, IdentityTransformIsIdentity) {
+  const auto s = strassen();
+  const SquareMatrix id = SquareMatrix::identity(2);
+  const auto t = transform_basis(s, id, id, id);
+  for (int q = 0; q < s.b(); ++q) {
+    for (int e = 0; e < s.a(); ++e) {
+      EXPECT_EQ(t.u(q, e), s.u(q, e));
+      EXPECT_EQ(t.v(q, e), s.v(q, e));
+    }
+  }
+  for (int d = 0; d < s.a(); ++d) {
+    for (int q = 0; q < s.b(); ++q) EXPECT_EQ(t.w(d, q), s.w(d, q));
+  }
+}
+
+TEST(TransformTest, BasisChangePreservesBrent) {
+  support::Xoshiro256 rng(7);
+  for (const char* name : {"strassen", "winograd", "laderman"}) {
+    const auto base = by_name(name);
+    for (int trial = 0; trial < 10; ++trial) {
+      const SquareMatrix p = random_unimodular(base.n0(), rng);
+      const SquareMatrix q = random_unimodular(base.n0(), rng);
+      const SquareMatrix r = random_unimodular(base.n0(), rng);
+      const auto t = transform_basis(base, p, q, r);
+      ASSERT_TRUE(t.verify_brent()) << name << " trial " << trial;
+    }
+  }
+}
+
+TEST(TransformTest, RotationPreservesBrentAndHasOrderDividing3) {
+  for (const char* name : {"strassen", "laderman", "classical2"}) {
+    const auto base = by_name(name);
+    const auto r1 = rotate_tensor(base);
+    const auto r2 = rotate_tensor(r1);
+    const auto r3 = rotate_tensor(r2);
+    EXPECT_TRUE(r1.verify_brent()) << name;
+    EXPECT_TRUE(r2.verify_brent()) << name;
+    // Rotating three times returns to the original tables.
+    for (int q = 0; q < base.b(); ++q) {
+      for (int e = 0; e < base.a(); ++e) {
+        ASSERT_EQ(r3.u(q, e), base.u(q, e)) << name;
+        ASSERT_EQ(r3.v(q, e), base.v(q, e)) << name;
+      }
+    }
+    for (int d = 0; d < base.a(); ++d) {
+      for (int q = 0; q < base.b(); ++q) {
+        ASSERT_EQ(r3.w(d, q), base.w(d, q)) << name;
+      }
+    }
+  }
+}
+
+TEST(TransformTest, RandomTransformsAreCorrectAndDistinct) {
+  const auto base = strassen();
+  const auto t1 = random_transform(base, 1);
+  const auto t2 = random_transform(base, 2);
+  EXPECT_TRUE(t1.verify_brent());
+  EXPECT_TRUE(t2.verify_brent());
+  // Same seed reproduces; different seeds differ.
+  const auto t1_again = random_transform(base, 1);
+  bool same = true, differ = false;
+  for (int q = 0; q < base.b(); ++q) {
+    for (int e = 0; e < base.a(); ++e) {
+      same = same && t1.u(q, e) == t1_again.u(q, e);
+      differ = differ || t1.u(q, e) != t2.u(q, e);
+    }
+  }
+  EXPECT_TRUE(same);
+  EXPECT_TRUE(differ);
+}
+
+TEST(TransformTest, TransformedCdagStillMultiplies) {
+  // Exact rational evaluation of the transformed algorithm's CDAG
+  // against a rational reference product.
+  const auto alg = random_transform(strassen(), 11);
+  const cdag::Cdag graph(alg, 2);
+  const std::uint64_t n = graph.layout().n();
+  support::Xoshiro256 rng(5);
+  std::vector<Rational> a(n * n), b(n * n);
+  for (auto& x : a) x = Rational(rng.range(-4, 4));
+  for (auto& x : b) x = Rational(rng.range(-4, 4));
+  const auto am = to_morton<Rational>(graph, a);
+  const auto bm = to_morton<Rational>(graph, b);
+  const auto c =
+      from_morton<Rational>(graph, evaluate<Rational>(graph, am, bm));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    for (std::uint64_t j = 0; j < n; ++j) {
+      Rational expected(0);
+      for (std::uint64_t k = 0; k < n; ++k) {
+        expected += a[i * n + k] * b[k * n + j];
+      }
+      ASSERT_EQ(c[i * n + j], expected);
+    }
+  }
+}
+
+class RandomAlgorithmSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomAlgorithmSweep, TheoremsHoldOnSampledAlgorithms) {
+  // Theorem 1 quantifies over every Strassen-like algorithm; sample the
+  // isotropy orbit of Strassen and check the full pipeline: Brent, the
+  // Hall condition (Lemma 5), the chain routing bound (Lemma 3) and the
+  // Routing Theorem bound (Theorem 2).
+  const auto alg = random_transform(bilinear::strassen(), GetParam());
+  ASSERT_TRUE(alg.verify_brent());
+  EXPECT_TRUE(routing::hall_condition_flow(alg, Side::A));
+  EXPECT_TRUE(routing::hall_condition_flow(alg, Side::B));
+  const routing::ChainRouter router(alg);
+  const int k = 2;
+  const cdag::Cdag graph(alg, k, {.with_coefficients = false});
+  const cdag::SubComputation sub(graph, k, 0);
+  const auto l3 = routing::verify_chain_routing(router, sub);
+  EXPECT_TRUE(l3.ok()) << "L3 max " << l3.max_hits << "/" << l3.bound;
+  const auto t2 = routing::verify_full_routing_aggregated(router, sub);
+  EXPECT_LE(t2.max_vertex_hits, t2.bound);
+  EXPECT_TRUE(routing::verify_chain_multiplicities(router, sub));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAlgorithmSweep,
+                         ::testing::Range<std::uint64_t>(100, 120),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+
+namespace laderman_orbit_tests {
+
+using namespace pathrouting;            // NOLINT
+using namespace pathrouting::bilinear;  // NOLINT
+
+class LadermanOrbitSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LadermanOrbitSweep, TheoremsHoldOnN0Equals3Orbit) {
+  // The same pipeline over the isotropy orbit of the <3,3,3;23> base:
+  // n0 = 3 exercises different digit arithmetic everywhere.
+  const auto alg = random_transform(laderman(), GetParam());
+  ASSERT_TRUE(alg.verify_brent());
+  EXPECT_TRUE(routing::hall_condition_flow(alg, Side::A));
+  EXPECT_TRUE(routing::hall_condition_flow(alg, Side::B));
+  const routing::ChainRouter router(alg);
+  const cdag::Cdag graph(alg, 2, {.with_coefficients = false});
+  const cdag::SubComputation sub(graph, 2, 0);
+  EXPECT_TRUE(routing::verify_chain_routing(router, sub).ok());
+  const auto t2 = routing::verify_full_routing_aggregated(router, sub);
+  EXPECT_LE(t2.max_vertex_hits, t2.bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LadermanOrbitSweep,
+                         ::testing::Range<std::uint64_t>(500, 510),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(TransformTest, CertifierHoldsOnTransformedStrassen) {
+  // Basis changes generically destroy all trivial rows: the CDAG has
+  // no copies, every meta-vertex is a single vertex, and the Lemma-1
+  // family keeps everything. Equation (2) must still hold at the
+  // paper's exact quotas — Theorem 1 ranges over ALL Strassen-like
+  // algorithms, and here we certify one far from the catalog.
+  const auto alg = random_transform(strassen(), 777);
+  ASSERT_TRUE(alg.verify_brent());
+  const cdag::Cdag graph(alg, 6, {.with_coefficients = false});
+  EXPECT_EQ(cdag::count_duplicated_vertices(graph), 0u);
+  for (const std::uint64_t seed : {1ull, 2ull}) {
+    const auto order =
+        schedule::random_topological_schedule(graph.graph(), seed);
+    const auto cert =
+        bounds::certify_segments(graph, order, {.cache_size = 2});
+    ASSERT_GE(cert.complete_segments(), 1u);
+    EXPECT_TRUE(cert.eq_holds(12));
+    EXPECT_TRUE(cert.boundary_ge(6));
+  }
+}
+
+}  // namespace laderman_orbit_tests
