@@ -51,12 +51,20 @@ int main() {
   support::Table table(
       {"algorithm", "n0", "b", "omega0", "r", "n", "|V|", "|E|", "dup",
        "multi-copy", "enc-cc", "dec-cc", "single-use", "eval", "build-s"});
+  bench::BenchJson json("cdag");
   for (const auto& name : bilinear::catalog_names()) {
     const auto alg = bilinear::by_name(name);
     const int r = alg.n0() == 2 ? 5 : (alg.b() <= 27 ? 3 : 2);
     bench::Stopwatch timer;
     const cdag::Cdag graph(alg, r);
     const double build = timer.seconds();
+    json.add_record()
+        .set("algorithm", name)
+        .set("r", r)
+        .set("vertices", graph.graph().num_vertices())
+        .set("edges", graph.graph().num_edges())
+        .set("duplicated", cdag::count_duplicated_vertices(graph))
+        .set("build_seconds", build);
     table.add_row(
         {name, std::to_string(alg.n0()), std::to_string(alg.b()),
          fmt_fixed(alg.omega0(), 4), std::to_string(r),

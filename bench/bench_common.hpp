@@ -1,10 +1,16 @@
-// Shared helpers for the experiment benches: consistent headers and
-// wall-clock timing.
+// Shared helpers for the experiment benches: consistent headers,
+// wall-clock timing, and machine-readable result files.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "pathrouting/support/parallel.hpp"
 
 namespace pathrouting::bench {
 
@@ -25,5 +31,106 @@ inline void print_banner(const std::string& experiment,
                          const std::string& claim) {
   std::printf("\n=== %s ===\n%s\n\n", experiment.c_str(), claim.c_str());
 }
+
+/// Machine-readable bench results. Collects flat key/value records and
+/// writes them to `BENCH_<name>.json` in the working directory (or
+/// `$PR_BENCH_JSON_DIR` if set) when `write()` is called or the object
+/// is destroyed. Schema:
+///   {"bench": <name>, "threads": <PR_THREADS resolution>,
+///    "records": [{<config/counts/seconds fields>}, ...]}
+/// Counts recorded here are the determinism contract surface: they must
+/// be bit-identical across thread counts (see README "Threading").
+class BenchJson {
+ public:
+  class Record {
+   public:
+    Record& set(const std::string& key, const std::string& value) {
+      fields_.emplace_back(key, quote(value));
+      return *this;
+    }
+    Record& set(const std::string& key, const char* value) {
+      return set(key, std::string(value));
+    }
+    Record& set(const std::string& key, std::uint64_t value) {
+      fields_.emplace_back(key, std::to_string(value));
+      return *this;
+    }
+    Record& set(const std::string& key, std::uint32_t value) {
+      return set(key, static_cast<std::uint64_t>(value));
+    }
+    Record& set(const std::string& key, int value) {
+      fields_.emplace_back(key, std::to_string(value));
+      return *this;
+    }
+    Record& set(const std::string& key, double value) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6f", value);
+      fields_.emplace_back(key, buf);
+      return *this;
+    }
+    Record& set(const std::string& key, bool value) {
+      fields_.emplace_back(key, value ? "true" : "false");
+      return *this;
+    }
+
+   private:
+    friend class BenchJson;
+    static std::string quote(const std::string& s) {
+      std::string out = "\"";
+      for (const char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+      }
+      out.push_back('"');
+      return out;
+    }
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+  ~BenchJson() { write(); }
+
+  Record& add_record() {
+    records_.emplace_back();
+    return records_.back();
+  }
+
+  void write() {
+    if (written_) return;
+    written_ = true;
+    std::string dir;
+    if (const char* env = std::getenv("PR_BENCH_JSON_DIR")) {
+      dir = std::string(env) + "/";
+    }
+    const std::string path = dir + "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"threads\": %d,\n",
+                 name_.c_str(), support::parallel::num_threads());
+    std::fprintf(f, "  \"records\": [");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "%s\n    {", i == 0 ? "" : ",");
+      const auto& fields = records_[i].fields_;
+      for (std::size_t j = 0; j < fields.size(); ++j) {
+        std::fprintf(f, "%s\"%s\": %s", j == 0 ? "" : ", ",
+                     fields[j].first.c_str(), fields[j].second.c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::vector<Record> records_;
+  bool written_ = false;
+};
 
 }  // namespace pathrouting::bench

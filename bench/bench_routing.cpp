@@ -32,6 +32,7 @@ int main() {
   support::Table table({"algorithm", "k", "chains", "L3 max", "L3 bound",
                         "L4 exact", "T2 max", "T2 meta", "T2 bound", "ok",
                         "sec"});
+  bench::BenchJson json("routing");
   struct Case {
     const char* name;
     int kmax;
@@ -49,11 +50,25 @@ int main() {
       const bool l4 = routing::verify_chain_multiplicities(router, sub);
       const auto t2 = routing::verify_full_routing_aggregated(router, sub);
       const bool ok = l3.ok() && l4 && t2.ok();
+      const double secs = timer.seconds();
+      json.add_record()
+          .set("experiment", "chain_routing")
+          .set("algorithm", c.name)
+          .set("k", k)
+          .set("chains", l3.num_paths)
+          .set("l3_max_hits", l3.max_hits)
+          .set("l3_bound", l3.bound)
+          .set("l4_exact", l4)
+          .set("t2_max_vertex_hits", t2.max_vertex_hits)
+          .set("t2_max_meta_hits", t2.max_meta_hits)
+          .set("t2_bound", t2.bound)
+          .set("ok", ok)
+          .set("seconds", secs);
       table.add_row({c.name, std::to_string(k), fmt_count(l3.num_paths),
                      fmt_count(l3.max_hits), fmt_count(l3.bound),
                      l4 ? "yes" : "NO", fmt_count(t2.max_vertex_hits),
                      fmt_count(t2.max_meta_hits), fmt_count(t2.bound),
-                     ok ? "OK" : "VIOLATED", fmt_fixed(timer.seconds(), 2)});
+                     ok ? "OK" : "VIOLATED", fmt_fixed(secs, 2)});
     }
   }
   table.print(std::cout);
@@ -74,13 +89,23 @@ int main() {
       const cdag::Cdag graph(alg, k, {.with_coefficients = false});
       const cdag::SubComputation sub(graph, k, 0);
       const auto stats = routing::verify_decode_routing(router, sub);
+      const double secs = timer.seconds();
+      json.add_record()
+          .set("experiment", "decode_routing")
+          .set("algorithm", c.name)
+          .set("k", k)
+          .set("paths", stats.num_paths)
+          .set("max_hits", stats.max_hits)
+          .set("bound", stats.bound)
+          .set("ok", stats.ok())
+          .set("seconds", secs);
       claim1.add_row(
           {c.name, std::to_string(k), fmt_count(stats.num_paths),
            fmt_count(stats.max_hits), fmt_count(stats.bound),
            fmt_fixed(static_cast<double>(stats.bound) /
                          static_cast<double>(stats.max_hits),
                      1),
-           stats.ok() ? "OK" : "VIOLATED", fmt_fixed(timer.seconds(), 2)});
+           stats.ok() ? "OK" : "VIOLATED", fmt_fixed(secs, 2)});
     }
   }
   claim1.print(std::cout);

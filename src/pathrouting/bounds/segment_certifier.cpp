@@ -1,6 +1,7 @@
 #include "pathrouting/bounds/segment_certifier.hpp"
 
 #include "pathrouting/bounds/formulas.hpp"
+#include "pathrouting/support/parallel.hpp"
 
 namespace pathrouting::bounds {
 
@@ -298,6 +299,24 @@ CertifyResult certify_segments_decode_only(const Cdag& cdag,
   result.k = k;
   result.counted_total = counted_total;
   return result;
+}
+
+std::vector<CertifyResult> certify_segments_batch(
+    const cdag::Cdag& cdag, std::span<const CertifyJob> jobs) {
+  std::vector<CertifyResult> results(jobs.size());
+  // Each job re-derives its own family/grouping/stamps and writes only
+  // its slot; grain 1 so long and short certifications interleave.
+  support::parallel::parallel_for(
+      0, jobs.size(), /*grain=*/1, [&](std::uint64_t lo, std::uint64_t hi) {
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          const CertifyJob& job = jobs[i];
+          results[i] = job.decode_only
+                           ? certify_segments_decode_only(cdag, job.schedule,
+                                                          job.params)
+                           : certify_segments(cdag, job.schedule, job.params);
+        }
+      });
+  return results;
 }
 
 }  // namespace pathrouting::bounds

@@ -42,6 +42,8 @@ struct SegmentReport {
   ///   attributed I/O >= boundary_vertices - 2M.
   std::uint64_t boundary_vertices = 0;
   bool complete = false;       // reached the quota (last segment may not)
+
+  bool operator==(const SegmentReport&) const = default;
 };
 
 struct CertifyResult {
@@ -63,6 +65,8 @@ struct CertifyResult {
   /// Exclusive end steps of every segment (for pebble attribution).
   [[nodiscard]] std::vector<std::uint32_t> segment_ends(
       std::uint32_t schedule_size) const;
+
+  bool operator==(const CertifyResult&) const = default;
 };
 
 struct CertifyParams {
@@ -80,5 +84,21 @@ CertifyResult certify_segments(const cdag::Cdag& cdag,
 CertifyResult certify_segments_decode_only(const cdag::Cdag& cdag,
                                            std::span<const VertexId> schedule,
                                            const CertifyParams& params);
+
+/// One certification request in a batch: a schedule, its parameters,
+/// and which certifier (Section 6 meta-boundary or Section 5
+/// decode-only) to run.
+struct CertifyJob {
+  std::span<const VertexId> schedule;
+  CertifyParams params;
+  bool decode_only = false;
+};
+
+/// Certifies independent jobs concurrently (PR_THREADS). Every
+/// certification walk already owns its stamp arrays and only reads the
+/// shared CDAG, so jobs run on the pool with results written to fixed
+/// slots — results[i] is bit-identical to running jobs[i] alone.
+std::vector<CertifyResult> certify_segments_batch(
+    const cdag::Cdag& cdag, std::span<const CertifyJob> jobs);
 
 }  // namespace pathrouting::bounds

@@ -10,7 +10,9 @@ Graph::Graph(std::vector<std::uint32_t> in_off, std::vector<VertexId> in_adj)
   PR_REQUIRE(in_off_.front() == 0);
   PR_REQUIRE(in_off_.back() == in_adj_.size());
   const VertexId n = num_vertices();
-  // Derive out-adjacency by counting sort over edge sources.
+  // Derive out-adjacency by counting sort over edge sources. Targets
+  // are scattered in ascending `to` order, so every out-list comes out
+  // sorted — has_edge relies on this invariant (checked below).
   out_off_.assign(static_cast<std::size_t>(n) + 1, 0);
   for (const VertexId from : in_adj_) {
     PR_REQUIRE(from < n);
@@ -24,11 +26,20 @@ Graph::Graph(std::vector<std::uint32_t> in_off, std::vector<VertexId> in_adj)
       out_adj_[cursor[from]++] = to;
     }
   }
+#if defined(PATHROUTING_DEBUG_CHECKS)
+  for (VertexId v = 0; v < n; ++v) {
+    const auto succs = out(v);
+    PR_DCHECK(std::is_sorted(succs.begin(), succs.end()));
+  }
+#endif
 }
 
 bool Graph::has_edge(VertexId from, VertexId to) const {
-  const auto preds = in(to);
-  return std::find(preds.begin(), preds.end(), from) != preds.end();
+  // Out-lists are sorted ascending (construction invariant), so a
+  // binary search beats the linear scan on high-out-degree vertices
+  // (encoding rank-0 inputs fan out to every product).
+  const auto succs = out(from);
+  return std::binary_search(succs.begin(), succs.end(), to);
 }
 
 }  // namespace pathrouting::cdag

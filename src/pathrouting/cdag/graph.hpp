@@ -54,8 +54,10 @@ class Graph {
     return in_off_[v];
   }
 
-  /// True if (from, to) is an edge; linear in deg(to) (used by tests and
-  /// routing validators, not hot paths).
+  /// True if (from, to) is an edge; binary search over the sorted
+  /// out-list of `from` (out-lists are sorted ascending by
+  /// construction; in-adjacency order is untouched — the evaluator's
+  /// coefficient alignment depends on it).
   [[nodiscard]] bool has_edge(VertexId from, VertexId to) const;
 
  private:

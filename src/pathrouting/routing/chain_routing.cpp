@@ -1,8 +1,12 @@
 #include "pathrouting/routing/chain_routing.hpp"
 
+#include "pathrouting/support/parallel.hpp"
+
 namespace pathrouting::routing {
 
 namespace {
+
+namespace parallel = support::parallel;
 
 BaseMatching require_matching(const BilinearAlgorithm& alg, Side side) {
   auto matching = compute_base_matching(alg, side);
@@ -50,26 +54,43 @@ ChainHitCounts count_chain_hits(const ChainRouter& router,
                                 const SubComputation& sub) {
   const cdag::Layout& layout = sub.cdag().layout();
   const int k = sub.k();
-  ChainHitCounts counts;
-  counts.hits.assign(sub.cdag().graph().num_vertices(), 0);
+  const std::uint64_t num_in = sub.inputs_per_side();
   const std::uint64_t fanout = guaranteed_fanout(layout, k);
-  std::vector<VertexId> chain;
-  for (const Side side : {Side::A, Side::B}) {
-    for (std::uint64_t vpos = 0; vpos < sub.inputs_per_side(); ++vpos) {
-      for (std::uint64_t free = 0; free < fanout; ++free) {
-        const std::uint64_t wpos =
-            guaranteed_output(layout, k, side, vpos, free);
-        chain.clear();
-        router.append_chain(sub, side, vpos, wpos, chain);
-        ++counts.num_chains;
-        for (const VertexId v : chain) {
-          const std::uint64_t h = ++counts.hits[v];
-          if (h > counts.max_hits) {
-            counts.max_hits = h;
-            counts.argmax = v;
+  const std::uint64_t n = sub.cdag().graph().num_vertices();
+  // One chunk body walks all chains of a range of (side, input) pairs;
+  // per-worker hit shards merge by elementwise integer sum, which is
+  // exactly commutative, so the merged array is bit-identical to the
+  // serial count at any thread count.
+  ChainHitCounts counts;
+  counts.num_chains = 2 * num_in * fanout;
+  counts.hits = parallel::sharded_accumulate<std::vector<std::uint64_t>>(
+      0, 2 * num_in, /*grain=*/16,
+      [&] { return std::vector<std::uint64_t>(n, 0); },
+      [&](std::vector<std::uint64_t>& hits, std::uint64_t lo,
+          std::uint64_t hi) {
+        std::vector<VertexId> chain;
+        for (std::uint64_t idx = lo; idx < hi; ++idx) {
+          const Side side = idx < num_in ? Side::A : Side::B;
+          const std::uint64_t vpos = idx < num_in ? idx : idx - num_in;
+          for (std::uint64_t free = 0; free < fanout; ++free) {
+            const std::uint64_t wpos =
+                guaranteed_output(layout, k, side, vpos, free);
+            chain.clear();
+            router.append_chain(sub, side, vpos, wpos, chain);
+            for (const VertexId v : chain) ++hits[v];
           }
         }
-      }
+      },
+      [](std::vector<std::uint64_t>& acc,
+         const std::vector<std::uint64_t>& shard) {
+        for (std::size_t v = 0; v < acc.size(); ++v) acc[v] += shard[v];
+      });
+  // Max and argmax from the merged array; ties resolve to the smallest
+  // vertex id, independent of enumeration or thread schedule.
+  for (VertexId v = 0; v < n; ++v) {
+    if (counts.hits[v] > counts.max_hits) {
+      counts.max_hits = counts.hits[v];
+      counts.argmax = v;
     }
   }
   return counts;

@@ -46,7 +46,9 @@ class ChainRouter {
 
 /// Per-vertex hit counts of the full Lemma-3 chain routing (all
 /// guaranteed dependencies, both sides) of `sub`. `hits` is indexed by
-/// *global* vertex id of sub's owning CDAG.
+/// *global* vertex id of sub's owning CDAG. Counting parallelizes over
+/// inputs (PR_THREADS) with bit-identical results at any thread count;
+/// `argmax` is the smallest vertex id attaining `max_hits`.
 struct ChainHitCounts {
   std::vector<std::uint64_t> hits;
   std::uint64_t num_chains = 0;

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 
+#include "pathrouting/support/parallel.hpp"
+
 namespace pathrouting::routing {
 
 namespace {
+
+namespace parallel = support::parallel;
 
 using cdag::Layout;
 using cdag::RowCol;
@@ -66,32 +70,48 @@ bool verify_chain_multiplicities(const ChainRouter& router,
   const std::uint64_t num_in = sub.inputs_per_side();
   const std::uint64_t fanout = guaranteed_fanout(layout, k);  // n0^k
   // Chain key: input position x fanout + free word (= the unconstrained
-  // row/column word of the chain's output).
-  std::vector<std::uint64_t> uses_a(num_in * fanout, 0);
-  std::vector<std::uint64_t> uses_b(num_in * fanout, 0);
-  const auto use = [&](Side side, std::uint64_t in_pos, std::uint64_t out_pos) {
-    const RowCol oc = cdag::morton_to_rowcol(layout.pow_a(), n0, out_pos, k);
-    const std::uint64_t free = side == Side::A ? oc.col : oc.row;
-    auto& uses = side == Side::A ? uses_a : uses_b;
-    ++uses[in_pos * fanout + free];
+  // row/column word of the chain's output). Use counters accumulate in
+  // per-worker shards merged by integer sum (exactly commutative).
+  struct Uses {
+    std::vector<std::uint64_t> a, b;
   };
-  for (const Side in_side : {Side::A, Side::B}) {
-    for (std::uint64_t vpos = 0; vpos < num_in; ++vpos) {
-      for (std::uint64_t wpos = 0; wpos < num_in; ++wpos) {
-        const PathSpec spec = make_spec(layout, k, in_side, vpos, wpos);
-        use(spec.side1, spec.v1, spec.w1);
-        use(spec.side2, spec.v2, spec.w2);
-        use(spec.side3, spec.v3, spec.w3);
-      }
-    }
-  }
+  const Uses uses = parallel::sharded_accumulate<Uses>(
+      0, 2 * num_in, /*grain=*/8,
+      [&] {
+        return Uses{std::vector<std::uint64_t>(num_in * fanout, 0),
+                    std::vector<std::uint64_t>(num_in * fanout, 0)};
+      },
+      [&](Uses& acc, std::uint64_t lo, std::uint64_t hi) {
+        const auto use = [&](Side side, std::uint64_t in_pos,
+                             std::uint64_t out_pos) {
+          const RowCol oc =
+              cdag::morton_to_rowcol(layout.pow_a(), n0, out_pos, k);
+          const std::uint64_t free = side == Side::A ? oc.col : oc.row;
+          auto& counters = side == Side::A ? acc.a : acc.b;
+          ++counters[in_pos * fanout + free];
+        };
+        for (std::uint64_t idx = lo; idx < hi; ++idx) {
+          const Side in_side = idx < num_in ? Side::A : Side::B;
+          const std::uint64_t vpos = idx < num_in ? idx : idx - num_in;
+          for (std::uint64_t wpos = 0; wpos < num_in; ++wpos) {
+            const PathSpec spec = make_spec(layout, k, in_side, vpos, wpos);
+            use(spec.side1, spec.v1, spec.w1);
+            use(spec.side2, spec.v2, spec.w2);
+            use(spec.side3, spec.v3, spec.w3);
+          }
+        }
+      },
+      [](Uses& acc, const Uses& shard) {
+        for (std::size_t i = 0; i < acc.a.size(); ++i) acc.a[i] += shard.a[i];
+        for (std::size_t i = 0; i < acc.b.size(); ++i) acc.b[i] += shard.b[i];
+      });
   (void)router;
   const std::uint64_t expected = 3 * fanout;  // 3 * n0^k (Lemma 4)
-  const auto all_expected = [&](const std::vector<std::uint64_t>& uses) {
-    return std::all_of(uses.begin(), uses.end(),
+  const auto all_expected = [&](const std::vector<std::uint64_t>& counters) {
+    return std::all_of(counters.begin(), counters.end(),
                        [&](std::uint64_t u) { return u == expected; });
   };
-  return all_expected(uses_a) && all_expected(uses_b);
+  return all_expected(uses.a) && all_expected(uses.b);
 }
 
 FullRoutingStats verify_full_routing_enumerated(const ChainRouter& router,
@@ -99,44 +119,70 @@ FullRoutingStats verify_full_routing_enumerated(const ChainRouter& router,
   const cdag::Cdag& owner = sub.cdag();
   const Layout& layout = owner.layout();
   const std::uint64_t num_in = sub.inputs_per_side();
+  const std::uint64_t n = owner.graph().num_vertices();
   FullRoutingStats stats;
   stats.bound = 6 * layout.pow_a()(sub.k());  // 6 * a^k
-  std::vector<std::uint32_t> vertex_hits(owner.graph().num_vertices(), 0);
-  std::vector<std::uint32_t> meta_hits(owner.graph().num_vertices(), 0);
-  std::vector<VertexId> path;
-  std::vector<VertexId> roots_on_path;
-  for (const Side in_side : {Side::A, Side::B}) {
-    for (std::uint64_t vpos = 0; vpos < num_in; ++vpos) {
-      for (std::uint64_t wpos = 0; wpos < num_in; ++wpos) {
-        path.clear();
-        append_full_path(router, sub, in_side, vpos, wpos, path);
-        ++stats.num_paths;
-        roots_on_path.clear();
-        for (const VertexId v : path) {
-          const std::uint32_t h = ++vertex_hits[v];
-          if (h > stats.max_vertex_hits) {
-            stats.max_vertex_hits = h;
-            stats.argmax_vertex = v;
-          }
-          const VertexId root = owner.meta_root(v);
-          if (std::find(roots_on_path.begin(), roots_on_path.end(), root) ==
-              roots_on_path.end()) {
-            roots_on_path.push_back(root);
-            stats.max_meta_hits =
-                std::max<std::uint64_t>(stats.max_meta_hits, ++meta_hits[root]);
+  stats.num_paths = 2 * num_in * num_in;
+  // Hit shards merge by integer sum and the root-hit flag by logical
+  // and — both exactly commutative, so the result is thread-count
+  // independent.
+  struct Acc {
+    std::vector<std::uint32_t> vertex_hits, meta_hits;
+    bool root_hit_property = true;
+  };
+  const Acc acc = parallel::sharded_accumulate<Acc>(
+      0, 2 * num_in, /*grain=*/4,
+      [&] {
+        return Acc{std::vector<std::uint32_t>(n, 0),
+                   std::vector<std::uint32_t>(n, 0), true};
+      },
+      [&](Acc& shard, std::uint64_t lo, std::uint64_t hi) {
+        std::vector<VertexId> path;
+        std::vector<VertexId> roots_on_path;
+        for (std::uint64_t idx = lo; idx < hi; ++idx) {
+          const Side in_side = idx < num_in ? Side::A : Side::B;
+          const std::uint64_t vpos = idx < num_in ? idx : idx - num_in;
+          for (std::uint64_t wpos = 0; wpos < num_in; ++wpos) {
+            path.clear();
+            append_full_path(router, sub, in_side, vpos, wpos, path);
+            roots_on_path.clear();
+            for (const VertexId v : path) {
+              ++shard.vertex_hits[v];
+              const VertexId root = owner.meta_root(v);
+              if (std::find(roots_on_path.begin(), roots_on_path.end(),
+                            root) == roots_on_path.end()) {
+                roots_on_path.push_back(root);
+                ++shard.meta_hits[root];
+              }
+            }
+            // Root-hit property: a path touching any member of a
+            // duplicated meta-vertex must touch its root.
+            for (const VertexId v : path) {
+              if (owner.is_duplicated(v) && v != owner.meta_root(v) &&
+                  std::find(path.begin(), path.end(), owner.meta_root(v)) ==
+                      path.end()) {
+                shard.root_hit_property = false;
+              }
+            }
           }
         }
-        // Root-hit property: a path touching any member of a duplicated
-        // meta-vertex must touch its root.
-        for (const VertexId v : path) {
-          if (owner.is_duplicated(v) && v != owner.meta_root(v) &&
-              std::find(path.begin(), path.end(), owner.meta_root(v)) ==
-                  path.end()) {
-            stats.root_hit_property = false;
-          }
+      },
+      [](Acc& target, const Acc& shard) {
+        for (std::size_t v = 0; v < target.vertex_hits.size(); ++v) {
+          target.vertex_hits[v] += shard.vertex_hits[v];
+          target.meta_hits[v] += shard.meta_hits[v];
         }
-      }
+        target.root_hit_property =
+            target.root_hit_property && shard.root_hit_property;
+      });
+  stats.root_hit_property = acc.root_hit_property;
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (acc.vertex_hits[v] > stats.max_vertex_hits) {
+      stats.max_vertex_hits = acc.vertex_hits[v];
+      stats.argmax_vertex = static_cast<VertexId>(v);
     }
+    stats.max_meta_hits =
+        std::max<std::uint64_t>(stats.max_meta_hits, acc.meta_hits[v]);
   }
   return stats;
 }

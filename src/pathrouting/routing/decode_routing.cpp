@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <deque>
 
+#include "pathrouting/support/parallel.hpp"
+
 namespace pathrouting::routing {
 
 namespace {
+
+namespace parallel = support::parallel;
 
 /// BFS in the undirected bipartite D_1 (b products, a outputs) from
 /// product `q0`; returns for each node its BFS parent, with products
@@ -113,20 +117,35 @@ HitStats verify_decode_routing(const DecodeRouter& router,
   const std::uint64_t big =
       std::max(layout.pow_a()(k), layout.pow_b()(k));
   stats.bound = static_cast<std::uint64_t>(router.d1_size()) * big;
-  std::vector<std::uint64_t> hits(sub.cdag().graph().num_vertices(), 0);
-  std::vector<cdag::VertexId> path;
-  for (std::uint64_t q = 0; q < sub.num_products(); ++q) {
-    for (std::uint64_t e = 0; e < sub.inputs_per_side(); ++e) {
-      path.clear();
-      router.append_path(sub, q, e, path);
-      ++stats.num_paths;
-      for (const cdag::VertexId v : path) {
-        const std::uint64_t h = ++hits[v];
-        if (h > stats.max_hits) {
-          stats.max_hits = h;
-          stats.argmax = v;
-        }
-      }
+  const std::uint64_t n = sub.cdag().graph().num_vertices();
+  const std::uint64_t num_q = sub.num_products();
+  const std::uint64_t num_e = sub.inputs_per_side();
+  stats.num_paths = num_q * num_e;
+  // Parallel over products; per-worker hit shards merge by integer sum
+  // (exactly commutative), so counts are thread-count independent.
+  const std::vector<std::uint64_t> hits =
+      parallel::sharded_accumulate<std::vector<std::uint64_t>>(
+          0, num_q, /*grain=*/8,
+          [&] { return std::vector<std::uint64_t>(n, 0); },
+          [&](std::vector<std::uint64_t>& shard, std::uint64_t lo,
+              std::uint64_t hi) {
+            std::vector<cdag::VertexId> path;
+            for (std::uint64_t q = lo; q < hi; ++q) {
+              for (std::uint64_t e = 0; e < num_e; ++e) {
+                path.clear();
+                router.append_path(sub, q, e, path);
+                for (const cdag::VertexId v : path) ++shard[v];
+              }
+            }
+          },
+          [](std::vector<std::uint64_t>& acc,
+             const std::vector<std::uint64_t>& shard) {
+            for (std::size_t v = 0; v < acc.size(); ++v) acc[v] += shard[v];
+          });
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (hits[v] > stats.max_hits) {
+      stats.max_hits = hits[v];
+      stats.argmax = static_cast<cdag::VertexId>(v);
     }
   }
   return stats;

@@ -1,7 +1,6 @@
 #include "pathrouting/routing/maxflow.hpp"
 
 #include <algorithm>
-#include <deque>
 
 #include "pathrouting/support/check.hpp"
 
@@ -27,40 +26,65 @@ int MaxFlow::add_edge(int from, int to, std::int64_t capacity) {
 
 bool MaxFlow::bfs(int s, int t) {
   level_.assign(adj_.size(), -1);
-  std::deque<int> queue = {s};
+  bfs_queue_.clear();
+  bfs_queue_.push_back(s);
   level_[static_cast<std::size_t>(s)] = 0;
-  while (!queue.empty()) {
-    const int v = queue.front();
-    queue.pop_front();
+  for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
+    const int v = bfs_queue_[head];
     for (const Edge& e : adj_[static_cast<std::size_t>(v)]) {
       if (e.cap > 0 && level_[static_cast<std::size_t>(e.to)] < 0) {
         level_[static_cast<std::size_t>(e.to)] =
             level_[static_cast<std::size_t>(v)] + 1;
-        queue.push_back(e.to);
+        bfs_queue_.push_back(e.to);
       }
     }
   }
   return level_[static_cast<std::size_t>(t)] >= 0;
 }
 
-std::int64_t MaxFlow::dfs(int v, int t, std::int64_t limit) {
-  if (v == t) return limit;
-  for (std::size_t& i = iter_[static_cast<std::size_t>(v)];
-       i < adj_[static_cast<std::size_t>(v)].size(); ++i) {
-    Edge& e = adj_[static_cast<std::size_t>(v)][i];
-    if (e.cap <= 0 || level_[static_cast<std::size_t>(e.to)] !=
-                          level_[static_cast<std::size_t>(v)] + 1) {
-      continue;
-    }
-    const std::int64_t pushed = dfs(e.to, t, std::min(limit, e.cap));
-    if (pushed > 0) {
-      e.cap -= pushed;
-      adj_[static_cast<std::size_t>(e.to)][static_cast<std::size_t>(e.rev)]
-          .cap += pushed;
+std::int64_t MaxFlow::dfs(int s, int t, std::int64_t limit) {
+  // Iterative blocking-flow search: the recursive formulation overflows
+  // the call stack on long level graphs (a path network of 10^5 nodes
+  // means 10^5 frames), so the path is kept explicitly. path_[i] is the
+  // edge taken out of its source; iter_ persists across calls exactly
+  // like the recursive version, so the sequence of augmenting paths —
+  // and hence every per-edge flow — is unchanged.
+  path_.clear();
+  int v = s;
+  while (true) {
+    if (v == t) {
+      std::int64_t pushed = limit;
+      for (const auto& [node, index] : path_) {
+        pushed = std::min(pushed,
+                          adj_[static_cast<std::size_t>(node)][index].cap);
+      }
+      for (const auto& [node, index] : path_) {
+        Edge& e = adj_[static_cast<std::size_t>(node)][index];
+        e.cap -= pushed;
+        adj_[static_cast<std::size_t>(e.to)][static_cast<std::size_t>(e.rev)]
+            .cap += pushed;
+      }
       return pushed;
     }
+    bool advanced = false;
+    for (std::size_t& i = iter_[static_cast<std::size_t>(v)];
+         i < adj_[static_cast<std::size_t>(v)].size(); ++i) {
+      const Edge& e = adj_[static_cast<std::size_t>(v)][i];
+      if (e.cap > 0 && level_[static_cast<std::size_t>(e.to)] ==
+                           level_[static_cast<std::size_t>(v)] + 1) {
+        path_.emplace_back(v, i);
+        v = e.to;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) {
+      if (path_.empty()) return 0;  // source exhausted: no augmenting path
+      v = path_.back().first;
+      path_.pop_back();
+      ++iter_[static_cast<std::size_t>(v)];  // this edge leads nowhere
+    }
   }
-  return 0;
 }
 
 std::int64_t MaxFlow::solve(int s, int t) {

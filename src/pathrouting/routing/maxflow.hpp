@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace pathrouting::routing {
@@ -35,11 +36,15 @@ class MaxFlow {
   };
 
   bool bfs(int s, int t);
-  std::int64_t dfs(int v, int t, std::int64_t limit);
+  std::int64_t dfs(int s, int t, std::int64_t limit);
 
   std::vector<std::vector<Edge>> adj_;
   std::vector<int> level_;
   std::vector<std::size_t> iter_;
+  std::vector<int> bfs_queue_;  // reusable BFS queue (head index scan)
+  // Current DFS path as (node, edge index) pairs; kept explicit so deep
+  // level graphs cannot overflow the call stack.
+  std::vector<std::pair<int, std::size_t>> path_;
   std::vector<std::pair<int, int>> handles_;  // (node, index in adj_[node])
   std::vector<std::int64_t> original_cap_;
 };

@@ -1,0 +1,165 @@
+#include "pathrouting/support/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace pathrouting::support::parallel {
+
+namespace {
+
+int env_threads() {
+  if (const char* env = std::getenv("PR_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n < 1024 ? n : 1024;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+std::atomic<int> g_override{0};
+
+// True on pool worker threads and inside a caller's participation in a
+// parallel region: nested parallel calls run inline.
+thread_local bool t_in_parallel_region = false;
+
+/// Lazily-spawned persistent pool. A job is a chunked range with a
+/// shared atomic cursor; participating threads (the caller plus up to
+/// num_threads()-1 workers) claim chunks until the cursor runs out.
+/// Workers spawned for a high thread count simply sit out jobs issued
+/// with a lower count, so set_thread_override can move both ways
+/// without joining threads.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool* pool = new Pool;  // leaked: workers may outlive statics
+    return *pool;
+  }
+
+  void run(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+           const std::function<void(std::uint64_t, std::uint64_t, int)>& fn,
+           int threads) {
+    std::unique_lock<std::mutex> lock(job_mutex_);
+    ensure_workers(threads - 1);
+    {
+      std::lock_guard<std::mutex> state(mutex_);
+      job_fn_ = &fn;
+      job_end_ = end;
+      job_grain_ = grain;
+      job_workers_ = threads - 1;
+      cursor_.store(begin, std::memory_order_relaxed);
+      active_.store(threads, std::memory_order_relaxed);
+      ++job_seq_;
+    }
+    cv_.notify_all();
+    participate(fn, 0);
+    {
+      std::unique_lock<std::mutex> state(mutex_);
+      done_cv_.wait(state, [&] {
+        return active_.load(std::memory_order_acquire) == 0;
+      });
+      job_fn_ = nullptr;
+    }
+  }
+
+ private:
+  Pool() = default;
+
+  void ensure_workers(int count) {
+    while (static_cast<int>(workers_.size()) < count) {
+      const int id = static_cast<int>(workers_.size()) + 1;
+      workers_.emplace_back([this, id] { worker_loop(id); });
+    }
+  }
+
+  void participate(
+      const std::function<void(std::uint64_t, std::uint64_t, int)>& fn,
+      int worker_id) {
+    t_in_parallel_region = true;
+    while (true) {
+      const std::uint64_t lo =
+          cursor_.fetch_add(job_grain_, std::memory_order_relaxed);
+      if (lo >= job_end_) break;
+      const std::uint64_t hi =
+          job_end_ - lo < job_grain_ ? job_end_ : lo + job_grain_;
+      fn(lo, hi, worker_id);
+    }
+    t_in_parallel_region = false;
+    if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> state(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+
+  void worker_loop(int id) {
+    std::uint64_t seen_seq = 0;
+    while (true) {
+      const std::function<void(std::uint64_t, std::uint64_t, int)>* fn =
+          nullptr;
+      {
+        std::unique_lock<std::mutex> state(mutex_);
+        cv_.wait(state, [&] { return job_seq_ != seen_seq; });
+        seen_seq = job_seq_;
+        if (id > job_workers_) {
+          // Not part of this job (thread count lowered): skip without
+          // touching the active counter.
+          continue;
+        }
+        fn = job_fn_;
+      }
+      if (fn != nullptr) participate(*fn, id);
+    }
+  }
+
+  // Serializes whole jobs (parallel regions entered from distinct
+  // threads queue up rather than interleave).
+  std::mutex job_mutex_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+
+  const std::function<void(std::uint64_t, std::uint64_t, int)>* job_fn_ =
+      nullptr;
+  std::uint64_t job_end_ = 0;
+  std::uint64_t job_grain_ = 1;
+  int job_workers_ = 0;
+  std::uint64_t job_seq_ = 0;
+  std::atomic<std::uint64_t> cursor_{0};
+  std::atomic<int> active_{0};
+};
+
+}  // namespace
+
+int num_threads() {
+  const int forced = g_override.load(std::memory_order_relaxed);
+  if (forced >= 1) return forced;
+  static const int resolved = env_threads();
+  return resolved;
+}
+
+void set_thread_override(int n) {
+  PR_REQUIRE(n >= 0);
+  g_override.store(n, std::memory_order_relaxed);
+}
+
+void for_chunks(
+    std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+    const std::function<void(std::uint64_t, std::uint64_t, int)>& fn) {
+  if (end <= begin) return;
+  PR_REQUIRE(grain >= 1);
+  const int threads = num_threads();
+  const std::uint64_t num_chunks = (end - begin + grain - 1) / grain;
+  if (threads == 1 || num_chunks == 1 || t_in_parallel_region) {
+    for (std::uint64_t lo = begin; lo < end; lo += grain) {
+      fn(lo, end - lo < grain ? end : lo + grain, 0);
+    }
+    return;
+  }
+  Pool::instance().run(begin, end, grain, fn, threads);
+}
+
+}  // namespace pathrouting::support::parallel

@@ -1,0 +1,117 @@
+// Deterministic parallel execution substrate.
+//
+// Every count this library produces is a correctness claim, so the
+// parallel primitives are designed for bit-identical results at ANY
+// thread count (PR_THREADS env var; 1 restores serial execution):
+//
+//   * for_chunks / parallel_for — the iteration space is split into
+//     FIXED chunks of size `grain` (boundaries depend only on the range
+//     and grain, never on the thread count); chunks are claimed by a
+//     shared atomic cursor. Safe whenever chunks write disjoint slots.
+//   * parallel_reduce — each fixed chunk maps to a value stored in a
+//     per-chunk slot; slots are folded IN CHUNK ORDER after the loop,
+//     so the merge sequence is identical to the serial one.
+//   * sharded_accumulate — one accumulator per worker (for large
+//     accumulators such as per-vertex hit arrays, where a per-chunk
+//     copy would be too expensive), folded in worker-id order. Which
+//     worker runs which chunk is scheduling-dependent, so this is
+//     deterministic only when the merge is EXACTLY commutative and
+//     associative (integer sums, max, logical and/or — not floats).
+//
+// The pool is work-stealing-free by construction: there are no deques
+// to steal from, just the shared cursor over fixed chunks. Nested
+// parallel calls from inside a chunk body run inline on the calling
+// worker.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "pathrouting/support/check.hpp"
+
+namespace pathrouting::support::parallel {
+
+/// Resolved thread count: the PR_THREADS environment variable if set
+/// (clamped to [1, 1024]), otherwise std::thread::hardware_concurrency.
+int num_threads();
+
+/// Test hook: force the thread count to `n` (>= 1) regardless of the
+/// environment; 0 restores the environment-derived value.
+void set_thread_override(int n);
+
+/// RAII form of set_thread_override for tests.
+class ThreadOverride {
+ public:
+  explicit ThreadOverride(int n) { set_thread_override(n); }
+  ~ThreadOverride() { set_thread_override(0); }
+  ThreadOverride(const ThreadOverride&) = delete;
+  ThreadOverride& operator=(const ThreadOverride&) = delete;
+};
+
+/// Invokes fn(lo, hi, worker) for every fixed chunk
+/// [begin + i*grain, min(begin + (i+1)*grain, end)) of the range.
+/// `worker` is in [0, num_threads()); worker 0 is the calling thread.
+/// Chunk boundaries depend only on (begin, end, grain). Runs inline on
+/// the caller when one thread (or one chunk) suffices or when already
+/// inside a parallel region.
+void for_chunks(
+    std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+    const std::function<void(std::uint64_t, std::uint64_t, int)>& fn);
+
+/// Chunked loop without worker ids: fn(lo, hi) over fixed chunks.
+/// Chunks must write disjoint state.
+template <typename Fn>
+void parallel_for(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+                  Fn&& fn) {
+  for_chunks(begin, end, grain,
+             [&fn](std::uint64_t lo, std::uint64_t hi, int) { fn(lo, hi); });
+}
+
+/// Deterministic chunked reduction: map(lo, hi) -> T per fixed chunk,
+/// folded in chunk order via merge(acc, chunk_value). The merge order
+/// is the serial order regardless of thread count.
+template <typename T, typename MapFn, typename MergeFn>
+T parallel_reduce(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+                  T init, const MapFn& map, const MergeFn& merge) {
+  if (end <= begin) return init;
+  PR_REQUIRE(grain >= 1);
+  const std::uint64_t num_chunks = (end - begin + grain - 1) / grain;
+  std::vector<T> slots(num_chunks);
+  for_chunks(begin, end, grain,
+             [&](std::uint64_t lo, std::uint64_t hi, int) {
+               slots[(lo - begin) / grain] = map(lo, hi);
+             });
+  T acc = std::move(init);
+  for (T& slot : slots) merge(acc, slot);
+  return acc;
+}
+
+/// Worker-sharded accumulation for accumulators too large to copy per
+/// chunk (per-vertex hit arrays). make() constructs one accumulator per
+/// participating worker; body(acc, lo, hi) folds a fixed chunk into the
+/// worker's accumulator; shards are merged in worker-id order via
+/// merge(target, shard). Deterministic only for exactly commutative
+/// merges (integer +, max, &&); see the header comment.
+template <typename Acc, typename MakeFn, typename BodyFn, typename MergeFn>
+Acc sharded_accumulate(std::uint64_t begin, std::uint64_t end,
+                       std::uint64_t grain, const MakeFn& make,
+                       const BodyFn& body, const MergeFn& merge) {
+  std::vector<std::unique_ptr<Acc>> shards(
+      static_cast<std::size_t>(num_threads()));
+  for_chunks(begin, end, grain,
+             [&](std::uint64_t lo, std::uint64_t hi, int worker) {
+               auto& shard = shards[static_cast<std::size_t>(worker)];
+               if (!shard) shard = std::make_unique<Acc>(make());
+               body(*shard, lo, hi);
+             });
+  Acc result = make();
+  for (auto& shard : shards) {
+    if (shard) merge(result, *shard);
+  }
+  return result;
+}
+
+}  // namespace pathrouting::support::parallel

@@ -36,6 +36,41 @@ TEST(GraphTest, CsrRoundTrip) {
   EXPECT_EQ(g.in(4)[1], 3u);
 }
 
+TEST(GraphTest, OutAdjacencySortedInvariant) {
+  // has_edge binary-searches out(v), so the derived out-lists must be
+  // sorted — for hand-built graphs and for real CDAGs. The in-lists
+  // keep construction order (the evaluator aligns coefficients to it).
+  std::vector<std::uint32_t> off = {0, 0, 0, 2, 3, 5};
+  std::vector<VertexId> adj = {1, 0, 2, 3, 2};  // in-lists NOT sorted
+  const Graph g(std::move(off), std::move(adj));
+  // In-adjacency preserved verbatim.
+  EXPECT_EQ(g.in(2)[0], 1u);
+  EXPECT_EQ(g.in(2)[1], 0u);
+  const auto sorted_out = [](const Graph& graph) {
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      const auto succs = graph.out(v);
+      if (!std::is_sorted(succs.begin(), succs.end())) return false;
+    }
+    return true;
+  };
+  EXPECT_TRUE(sorted_out(g));
+  // has_edge agrees with a linear scan of the out-list.
+  for (VertexId from = 0; from < g.num_vertices(); ++from) {
+    for (VertexId to = 0; to < g.num_vertices(); ++to) {
+      const auto succs = g.out(from);
+      const bool linear =
+          std::find(succs.begin(), succs.end(), to) != succs.end();
+      EXPECT_EQ(g.has_edge(from, to), linear) << from << "->" << to;
+    }
+  }
+  // And on a real CDAG, grouped and ungrouped.
+  for (const bool group : {false, true}) {
+    const Cdag graph(bilinear::strassen(), 3,
+                     {.with_coefficients = false, .group_duplicate_rows = group});
+    EXPECT_TRUE(sorted_out(graph.graph()));
+  }
+}
+
 TEST(LayoutTest, SizesMatchClosedForms) {
   const Layout layout(2, 7, 3);  // strassen r=3
   // Total = 2 * sum_t 7^t 4^{3-t} + sum_t 4^t 7^{3-t}.

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <set>
+#include <vector>
 
 #include "pathrouting/bilinear/catalog.hpp"
 #include "pathrouting/cdag/cdag.hpp"
@@ -40,6 +41,48 @@ TEST(MaxFlowTest, BottleneckInMiddle) {
   flow.add_edge(4, 1, 100);
   EXPECT_EQ(flow.solve(0, 1), 3);
   EXPECT_EQ(flow.flow_on(mid), 1);
+}
+
+TEST(MaxFlowTest, LongPathDoesNotOverflowStack) {
+  // A single chain of 200k vertices: every augmenting path has length
+  // ~200k, which overflowed the call stack when the Dinic DFS was
+  // recursive. The iterative DFS must find the same flow and saturate
+  // the bottleneck edge.
+  const int chain = 200000;
+  const int s = 0;
+  const int t = chain;
+  MaxFlow flow(chain + 1);
+  std::vector<int> edges;
+  edges.reserve(static_cast<std::size_t>(chain));
+  for (int v = 0; v < chain; ++v) {
+    // Capacity 3 everywhere except a capacity-2 bottleneck mid-chain.
+    edges.push_back(flow.add_edge(v, v + 1, v == chain / 2 ? 2 : 3));
+  }
+  EXPECT_EQ(flow.solve(s, t), 2);
+  for (const int e : edges) {
+    EXPECT_EQ(flow.flow_on(e), 2);
+  }
+}
+
+TEST(MaxFlowTest, LongPathWithSideBranches) {
+  // Two long disjoint chains of different capacities plus a short
+  // direct edge; exercises repeated long augmentations and the
+  // per-vertex iterator reuse across phases.
+  const int len = 50000;
+  MaxFlow flow(2 * len + 2);
+  const int s = 2 * len;
+  const int t = 2 * len + 1;
+  const int first_a = flow.add_edge(s, 0, 4);
+  for (int v = 0; v + 1 < len; ++v) flow.add_edge(v, v + 1, 4);
+  flow.add_edge(len - 1, t, 4);
+  const int first_b = flow.add_edge(s, len, 7);
+  for (int v = len; v + 1 < 2 * len; ++v) flow.add_edge(v, v + 1, 7);
+  flow.add_edge(2 * len - 1, t, 7);
+  const int direct = flow.add_edge(s, t, 5);
+  EXPECT_EQ(flow.solve(s, t), 16);
+  EXPECT_EQ(flow.flow_on(first_a), 4);
+  EXPECT_EQ(flow.flow_on(first_b), 7);
+  EXPECT_EQ(flow.flow_on(direct), 5);
 }
 
 TEST(HallTest, GuaranteedDigitPairs) {
