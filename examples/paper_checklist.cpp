@@ -145,6 +145,24 @@ int main() {
           cert.complete_segments() > 0 && cert.eq_holds(12));
   }
 
+  std::printf("\nAudit (the paper-invariant linter over the above):\n");
+  {
+    for (const char* name : {"strassen", "winograd", "classical2"}) {
+      const cdag::Cdag g(bilinear::by_name(name), 2);
+      const auto report = audit::run_all(g);
+      check(std::string(name) + ": " +
+                std::to_string(report.rules_run().size()) +
+                " audit rules clean (" +
+                std::to_string(report.num_errors()) + " errors)",
+            report.ok());
+    }
+    for (const auto& rule : audit::all_rules()) {
+      std::printf("    %-26.*s %.*s\n", static_cast<int>(rule.id.size()),
+                  rule.id.data(), static_cast<int>(rule.paper_ref.size()),
+                  rule.paper_ref.data());
+    }
+  }
+
   std::printf("\n%s (%d failure%s)\n",
               failures == 0 ? "ALL CLAIMS CHECK OUT" : "FAILURES PRESENT",
               failures, failures == 1 ? "" : "s");

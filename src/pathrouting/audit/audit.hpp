@@ -1,0 +1,162 @@
+// The paper-invariant linter: exhaustive structural rule suites over
+// constructed CDAGs, routings, Hall matchings, disjoint families,
+// segment certificates, and schedules, reporting machine-readable
+// Diagnostics (audit/diagnostic.hpp) instead of aborting.
+//
+// Suites shard deterministically over the parallel substrate
+// (support/parallel.hpp): rules run as fixed chunks and reports fold in
+// registry order, so the output is bit-identical at any PR_THREADS.
+// Congestion counts reuse the exactly-commutative sharded accumulation
+// the routing verifiers use.
+//
+// Rule suites take *views* (plain spans over the structure) rather than
+// the owning objects, so tests can assemble deliberately corrupted
+// structures and assert that the right rule fires on the right vertex.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pathrouting/audit/diagnostic.hpp"
+#include "pathrouting/audit/registry.hpp"
+#include "pathrouting/bounds/disjoint_family.hpp"
+#include "pathrouting/bounds/segment_certifier.hpp"
+#include "pathrouting/cdag/cdag.hpp"
+#include "pathrouting/cdag/subcomputation.hpp"
+#include "pathrouting/routing/chain_routing.hpp"
+#include "pathrouting/routing/decode_routing.hpp"
+
+namespace pathrouting::audit {
+
+using cdag::VertexId;
+
+/// A borrowed view of a CDAG's structure: the graph, the vertex
+/// addressing, and the copy/meta tables. All spans are indexed by
+/// vertex id (in_coeff by global in-edge index) and may be empty when
+/// the corresponding structure was not built. The view does not own
+/// anything; keep the backing storage alive.
+struct CdagView {
+  const cdag::Graph* graph = nullptr;
+  const cdag::Layout* layout = nullptr;
+  std::span<const VertexId> copy_parent;
+  std::span<const VertexId> meta_root;
+  std::span<const std::uint32_t> meta_size;
+  std::span<const support::Rational> in_coeff;
+  bool grouped_duplicates = false;
+};
+
+/// The view of a library-built CDAG (no copies; borrows from `cdag`).
+CdagView view_of(const cdag::Cdag& cdag);
+
+/// A family of routed paths in CSR form: path i is
+/// vertices[offsets[i] .. offsets[i+1]). Optional per-path declared
+/// terminals and family-wide expectations switch individual rules on.
+struct PathFamily {
+  std::span<const std::uint64_t> offsets;  // |paths| + 1 entries
+  std::span<const VertexId> vertices;
+  std::span<const VertexId> sources;  // declared path starts (or empty)
+  std::span<const VertexId> sinks;    // declared path ends (or empty)
+  std::uint64_t congestion_bound = 0;  // 0 = skip routing.congestion
+  std::uint64_t expected_length = 0;   // 0 = skip routing.path-length
+  std::uint64_t expected_paths = 0;    // 0 = skip routing.chain-count
+  bool vertex_disjoint = false;        // enables routing.path-disjoint
+  /// Decoding zig-zags traverse decoding edges in both directions
+  /// (Claim 1 routes in the undirected D_k); chains do not.
+  bool undirected = false;
+};
+
+/// Structural audit of the CDAG (cdag.* rules).
+AuditReport audit_cdag(const CdagView& view,
+                       const RuleSelection& selection = RuleSelection::all());
+AuditReport audit_cdag(const cdag::Cdag& cdag,
+                       const RuleSelection& selection = RuleSelection::all());
+
+/// Generic path-family audit (routing.* rules except chain-count).
+AuditReport audit_path_family(
+    const CdagView& view, const PathFamily& family,
+    const RuleSelection& selection = RuleSelection::all());
+
+/// Lemma 3: materializes every guaranteed-dependence chain of `sub` and
+/// audits edges, endpoints, length 2k+2, the 2*n0^k congestion bound,
+/// and the 2*a^k*n0^k chain count. Memory is O(paths in flight); the
+/// congestion count shards exactly like the routing verifiers.
+AuditReport audit_chain_routing(
+    const routing::ChainRouter& router, const cdag::SubComputation& sub,
+    const RuleSelection& selection = RuleSelection::all());
+
+/// Theorem 2: streams all 2*a^(2k) concatenated paths, auditing edges,
+/// endpoints, and the 6*a^k congestion bound (vertex and meta level).
+AuditReport audit_concat_routing(
+    const routing::ChainRouter& router, const cdag::SubComputation& sub,
+    const RuleSelection& selection = RuleSelection::all());
+
+/// Claim 1: streams all b^k*a^k decode zig-zag paths of sub's D_k,
+/// auditing (undirected) edges, endpoints, and the |D_1|*max(a,b)^k
+/// congestion bound.
+AuditReport audit_decode_routing(
+    const routing::DecodeRouter& router, const cdag::SubComputation& sub,
+    const RuleSelection& selection = RuleSelection::all());
+
+/// Theorem 3: validates a Hall matching witness for `side`. Findings
+/// attach the flat digit-pair index d_in*a + d_out (hall.domain,
+/// hall.edge-validity) or the product index q (hall.capacity) in the
+/// `vertex` field.
+AuditReport audit_hall_matching(
+    const bilinear::BilinearAlgorithm& alg, bilinear::Side side,
+    const routing::BaseMatching& matching,
+    const RuleSelection& selection = RuleSelection::all());
+
+/// Lemma 1: pairwise input-disjointness and the b^(r-k-2) size bound of
+/// a disjoint family. Findings attach the offending prefix in `vertex`.
+AuditReport audit_disjoint_family(
+    const cdag::Cdag& cdag, const bounds::DisjointFamily& family,
+    const RuleSelection& selection = RuleSelection::all());
+
+/// What a segment certificate claims to certify, for reconciliation
+/// against the closed forms in bounds/formulas.cpp.
+struct CertificateSpec {
+  const cdag::Cdag* cdag = nullptr;
+  const bounds::CertifyResult* result = nullptr;
+  std::uint64_t schedule_size = 0;
+  bool decode_only = false;  // Section 5 (true) vs Section 6 (false)
+  /// Whether the certified schedule computed every non-input vertex
+  /// (enables the segment-sum side of cert.counted-total).
+  bool full_schedule = true;
+};
+
+/// Sections 5-6: audits a certifier result (cert.* rules). Findings
+/// attach the segment index in `vertex`.
+AuditReport audit_certificate(
+    const CertificateSpec& spec,
+    const RuleSelection& selection = RuleSelection::all());
+
+/// Machine-model preconditions of a schedule (schedule.* rules);
+/// the full-diagnosis form of schedule::validate_schedule.
+AuditReport audit_schedule(
+    const cdag::Graph& graph, std::span<const VertexId> order,
+    const RuleSelection& selection = RuleSelection::all());
+
+/// One-stop audit used by pr_lint and the debug hooks: the CDAG
+/// structural suite plus, where applicable, Hall matchings (both
+/// sides), chain/concatenation routing at a small k, decode routing
+/// (when the decoding graph is connected), a disjoint family, a DFS
+/// schedule, and a segment certificate over it.
+struct RunAllOptions {
+  RuleSelection selection = RuleSelection::all();
+  /// Subcomputation order for the routing audits; -1 = min(r, 2).
+  /// The routing suites stream 2*a^(2k) paths, so keep k small.
+  int routing_k = -1;
+  bool with_routing = true;
+  bool with_certificate = true;
+};
+AuditReport run_all(const cdag::Cdag& cdag, const RunAllOptions& options = {});
+
+/// Installs the PATHROUTING_DEBUG_CHECKS hooks: after every Cdag
+/// construction the cdag.* suite runs and PR_ASSERTs a clean report.
+/// Linking pr_audit in a debug-checks build installs them automatically
+/// (static registrar in audit.cpp); call this to install them
+/// explicitly in any build.
+void install_debug_hooks();
+
+}  // namespace pathrouting::audit

@@ -1,0 +1,204 @@
+// The cert.* and schedule.* rule suites: reconciliation of segment
+// certificates (Sections 5 and 6) against the closed forms of
+// bounds/formulas.cpp, and the machine-model schedule preconditions.
+#include <string>
+#include <vector>
+
+#include "pathrouting/audit/audit.hpp"
+#include "pathrouting/audit/internal.hpp"
+#include "pathrouting/bounds/formulas.hpp"
+#include "pathrouting/schedule/validate.hpp"
+
+namespace pathrouting::audit {
+
+namespace {
+
+using internal::error;
+using internal::error_counts;
+using internal::Findings;
+using internal::flush;
+
+}  // namespace
+
+AuditReport audit_certificate(const CertificateSpec& spec,
+                              const RuleSelection& selection) {
+  PR_REQUIRE_MSG(spec.cdag != nullptr && spec.result != nullptr,
+                 "audit_certificate: spec needs a cdag and a result");
+  const cdag::Layout& layout = spec.cdag->layout();
+  const bounds::CertifyResult& result = *spec.result;
+  const int r = layout.r();
+  const int k = result.k;
+  const int max_k = spec.decode_only ? r : r - 2;
+  const bool k_valid = k >= 0 && k <= max_k;
+  AuditReport report;
+
+  // cert.arithmetic: parameters against the formulas.cpp closed forms.
+  Findings arithmetic;
+  if (!k_valid) {
+    arithmetic.add(error_counts(
+        "cert.arithmetic",
+        spec.decode_only
+            ? "subcomputation order k outside 0..r (Section 5)"
+            : "subcomputation order k outside 0..r-2 (Lemma 1 needs two "
+              "recursion levels above the counted subcomputations)",
+        static_cast<std::uint64_t>(max_k > 0 ? max_k : 0),
+        static_cast<std::uint64_t>(k)));
+  } else {
+    // a^k >= 2 * s_bar_target, i.e. k >= ceil(log_a 2*s_bar_target):
+    // each member must hold twice the segment quota of counted vertices
+    // so a segment's closure stays inside the family (S6), resp. the
+    // decoding rank is wide enough (S5).
+    if (k < bounds::ceil_log(layout.a(), 2 * result.s_bar_target)) {
+      arithmetic.add(error_counts(
+          "cert.arithmetic",
+          "a^k < 2 * s_bar_target: subcomputations are too small for the "
+          "segment quota",
+          2 * result.s_bar_target, layout.pow_a()(k)));
+    }
+    if (!spec.decode_only) {
+      const std::uint64_t guaranteed = layout.pow_b()(r - k - 2);
+      if (result.family_guaranteed != guaranteed) {
+        arithmetic.add(error_counts(
+            "cert.arithmetic",
+            "recorded family guarantee is not b^(r-k-2) (Lemma 1)",
+            guaranteed, result.family_guaranteed));
+      }
+      if (result.family_size < result.family_guaranteed) {
+        arithmetic.add(error_counts(
+            "cert.arithmetic",
+            "family is smaller than the recorded Lemma-1 guarantee",
+            result.family_guaranteed, result.family_size));
+      }
+    }
+  }
+  flush(report, selection, "cert.arithmetic", std::move(arithmetic));
+
+  // cert.segment-order: strictly increasing end steps within the
+  // schedule.
+  Findings order;
+  std::uint64_t prev_end = 0;
+  for (std::size_t i = 0; i < result.segments.size(); ++i) {
+    const bounds::SegmentReport& segment = result.segments[i];
+    if (segment.end_step > spec.schedule_size) {
+      order.add(error_counts("cert.segment-order",
+                             "segment ends past the schedule",
+                             spec.schedule_size, segment.end_step, i));
+    }
+    if (i > 0 && segment.end_step <= prev_end) {
+      order.add(error_counts("cert.segment-order",
+                             "segment end steps are not strictly increasing",
+                             prev_end + 1, segment.end_step, i));
+    }
+    prev_end = segment.end_step;
+  }
+  flush(report, selection, "cert.segment-order", std::move(order));
+
+  // cert.segment-quota: complete segments hold exactly the quota; only
+  // the final segment may be incomplete (and must then be short).
+  Findings quota;
+  for (std::size_t i = 0; i < result.segments.size(); ++i) {
+    const bounds::SegmentReport& segment = result.segments[i];
+    if (segment.complete) {
+      if (segment.s_bar != result.s_bar_target) {
+        quota.add(error_counts(
+            "cert.segment-quota",
+            "complete segment does not hold exactly s_bar_target counted "
+            "vertices",
+            result.s_bar_target, segment.s_bar, i));
+      }
+    } else {
+      if (i + 1 != result.segments.size()) {
+        quota.add(error(
+            "cert.segment-quota",
+            "incomplete segment is not the final segment of the walk", i));
+      }
+      if (segment.s_bar >= result.s_bar_target) {
+        quota.add(error_counts(
+            "cert.segment-quota",
+            "segment reached the quota but is not marked complete",
+            result.s_bar_target - 1, segment.s_bar, i));
+      }
+    }
+  }
+  flush(report, selection, "cert.segment-quota", std::move(quota));
+
+  // cert.counted-total: the closed form, and the segment accounting.
+  Findings total;
+  if (k_valid) {
+    // Section 6 counts the 3*a^k inputs+outputs of each family member;
+    // Section 5 counts decoding rank k everywhere: a^k * b^(r-k).
+    const std::uint64_t expected =
+        spec.decode_only ? layout.pow_a()(k) * layout.pow_b()(r - k)
+                         : 3 * layout.pow_a()(k) * result.family_size;
+    if (result.counted_total != expected) {
+      total.add(error_counts(
+          "cert.counted-total",
+          spec.decode_only
+              ? "counted-vertex total is not a^k * b^(r-k) (Section 5)"
+              : "counted-vertex total is not 3 * a^k * |C| (Section 6)",
+          expected, result.counted_total));
+    }
+    if (spec.full_schedule) {
+      // A full schedule computes every counted vertex, so the segments
+      // jointly account for at least the total (a counted vertex whose
+      // meta-vertex straddles a boundary can be counted again, hence
+      // >= rather than ==).
+      std::uint64_t accounted = 0;
+      for (const bounds::SegmentReport& segment : result.segments) {
+        accounted += segment.s_bar;
+      }
+      if (accounted < result.counted_total) {
+        total.add(error_counts("cert.counted-total",
+                               "segments account for fewer counted vertices "
+                               "than the full schedule computes",
+                               result.counted_total, accounted));
+      }
+    }
+  }
+  flush(report, selection, "cert.counted-total", std::move(total));
+
+  // cert.boundary-eq: Equation (2) |delta'(S')| >= |S_bar|/12, resp.
+  // Equation (1) |delta(S)| >= |S_bar|/22, per complete segment.
+  Findings boundary;
+  const std::uint64_t denominator = spec.decode_only ? 22 : 12;
+  for (std::size_t i = 0; i < result.segments.size(); ++i) {
+    const bounds::SegmentReport& segment = result.segments[i];
+    if (!segment.complete) continue;
+    if (segment.boundary * denominator < segment.s_bar) {
+      boundary.add(error_counts(
+          "cert.boundary-eq",
+          spec.decode_only
+              ? "segment violates Equation (1): |delta(S)| < |S_bar|/22"
+              : "segment violates Equation (2): |delta'(S')| < |S_bar|/12",
+          (segment.s_bar + denominator - 1) / denominator, segment.boundary,
+          i));
+    }
+  }
+  flush(report, selection, "cert.boundary-eq", std::move(boundary));
+  return report;
+}
+
+AuditReport audit_schedule(const cdag::Graph& graph,
+                           std::span<const VertexId> order,
+                           const RuleSelection& selection) {
+  const std::vector<Diagnostic> diags =
+      schedule::schedule_diagnostics(graph, order);
+  // Regroup the position-ordered findings per rule (registry order) so
+  // capping and truncation notes work per rule.
+  AuditReport report;
+  for (const std::string_view rule :
+       {std::string_view("schedule.vertex-range"),
+        std::string_view("schedule.no-inputs"),
+        std::string_view("schedule.no-duplicates"),
+        std::string_view("schedule.topological"),
+        std::string_view("schedule.coverage")}) {
+    Findings findings;
+    for (const Diagnostic& diag : diags) {
+      if (diag.rule == rule) findings.add(diag);
+    }
+    flush(report, selection, rule, std::move(findings));
+  }
+  return report;
+}
+
+}  // namespace pathrouting::audit

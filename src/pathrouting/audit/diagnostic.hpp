@@ -1,0 +1,100 @@
+// Machine-readable findings for the paper-invariant linter.
+//
+// Every structural check in the audit layer reports Diagnostics instead
+// of aborting: a failure triager gets the violated rule's id, the
+// offending vertex/edge, and expected-vs-actual counts, and a CI job
+// gets a stable exit status and JSON. (Contract macros in
+// support/check.hpp remain the right tool for *preconditions*; the
+// audit layer is for validating *constructed objects* after the fact.)
+//
+// This header is dependency-light on purpose: lower layers (e.g. the
+// schedule validator) produce Diagnostics without linking the rule
+// suites in pr_audit. Rendering (to_text/to_json) lives in
+// audit/render.cpp inside pr_audit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pathrouting::audit {
+
+enum class Severity : std::uint8_t {
+  kError,    // a paper invariant is violated
+  kWarning,  // suspicious but not a proof-breaking violation
+  kNote,     // context attached to another finding
+};
+
+/// Sentinel for "no vertex/edge attached to this finding".
+inline constexpr std::uint64_t kNoId = static_cast<std::uint64_t>(-1);
+
+struct Diagnostic {
+  std::string rule;     // registry id, e.g. "cdag.rank-structure"
+  Severity severity = Severity::kError;
+  std::string message;  // one line, human-oriented
+  std::uint64_t vertex = kNoId;  // offending vertex id, if any
+  std::uint64_t edge = kNoId;    // offending global in-edge index, if any
+  std::uint64_t expected = 0;    // expected count/bound (valid if has_counts)
+  std::uint64_t actual = 0;      // observed count (valid if has_counts)
+  bool has_counts = false;
+
+  bool operator==(const Diagnostic&) const = default;
+};
+
+/// The result of running one or more audit rules: which rules ran and
+/// every finding, in deterministic (rule, scan) order regardless of
+/// PR_THREADS. Reports merge associatively, so rule suites shard over
+/// the parallel substrate and fold in rule order.
+class AuditReport {
+ public:
+  /// Records that a rule executed (with or without findings).
+  void mark_rule_run(std::string rule_id) {
+    rules_run_.push_back(std::move(rule_id));
+  }
+  void add(Diagnostic diagnostic) {
+    diagnostics_.push_back(std::move(diagnostic));
+  }
+  void merge(AuditReport other) {
+    for (auto& rule : other.rules_run_) rules_run_.push_back(std::move(rule));
+    for (auto& diag : other.diagnostics_) {
+      diagnostics_.push_back(std::move(diag));
+    }
+  }
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+  [[nodiscard]] const std::vector<std::string>& rules_run() const {
+    return rules_run_;
+  }
+  [[nodiscard]] std::uint64_t num_errors() const {
+    std::uint64_t count = 0;
+    for (const Diagnostic& diag : diagnostics_) {
+      count += diag.severity == Severity::kError ? 1 : 0;
+    }
+    return count;
+  }
+  /// True iff no error-severity findings (warnings/notes permitted).
+  [[nodiscard]] bool ok() const { return num_errors() == 0; }
+  /// True iff some finding carries the given rule id.
+  [[nodiscard]] bool has_finding(std::string_view rule_id) const {
+    for (const Diagnostic& diag : diagnostics_) {
+      if (diag.rule == rule_id) return true;
+    }
+    return false;
+  }
+
+  bool operator==(const AuditReport&) const = default;
+
+  /// Human-readable rendering, one line per finding (render.cpp).
+  [[nodiscard]] std::string to_text() const;
+  /// Stable JSON object {"rules_run": [...], "findings": [...]}.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::vector<std::string> rules_run_;
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace pathrouting::audit

@@ -1,0 +1,49 @@
+// The audit rule registry: every structural rule the linter can run,
+// with the paper statement it enforces. Rule ids are stable strings
+// ("domain.rule-name"); CI configs, tests, and pr_lint's --rules flag
+// key on them, so renaming one is a breaking change.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pathrouting/audit/diagnostic.hpp"
+
+namespace pathrouting::audit {
+
+struct RuleInfo {
+  std::string_view id;         // e.g. "cdag.rank-structure"
+  std::string_view summary;    // one line, imperative
+  std::string_view paper_ref;  // lemma/theorem/claim enforced
+};
+
+/// All registered rules, in the deterministic order suites run them.
+std::span<const RuleInfo> all_rules();
+
+/// Lookup by id; nullptr if unknown.
+const RuleInfo* find_rule(std::string_view id);
+
+/// Which rules a suite should evaluate. Defaults to everything;
+/// selections are by exact id or by "domain." prefix.
+class RuleSelection {
+ public:
+  /// Every registered rule (the default).
+  static RuleSelection all() { return RuleSelection{}; }
+  /// Only the listed ids/prefixes. Unknown ids are a precondition
+  /// violation (catches typos in CI configs).
+  static RuleSelection only(const std::vector<std::string>& ids);
+
+  /// Removes a rule (or a whole "domain." prefix) from the selection.
+  void disable(std::string_view id_or_prefix);
+
+  [[nodiscard]] bool enabled(std::string_view rule_id) const;
+
+ private:
+  // include_mode_: ids_ is an allowlist; otherwise a denylist.
+  bool include_mode_ = false;
+  std::vector<std::string> ids_;
+};
+
+}  // namespace pathrouting::audit

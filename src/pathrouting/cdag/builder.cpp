@@ -16,6 +16,7 @@
 
 #include "pathrouting/bilinear/analysis.hpp"
 #include "pathrouting/cdag/cdag.hpp"
+#include "pathrouting/support/debug_hooks.hpp"
 #include "pathrouting/support/parallel.hpp"
 
 namespace pathrouting::cdag {
@@ -347,6 +348,11 @@ Cdag::Cdag(BilinearAlgorithm alg, int r, CdagOptions options)
     }
     ++meta_size_[meta_root_[v]];
   }
+
+  // Debug-check builds re-audit every freshly constructed CDAG; the
+  // hook is installed by the audit layer (see audit::install_debug_hooks)
+  // and is a single null-pointer load otherwise.
+  support::run_debug_hook(support::DebugHookPoint::kCdagBuilt, this);
 }
 
 }  // namespace pathrouting::cdag

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "pathrouting/bilinear/bilinear.hpp"
@@ -50,7 +51,7 @@ class Cdag {
   /// array; see Graph::in_edge_base). Product vertices have coefficient
   /// 1 on both in-edges (they multiply, not combine).
   [[nodiscard]] const Rational& in_coeff(std::uint64_t e) const {
-    PR_DCHECK(e < in_coeff_.size());
+    PR_DCHECK_MSG(e < in_coeff_.size(), "global in-edge index out of range");
     return in_coeff_[e];
   }
 
@@ -80,6 +81,23 @@ class Cdag {
   /// same-value classes rather than copy subtrees).
   [[nodiscard]] bool grouped_duplicates() const {
     return grouped_duplicates_;
+  }
+
+  /// Whole-table views of the per-vertex copy/meta structure and
+  /// per-edge coefficients (empty when built without coefficients).
+  /// The audit layer scans these wholesale; per-vertex accessors above
+  /// remain the API for point queries.
+  [[nodiscard]] std::span<const VertexId> copy_parents() const {
+    return copy_parent_;
+  }
+  [[nodiscard]] std::span<const VertexId> meta_roots() const {
+    return meta_root_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> meta_sizes() const {
+    return meta_size_;
+  }
+  [[nodiscard]] std::span<const Rational> in_coeffs() const {
+    return in_coeff_;
   }
 
  private:

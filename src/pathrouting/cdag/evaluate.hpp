@@ -44,7 +44,8 @@ std::vector<T> evaluate_all(const Cdag& cdag, std::span<const T> a_in,
     const auto preds = g.in(v);
     if (preds.empty()) continue;  // input
     if (v >= first_product && v <= last_product) {
-      PR_DCHECK(preds.size() == 2);
+      PR_DCHECK_MSG(preds.size() == 2,
+                    "product vertices multiply exactly two operands");
       value[v] = value[preds[0]] * value[preds[1]];
     } else {
       T sum{};

@@ -36,7 +36,9 @@ class FlatClassicalCdag {
   }
   /// Partial sum over k' <= k; valid for k >= 1 (k = 0 is product(i,0,j)).
   [[nodiscard]] VertexId partial(int i, int j, int k) const {
-    PR_DCHECK(k >= 1 && k < n_);
+    PR_DCHECK_MSG(k >= 1 && k < n_,
+                  "partial sums exist only for 1 <= k < n (k=0 is the "
+                  "bare product)");
     return static_cast<VertexId>(
         2 * nn_ + nn_ * static_cast<std::uint64_t>(n_) +
         (static_cast<std::uint64_t>(i) * n_ + static_cast<std::uint64_t>(j)) *
@@ -64,7 +66,8 @@ class FlatClassicalCdag {
 
  private:
   [[nodiscard]] VertexId idx2(int x, int y) const {
-    PR_DCHECK(x >= 0 && x < n_ && y >= 0 && y < n_);
+    PR_DCHECK_MSG(x >= 0 && x < n_ && y >= 0 && y < n_,
+                  "matrix coordinate out of range");
     return static_cast<VertexId>(static_cast<std::uint64_t>(x) * n_ + y);
   }
   [[nodiscard]] VertexId idx3(int x, int y, int z) const {

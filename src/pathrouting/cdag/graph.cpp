@@ -29,7 +29,8 @@ Graph::Graph(std::vector<std::uint32_t> in_off, std::vector<VertexId> in_adj)
 #if defined(PATHROUTING_DEBUG_CHECKS)
   for (VertexId v = 0; v < n; ++v) {
     const auto succs = out(v);
-    PR_DCHECK(std::is_sorted(succs.begin(), succs.end()));
+    PR_DCHECK_MSG(std::is_sorted(succs.begin(), succs.end()),
+                  "out-lists must be sorted (has_edge binary-searches them)");
   }
 #endif
 }

@@ -34,11 +34,11 @@ class Graph {
   [[nodiscard]] std::uint64_t num_edges() const { return in_adj_.size(); }
 
   [[nodiscard]] std::span<const VertexId> in(VertexId v) const {
-    PR_DCHECK(v < num_vertices());
+    PR_DCHECK_MSG(v < num_vertices(), "in(): vertex id out of range");
     return {in_adj_.data() + in_off_[v], in_adj_.data() + in_off_[v + 1]};
   }
   [[nodiscard]] std::span<const VertexId> out(VertexId v) const {
-    PR_DCHECK(v < num_vertices());
+    PR_DCHECK_MSG(v < num_vertices(), "out(): vertex id out of range");
     return {out_adj_.data() + out_off_[v], out_adj_.data() + out_off_[v + 1]};
   }
   [[nodiscard]] std::uint32_t in_degree(VertexId v) const {

@@ -39,9 +39,11 @@ std::uint64_t Layout::n() const {
 VertexRef Layout::ref(VertexId v) const {
   PR_REQUIRE(v < num_vertices_);
   const std::uint64_t id = v;
-  // Layers are laid out contiguously; scan the O(r) rank bases.
+  // Layers are laid out contiguously; scan the O(r) rank bases. Rank 0
+  // of each layer starts at the layer base, so the scans always hit —
+  // falling out of one would mean the bases are corrupt.
   if (id < enc_b_base_[0]) {
-    for (int t = r_;; --t) {
+    for (int t = r_; t >= 0; --t) {
       const std::uint64_t base = enc_a_base_[static_cast<std::size_t>(t)];
       if (id >= base) {
         const std::uint64_t local = id - base;
@@ -49,9 +51,10 @@ VertexRef Layout::ref(VertexId v) const {
                 local % pow_a_(r_ - t)};
       }
     }
+    PR_UNREACHABLE();
   }
   if (id < dec_base_[0]) {
-    for (int t = r_;; --t) {
+    for (int t = r_; t >= 0; --t) {
       const std::uint64_t base = enc_b_base_[static_cast<std::size_t>(t)];
       if (id >= base) {
         const std::uint64_t local = id - base;
@@ -59,14 +62,16 @@ VertexRef Layout::ref(VertexId v) const {
                 local % pow_a_(r_ - t)};
       }
     }
+    PR_UNREACHABLE();
   }
-  for (int t = r_;; --t) {
+  for (int t = r_; t >= 0; --t) {
     const std::uint64_t base = dec_base_[static_cast<std::size_t>(t)];
     if (id >= base) {
       const std::uint64_t local = id - base;
       return {LayerKind::Dec, t, local / pow_a_(t), local % pow_a_(t)};
     }
   }
+  PR_UNREACHABLE();
 }
 
 int Layout::level(VertexId v) const {

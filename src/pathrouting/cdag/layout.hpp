@@ -71,15 +71,17 @@ class Layout {
 
   [[nodiscard]] VertexId enc(Side side, int t, std::uint64_t q,
                              std::uint64_t p) const {
-    PR_DCHECK(t >= 0 && t <= r_);
-    PR_DCHECK(q < pow_b_(t) && p < pow_a_(r_ - t));
+    PR_DCHECK_MSG(t >= 0 && t <= r_, "enc(): rank outside 0..r");
+    PR_DCHECK_MSG(q < pow_b_(t) && p < pow_a_(r_ - t),
+                  "enc(): recursion path or position word out of range");
     const std::uint64_t base =
         (side == Side::A ? enc_a_base_ : enc_b_base_)[static_cast<std::size_t>(t)];
     return static_cast<VertexId>(base + q * pow_a_(r_ - t) + p);
   }
   [[nodiscard]] VertexId dec(int t, std::uint64_t q, std::uint64_t p) const {
-    PR_DCHECK(t >= 0 && t <= r_);
-    PR_DCHECK(q < pow_b_(r_ - t) && p < pow_a_(t));
+    PR_DCHECK_MSG(t >= 0 && t <= r_, "dec(): rank outside 0..r");
+    PR_DCHECK_MSG(q < pow_b_(r_ - t) && p < pow_a_(t),
+                  "dec(): recursion path or position word out of range");
     return static_cast<VertexId>(dec_base_[static_cast<std::size_t>(t)] +
                                  q * pow_a_(t) + p);
   }

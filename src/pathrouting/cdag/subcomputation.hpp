@@ -33,7 +33,7 @@ class SubComputation {
   [[nodiscard]] VertexId enc(Side side, int t, std::uint64_t q,
                              std::uint64_t p) const {
     const Layout& layout = cdag_->layout();
-    PR_DCHECK(t >= 0 && t <= k_);
+    PR_DCHECK_MSG(t >= 0 && t <= k_, "G_k-local encoding rank outside 0..k");
     return layout.enc(side, layout.r() - k_ + t,
                       prefix_ * layout.pow_b()(t) + q, p);
   }
@@ -41,7 +41,7 @@ class SubComputation {
   /// (rank t in 0..k, q⃗' in [b]^{k-t}, p⃗' in [a]^t).
   [[nodiscard]] VertexId dec(int t, std::uint64_t q, std::uint64_t p) const {
     const Layout& layout = cdag_->layout();
-    PR_DCHECK(t >= 0 && t <= k_);
+    PR_DCHECK_MSG(t >= 0 && t <= k_, "G_k-local decoding rank outside 0..k");
     return layout.dec(t, prefix_ * layout.pow_b()(k_ - t) + q, p);
   }
   [[nodiscard]] VertexId input(Side side, std::uint64_t p) const {

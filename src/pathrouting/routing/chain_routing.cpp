@@ -29,7 +29,8 @@ void ChainRouter::append_chain(const SubComputation& sub, Side side,
   const int k = sub.k();
   const auto& pow_a = layout.pow_a();
   const auto& pow_b = layout.pow_b();
-  PR_DCHECK(is_guaranteed_dep(layout, k, side, vpos, wpos));
+  PR_DCHECK_MSG(is_guaranteed_dep(layout, k, side, vpos, wpos),
+                "chains exist only for guaranteed dependencies (Section 7)");
   const BaseMatching& mu = matching(side);
   // Level-wise middle choices q_t = mu(d_t, e_t).
   std::uint64_t q_word = 0;

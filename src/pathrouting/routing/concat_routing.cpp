@@ -54,11 +54,15 @@ void append_full_path(const ChainRouter& router, const SubComputation& sub,
   router.append_chain(sub, spec.side2, spec.v2, spec.w2, middle);
   // The middle chain is walked from its output end (= the end of the
   // first chain) back to its input; drop the duplicated junction.
-  PR_DCHECK(out.back() == middle.back());
+  PR_DCHECK_MSG(out.back() == middle.back(),
+                "Lemma-4 junction mismatch: chain 1 must end where the "
+                "reversed middle chain ends");
   out.insert(out.end(), middle.rbegin() + 1, middle.rend());
   std::vector<VertexId> last;
   router.append_chain(sub, spec.side3, spec.v3, spec.w3, last);
-  PR_DCHECK(out.back() == last.front());
+  PR_DCHECK_MSG(out.back() == last.front(),
+                "Lemma-4 junction mismatch: the middle chain's input must "
+                "start chain 3");
   out.insert(out.end(), last.begin() + 1, last.end());
 }
 

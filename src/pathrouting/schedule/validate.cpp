@@ -4,32 +4,73 @@
 
 namespace pathrouting::schedule {
 
-ValidationResult validate_schedule(const Graph& graph,
-                                   std::span<const VertexId> order) {
+namespace {
+
+audit::Diagnostic finding(std::string_view rule, std::string_view message,
+                          std::uint64_t vertex,
+                          std::uint64_t edge = audit::kNoId) {
+  audit::Diagnostic diag;
+  diag.rule = std::string(rule);
+  diag.message = std::string(message);
+  diag.vertex = vertex;
+  diag.edge = edge;
+  return diag;
+}
+
+}  // namespace
+
+std::vector<audit::Diagnostic> schedule_diagnostics(
+    const Graph& graph, std::span<const VertexId> order) {
   const VertexId n = graph.num_vertices();
+  std::vector<audit::Diagnostic> diags;
   std::vector<std::uint8_t> done(n, 0);
   // Inputs are available from the start.
-  std::uint64_t num_inputs = 0;
   for (VertexId v = 0; v < n; ++v) {
-    if (graph.in_degree(v) == 0) {
-      done[v] = 1;
-      ++num_inputs;
-    }
+    if (graph.in_degree(v) == 0) done[v] = 1;
   }
   for (std::size_t s = 0; s < order.size(); ++s) {
     const VertexId v = order[s];
-    if (v >= n) return {false, "vertex id out of range"};
-    if (graph.in_degree(v) == 0) return {false, "schedule contains an input"};
-    if (done[v]) return {false, "vertex scheduled twice"};
-    for (const VertexId p : graph.in(v)) {
-      if (!done[p]) return {false, "operand used before it is computed"};
+    if (v >= n) {
+      diags.push_back(
+          finding("schedule.vertex-range", "vertex id out of range", v));
+      continue;
+    }
+    if (graph.in_degree(v) == 0) {
+      diags.push_back(
+          finding("schedule.no-inputs", "schedule contains an input", v));
+      continue;
+    }
+    if (done[v]) {
+      diags.push_back(
+          finding("schedule.no-duplicates", "vertex scheduled twice", v));
+      continue;
+    }
+    const std::span<const VertexId> preds = graph.in(v);
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      if (!done[preds[i]]) {
+        diags.push_back(finding("schedule.topological",
+                                "operand used before it is computed", v,
+                                graph.in_edge_base(v) + i));
+      }
     }
     done[v] = 1;
   }
-  if (order.size() + num_inputs != n) {
-    return {false, "schedule does not cover every computed vertex"};
+  for (VertexId v = 0; v < n; ++v) {
+    if (!done[v]) {
+      diags.push_back(finding("schedule.coverage",
+                              "schedule does not cover every computed vertex",
+                              v));
+    }
   }
-  return {};
+  return diags;
+}
+
+ValidationResult validate_schedule(const Graph& graph,
+                                   std::span<const VertexId> order) {
+  const std::vector<audit::Diagnostic> diags =
+      schedule_diagnostics(graph, order);
+  if (diags.empty()) return {};
+  return {false, diags.front().message};
 }
 
 }  // namespace pathrouting::schedule

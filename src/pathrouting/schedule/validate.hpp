@@ -1,9 +1,14 @@
-// Schedule validation: the pebble game's preconditions.
+// Schedule validation: the pebble game's preconditions, reported as
+// audit Diagnostics (schedule.* rules of the audit registry). The
+// legacy first-error ValidationResult survives as a shim over the
+// diagnostic scan.
 #pragma once
 
 #include <span>
 #include <string>
+#include <vector>
 
+#include "pathrouting/audit/diagnostic.hpp"
 #include "pathrouting/cdag/graph.hpp"
 
 namespace pathrouting::schedule {
@@ -11,14 +16,23 @@ namespace pathrouting::schedule {
 using cdag::Graph;
 using cdag::VertexId;
 
+/// Full diagnosis of `order` against the machine model: every non-input
+/// vertex exactly once, no input vertices, operands computed before
+/// use. Findings carry the schedule.* rule ids in schedule-position
+/// order (coverage findings last, in vertex-id order) and are uncapped;
+/// audit::audit_schedule layers rule selection and per-rule capping on
+/// top. The scan keeps going past the first violation, so a corrupted
+/// schedule yields every independent finding in one pass.
+std::vector<audit::Diagnostic> schedule_diagnostics(
+    const Graph& graph, std::span<const VertexId> order);
+
 struct ValidationResult {
   bool ok = true;
   std::string error;
 };
 
-/// Checks that `order` contains every non-input vertex exactly once, no
-/// input vertices, and respects all edges (operands computed before
-/// use).
+/// Legacy shim over schedule_diagnostics: ok iff no findings, else the
+/// first finding mapped to the historical one-line error string.
 ValidationResult validate_schedule(const Graph& graph,
                                    std::span<const VertexId> order);
 

@@ -6,6 +6,13 @@
 //               claims are the product, so checks stay enabled in release).
 // PR_DCHECK   - expensive internal check, compiled out unless
 //               PATHROUTING_DEBUG_CHECKS is defined.
+// PR_DCHECK_MSG - PR_DCHECK with a triager-facing message; prefer this
+//               for any condition whose bare expression does not name
+//               the violated paper invariant.
+// PR_UNREACHABLE - marks control flow that a preceding contract rules
+//               out (exhaustive switches, loops that must return);
+//               always on, and usable as the tail of a non-void
+//               function because it never returns.
 //
 // All failures print the condition, a formatted message, and abort. The
 // library never throws for contract violations: a violated contract is a
@@ -46,10 +53,19 @@ namespace pathrouting::support {
 #define PR_ASSERT(cond) PR_CHECK_IMPL("invariant", cond, "")
 #define PR_ASSERT_MSG(cond, msg) PR_CHECK_IMPL("invariant", cond, msg)
 
+#define PR_UNREACHABLE()                                                     \
+  ::pathrouting::support::contract_failure(                                  \
+      "unreachable", "PR_UNREACHABLE()", __FILE__, __LINE__,                 \
+      "control flow reached a branch ruled out by a prior contract")
+
 #if defined(PATHROUTING_DEBUG_CHECKS)
 #define PR_DCHECK(cond) PR_CHECK_IMPL("debug invariant", cond, "")
+#define PR_DCHECK_MSG(cond, msg) PR_CHECK_IMPL("debug invariant", cond, msg)
 #else
 #define PR_DCHECK(cond) \
   do {                  \
+  } while (false)
+#define PR_DCHECK_MSG(cond, msg) \
+  do {                           \
   } while (false)
 #endif

@@ -1,0 +1,33 @@
+#include "pathrouting/support/debug_hooks.hpp"
+
+#include "pathrouting/support/check.hpp"
+
+namespace pathrouting::support {
+
+namespace {
+
+DebugHookFn g_hooks[static_cast<int>(DebugHookPoint::kNumHookPoints)] = {};
+
+int index_of(DebugHookPoint point) {
+  const int i = static_cast<int>(point);
+  PR_REQUIRE_MSG(
+      i >= 0 && i < static_cast<int>(DebugHookPoint::kNumHookPoints),
+      "unknown debug hook point");
+  return i;
+}
+
+}  // namespace
+
+DebugHookFn set_debug_hook(DebugHookPoint point, DebugHookFn fn) {
+  const int i = index_of(point);
+  const DebugHookFn previous = g_hooks[i];
+  g_hooks[i] = fn;
+  return previous;
+}
+
+void run_debug_hook(DebugHookPoint point, const void* object) {
+  const DebugHookFn fn = g_hooks[index_of(point)];
+  if (fn != nullptr) fn(object);
+}
+
+}  // namespace pathrouting::support

@@ -1,0 +1,34 @@
+// Type-erased post-construction hook points, so upper layers can
+// observe objects the moment a lower layer finishes building them
+// without inverting the library's dependency order.
+//
+// The canonical client is the audit layer: when PATHROUTING_DEBUG_CHECKS
+// is defined, linking `pr_audit` installs a hook that runs the CDAG
+// structural rule suite after every Cdag construction (see
+// audit::install_debug_hooks). Lower layers only ever *fire* hooks —
+// firing an uninstalled hook is a no-op costing one pointer load.
+//
+// Hooks are process-global and not synchronized: install them during
+// startup (static initialization or main), not concurrently with
+// construction work.
+#pragma once
+
+namespace pathrouting::support {
+
+enum class DebugHookPoint : int {
+  kCdagBuilt = 0,  // object is a `const cdag::Cdag*`
+  kNumHookPoints,
+};
+
+/// Receives the freshly-built object; the static type is documented on
+/// the hook point. A hook must not construct objects that fire the same
+/// hook point (no reentrancy guard is provided).
+using DebugHookFn = void (*)(const void* object);
+
+/// Installs `fn` (nullptr uninstalls). Returns the previous hook.
+DebugHookFn set_debug_hook(DebugHookPoint point, DebugHookFn fn);
+
+/// Fires the hook if installed; no-op otherwise.
+void run_debug_hook(DebugHookPoint point, const void* object);
+
+}  // namespace pathrouting::support

@@ -1,0 +1,222 @@
+// The audit layer's positive contract: clean catalog CDAGs audit
+// clean, reports are bit-identical across thread counts, the rule
+// registry is coherent, the renderers are faithful, and the legacy
+// schedule validator agrees with the diagnostic scan it shims.
+// (tests/test_deathchecks.cpp holds the negative side: one mutated
+// fixture per rule.)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "pathrouting/audit/audit.hpp"
+#include "pathrouting/bilinear/analysis.hpp"
+#include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/bounds/disjoint_family.hpp"
+#include "pathrouting/cdag/cdag.hpp"
+#include "pathrouting/cdag/subcomputation.hpp"
+#include "pathrouting/routing/chain_routing.hpp"
+#include "pathrouting/routing/decode_routing.hpp"
+#include "pathrouting/routing/hall.hpp"
+#include "pathrouting/schedule/schedules.hpp"
+#include "pathrouting/schedule/validate.hpp"
+#include "pathrouting/support/debug_hooks.hpp"
+#include "pathrouting/support/parallel.hpp"
+
+namespace {
+
+using namespace pathrouting;  // NOLINT
+using audit::AuditReport;
+using audit::RuleSelection;
+using cdag::VertexId;
+using support::parallel::ThreadOverride;
+
+TEST(Audit, CleanCatalogCdagsAuditClean) {
+  for (const auto& name : bilinear::catalog_names()) {
+    for (int r = 1; r <= 2; ++r) {
+      const cdag::Cdag c(bilinear::by_name(name), r);
+      const AuditReport report = audit::audit_cdag(c);
+      EXPECT_TRUE(report.ok()) << name << " r=" << r << "\n"
+                               << report.to_text();
+    }
+  }
+}
+
+TEST(Audit, RunAllCleanOnStrassenFamilies) {
+  for (const auto* name : {"strassen", "winograd", "classical2"}) {
+    const cdag::Cdag c(bilinear::by_name(name), 2);
+    const AuditReport report = audit::run_all(c);
+    EXPECT_TRUE(report.ok()) << name << "\n" << report.to_text();
+    EXPECT_GE(report.rules_run().size(), 20u) << name;
+  }
+}
+
+TEST(Audit, RoutingSuitesCleanOnStrassen) {
+  const cdag::Cdag c(bilinear::strassen(), 2, {.with_coefficients = false});
+  const routing::ChainRouter router(c.algorithm());
+  const cdag::SubComputation sub(c, 1, 0);
+  EXPECT_TRUE(audit::audit_chain_routing(router, sub).ok());
+  EXPECT_TRUE(audit::audit_concat_routing(router, sub).ok());
+
+  ASSERT_EQ(bilinear::decoding_components(c.algorithm()), 1);
+  const routing::DecodeRouter decode(c.algorithm());
+  EXPECT_TRUE(audit::audit_decode_routing(decode, sub).ok());
+
+  for (const auto side : {bilinear::Side::A, bilinear::Side::B}) {
+    const auto matching = routing::compute_base_matching(c.algorithm(), side);
+    ASSERT_TRUE(matching.has_value());
+    EXPECT_TRUE(audit::audit_hall_matching(c.algorithm(), side, *matching).ok());
+  }
+
+  const auto family = bounds::build_disjoint_family(c, 0);
+  EXPECT_TRUE(audit::audit_disjoint_family(c, family).ok());
+}
+
+TEST(Audit, ReportsAreThreadCountInvariant) {
+  const cdag::Cdag c(bilinear::strassen(), 2);
+  AuditReport serial, parallel4;
+  {
+    const ThreadOverride threads(1);
+    serial = audit::run_all(c);
+  }
+  {
+    const ThreadOverride threads(4);
+    parallel4 = audit::run_all(c);
+  }
+  EXPECT_TRUE(serial == parallel4);
+  EXPECT_TRUE(serial.ok());
+}
+
+TEST(Audit, FindingsAreThreadCountInvariant) {
+  // A corrupted family produces many findings across chunks; the folded
+  // report must not depend on the thread count.
+  const cdag::Cdag c(bilinear::strassen(), 1, {.with_coefficients = false});
+  const VertexId input = c.layout().input(bilinear::Side::A, 0);
+  const VertexId enc = c.layout().enc(bilinear::Side::A, 1, 0, 0);
+  std::vector<std::uint64_t> offsets{0};
+  std::vector<VertexId> vertices;
+  for (int i = 0; i < 200; ++i) {
+    vertices.push_back(input);
+    vertices.push_back(enc);
+    offsets.push_back(vertices.size());
+  }
+  audit::PathFamily family;
+  family.offsets = offsets;
+  family.vertices = vertices;
+  family.congestion_bound = 1;
+  family.expected_length = 3;  // every path is short: findings per chunk
+  family.vertex_disjoint = true;
+
+  const auto view = audit::view_of(c);
+  AuditReport serial, parallel4;
+  {
+    const ThreadOverride threads(1);
+    serial = audit::audit_path_family(view, family);
+  }
+  {
+    const ThreadOverride threads(4);
+    parallel4 = audit::audit_path_family(view, family);
+  }
+  EXPECT_TRUE(serial == parallel4);
+  EXPECT_FALSE(serial.ok());
+  EXPECT_TRUE(serial.has_finding("routing.path-length"));
+  EXPECT_TRUE(serial.has_finding("routing.congestion"));
+  EXPECT_TRUE(serial.has_finding("routing.path-disjoint"));
+}
+
+TEST(Audit, RegistryIsCoherent) {
+  const auto rules = audit::all_rules();
+  EXPECT_GE(rules.size(), 28u);
+  std::vector<std::string> ids;
+  for (const auto& rule : rules) {
+    ids.emplace_back(rule.id);
+    EXPECT_FALSE(rule.summary.empty()) << rule.id;
+    EXPECT_FALSE(rule.paper_ref.empty()) << rule.id;
+    const auto* found = audit::find_rule(rule.id);
+    ASSERT_NE(found, nullptr) << rule.id;
+    EXPECT_EQ(found->id, rule.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end())
+      << "duplicate rule id";
+  EXPECT_EQ(audit::find_rule("no.such-rule"), nullptr);
+}
+
+TEST(Audit, RuleSelectionFiltersByIdAndPrefix) {
+  const auto all = RuleSelection::all();
+  EXPECT_TRUE(all.enabled("cdag.rank-structure"));
+
+  const auto only_cdag = RuleSelection::only({"cdag."});
+  EXPECT_TRUE(only_cdag.enabled("cdag.rank-structure"));
+  EXPECT_FALSE(only_cdag.enabled("routing.congestion"));
+
+  auto without = RuleSelection::all();
+  without.disable("cdag.rank-structure");
+  EXPECT_FALSE(without.enabled("cdag.rank-structure"));
+  EXPECT_TRUE(without.enabled("cdag.degree-bounds"));
+
+  const cdag::Cdag c(bilinear::strassen(), 1, {.with_coefficients = false});
+  const AuditReport report = audit::audit_cdag(c, only_cdag);
+  for (const auto& rule : report.rules_run()) {
+    EXPECT_EQ(rule.rfind("cdag.", 0), 0u) << rule;
+  }
+  EXPECT_GE(report.rules_run().size(), 7u);
+}
+
+TEST(Audit, TextAndJsonRenderersAreFaithful) {
+  AuditReport report;
+  report.mark_rule_run("cdag.rank-structure");
+  audit::Diagnostic diag;
+  diag.rule = "cdag.rank-structure";
+  diag.message = "bad \"rank\"\nsecond line";
+  diag.vertex = 7;
+  diag.expected = 2;
+  diag.actual = 5;
+  diag.has_counts = true;
+  report.add(diag);
+
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("[cdag.rank-structure]"), std::string::npos);
+  EXPECT_NE(text.find("vertex 7"), std::string::npos);
+  EXPECT_NE(text.find("expected 2"), std::string::npos);
+  EXPECT_NE(text.find("1 errors"), std::string::npos);
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"rule\":\"cdag.rank-structure\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"rank\\\""), std::string::npos);  // escaped quotes
+  EXPECT_NE(json.find("\\n"), std::string::npos);           // escaped newline
+  EXPECT_NE(json.find("\"vertex\":7"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+}
+
+TEST(Audit, LegacyValidatorAgreesWithDiagnostics) {
+  const cdag::Cdag c(bilinear::strassen(), 1, {.with_coefficients = false});
+  auto order = schedule::dfs_schedule(c);
+
+  EXPECT_TRUE(schedule::validate_schedule(c.graph(), order).ok);
+  EXPECT_TRUE(schedule::schedule_diagnostics(c.graph(), order).empty());
+
+  std::swap(order.front(), order.back());
+  const auto result = schedule::validate_schedule(c.graph(), order);
+  const auto diags = schedule::schedule_diagnostics(c.graph(), order);
+  ASSERT_FALSE(result.ok);
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(result.error, diags.front().message);
+
+  const AuditReport report = audit::audit_schedule(c.graph(), order);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has_finding(diags.front().rule));
+}
+
+// Last on purpose: installing the hook makes every later Cdag
+// construction in this process run the structural suite.
+TEST(Audit, DebugHookAuditsFreshCdags) {
+  audit::install_debug_hooks();
+  // A clean construction passes through the hook without incident.
+  const cdag::Cdag c(bilinear::strassen(), 1, {.with_coefficients = false});
+  EXPECT_EQ(c.r(), 1);
+  support::set_debug_hook(support::DebugHookPoint::kCdagBuilt, nullptr);
+}
+
+}  // namespace

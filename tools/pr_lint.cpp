@@ -1,0 +1,165 @@
+// pr_lint: the paper-invariant linter as a command-line tool.
+//
+// Builds G_r for a catalog algorithm (or one loaded from the v1 text
+// format), runs the audit rule suites (audit::run_all), and prints the
+// findings as text or JSON. Exit status: 0 = no findings, 1 = findings,
+// 2 = usage error. Typical CI invocation:
+//
+//   pr_lint --alg all --r 2            # every catalog base
+//   pr_lint --file my_alg.txt --r 3 --json
+//   pr_lint --alg strassen --rules cdag.,hall.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "pathrouting/audit/audit.hpp"
+#include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/bilinear/serialize.hpp"
+#include "pathrouting/support/cli.hpp"
+
+namespace {
+
+using pathrouting::audit::AuditReport;
+using pathrouting::audit::RuleSelection;
+using pathrouting::bilinear::BilinearAlgorithm;
+
+/// Splits a comma-separated rule list, rejecting unknown ids (prefixes
+/// must end in '.'). Returns false on a bad entry.
+bool parse_rules(const std::string& spec, RuleSelection& selection) {
+  std::vector<std::string> ids;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    const std::string id = spec.substr(start, end - start);
+    if (!id.empty()) {
+      const bool is_prefix = id.back() == '.';
+      if (!is_prefix && pathrouting::audit::find_rule(id) == nullptr) {
+        std::fprintf(stderr,
+                     "pr_lint: unknown rule '%s' (see --list-rules; domain "
+                     "prefixes end in '.', e.g. 'cdag.')\n",
+                     id.c_str());
+        return false;
+      }
+      ids.push_back(id);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (ids.empty()) {
+    std::fprintf(stderr, "pr_lint: --rules given but no rule ids parsed\n");
+    return false;
+  }
+  selection = RuleSelection::only(ids);
+  return true;
+}
+
+struct NamedAlgorithm {
+  std::string name;
+  BilinearAlgorithm alg;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pathrouting::support::Cli cli(argc, argv);
+  const std::string alg_name =
+      cli.flag_str("alg", "strassen", "catalog algorithm name, or 'all'");
+  const std::string file = cli.flag_str(
+      "file", "", "load a pathrouting-bilinear-v1 file instead of --alg");
+  const int r = static_cast<int>(cli.flag_int("r", 2, "recursion depth"));
+  const int routing_k = static_cast<int>(cli.flag_int(
+      "k", -1, "routing subcomputation order (-1 = auto, small)"));
+  const bool json = cli.flag_bool("json", false, "JSON output");
+  const bool no_routing =
+      cli.flag_bool("no-routing", false, "skip routing/Hall/family audits");
+  const bool no_certify =
+      cli.flag_bool("no-certify", false, "skip segment-certificate audits");
+  const bool no_coeffs = cli.flag_bool(
+      "no-coeffs", false, "build without per-edge coefficients (saves "
+                          "memory; disables the coefficient checks)");
+  const std::string rules = cli.flag_str(
+      "rules", "", "comma-separated rule ids or domain prefixes to run");
+  const bool list_rules =
+      cli.flag_bool("list-rules", false, "print the rule registry and exit");
+  cli.finish(
+      "Audits the constructed CDAG, routings, Hall matchings, schedules, "
+      "and segment certificates of a Strassen-like base algorithm against "
+      "the paper's structural invariants.");
+
+  if (list_rules) {
+    for (const pathrouting::audit::RuleInfo& rule :
+         pathrouting::audit::all_rules()) {
+      std::printf("%-24s %.*s\n    %.*s\n", std::string(rule.id).c_str(),
+                  static_cast<int>(rule.paper_ref.size()), rule.paper_ref.data(),
+                  static_cast<int>(rule.summary.size()), rule.summary.data());
+    }
+    return 0;
+  }
+  if (r < 1) {
+    std::fprintf(stderr, "pr_lint: --r must be >= 1\n");
+    return 2;
+  }
+
+  pathrouting::audit::RunAllOptions options;
+  options.routing_k = routing_k;
+  options.with_routing = !no_routing;
+  options.with_certificate = !no_certify;
+  if (!rules.empty() && !parse_rules(rules, options.selection)) return 2;
+
+  std::vector<NamedAlgorithm> algorithms;
+  if (!file.empty()) {
+    std::ifstream is(file);
+    if (!is) {
+      std::fprintf(stderr, "pr_lint: cannot open '%s'\n", file.c_str());
+      return 2;
+    }
+    pathrouting::bilinear::ParseResult parsed =
+        pathrouting::bilinear::from_text(is);
+    if (!parsed.algorithm) {
+      std::fprintf(stderr, "pr_lint: %s: %s\n", file.c_str(),
+                   parsed.error.c_str());
+      return 2;
+    }
+    algorithms.push_back({file, *std::move(parsed.algorithm)});
+  } else if (alg_name == "all") {
+    for (const std::string& name : pathrouting::bilinear::catalog_names()) {
+      algorithms.push_back({name, pathrouting::bilinear::by_name(name)});
+    }
+  } else {
+    const std::vector<std::string> names =
+        pathrouting::bilinear::catalog_names();
+    if (std::find(names.begin(), names.end(), alg_name) == names.end()) {
+      std::fprintf(stderr, "pr_lint: unknown catalog algorithm '%s'\n",
+                   alg_name.c_str());
+      return 2;
+    }
+    algorithms.push_back({alg_name, pathrouting::bilinear::by_name(alg_name)});
+  }
+
+  std::uint64_t total_errors = 0;
+  std::string json_out = "[";
+  for (std::size_t i = 0; i < algorithms.size(); ++i) {
+    const NamedAlgorithm& entry = algorithms[i];
+    const pathrouting::cdag::Cdag cdag(
+        entry.alg, r, {.with_coefficients = !no_coeffs});
+    const AuditReport report = pathrouting::audit::run_all(cdag, options);
+    total_errors += report.num_errors();
+    if (json) {
+      if (i > 0) json_out += ',';
+      json_out += "{\"algorithm\":\"" + entry.name +
+                  "\",\"r\":" + std::to_string(r) +
+                  ",\"report\":" + report.to_json() + '}';
+    } else {
+      std::printf("== %s (r=%d) ==\n%s", entry.name.c_str(), r,
+                  report.to_text().c_str());
+    }
+  }
+  if (json) {
+    json_out += "]\n";
+    std::fputs(json_out.c_str(), stdout);
+  }
+  return total_errors > 0 ? 1 : 0;
+}
