@@ -32,6 +32,17 @@ inline void print_banner(const std::string& experiment,
   std::printf("\n=== %s ===\n%s\n\n", experiment.c_str(), claim.c_str());
 }
 
+/// The git commit the bench binary was built from (bench/CMakeLists.txt
+/// bakes in `git rev-parse --short HEAD`), so committed BENCH_*.json
+/// files record which code produced them.
+inline const char* git_commit() {
+#ifdef PR_GIT_COMMIT
+  return PR_GIT_COMMIT;
+#else
+  return "unknown";
+#endif
+}
+
 /// Machine-readable bench results. Collects flat key/value records and
 /// writes them to `BENCH_<name>.json` in the working directory (or
 /// `$PR_BENCH_JSON_DIR` if set) when `write()` is called or the object

@@ -1,16 +1,37 @@
-// E2-E5 — the routing theorems, verified by exhaustive counting.
+// E2-E5 — the routing theorems, verified by two engines.
 //
 //   E2 (Theorem 2): 6 a^k-routing between In and Out of G_k.
 //   E3 (Lemma 3):   2 n0^k-routing of chains for guaranteed deps.
 //   E4 (Lemma 4):   every chain reused exactly 3 n0^k times.
-//   E5 (Claim 1):   |D_1| * b^k-routing inside the decoding graph.
+//   E5 (Claim 1):   |D_1| * max(a,b)^k-routing in the decoding graph.
+//
+// The brute engine enumerates every path (the oracle); the memoized
+// engine (routing/memo_routing.hpp) fills the same hit arrays from the
+// closed forms on a canonical G_k copy. Where both engines run, the
+// full per-vertex arrays are compared bit for bit and the memo record
+// carries counts_bit_identical plus the measured speedup. Any
+// divergence or bound violation makes the bench exit nonzero, so CI
+// can run it as a perf smoke test (--engine=memo --kmax=N under
+// timeout).
+//
+// Flags:
+//   --engine=both|memo|brute   which engines to run (default both)
+//   --kmax=N                   cap every case's k (0 = per-case table)
+//   --kmax-brute=N             cap only the brute engine's k
+//   --full-catalog             add every catalog algorithm at k <= 3
+#include <algorithm>
+#include <cstring>
 #include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "pathrouting/bilinear/analysis.hpp"
 #include "pathrouting/bilinear/catalog.hpp"
 #include "pathrouting/routing/concat_routing.hpp"
 #include "pathrouting/routing/decode_routing.hpp"
+#include "pathrouting/routing/memo_routing.hpp"
 #include "pathrouting/support/table.hpp"
 
 namespace {
@@ -19,56 +40,201 @@ using namespace pathrouting;  // NOLINT
 using support::fmt_count;
 using support::fmt_fixed;
 
+struct Options {
+  bool run_brute = true;
+  bool run_memo = true;
+  int kmax = 0;        // 0 = per-case table
+  int kmax_brute = 0;  // 0 = per-case table
+  bool full_catalog = false;
+};
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--engine=both") {
+      opt.run_brute = opt.run_memo = true;
+    } else if (arg == "--engine=memo") {
+      opt.run_brute = false;
+      opt.run_memo = true;
+    } else if (arg == "--engine=brute") {
+      opt.run_brute = true;
+      opt.run_memo = false;
+    } else if (arg.starts_with("--kmax=")) {
+      opt.kmax = std::atoi(arg.c_str() + std::strlen("--kmax="));
+    } else if (arg.starts_with("--kmax-brute=")) {
+      opt.kmax_brute = std::atoi(arg.c_str() + std::strlen("--kmax-brute="));
+    } else if (arg == "--full-catalog") {
+      opt.full_catalog = true;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s\nusage: bench_routing "
+                   "[--engine=both|memo|brute] [--kmax=N] [--kmax-brute=N] "
+                   "[--full-catalog]\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+struct Case {
+  std::string name;
+  int kmax_brute;
+  int kmax_memo;
+};
+
+/// Applies the CLI caps to a case's per-engine k limits.
+Case capped(const Options& opt, Case c) {
+  if (opt.kmax > 0) {
+    c.kmax_brute = std::min(c.kmax_brute, opt.kmax);
+    c.kmax_memo = std::min(c.kmax_memo, opt.kmax);
+  }
+  if (opt.kmax_brute > 0) c.kmax_brute = std::min(c.kmax_brute, opt.kmax_brute);
+  if (!opt.run_brute) c.kmax_brute = 0;
+  if (!opt.run_memo) c.kmax_memo = 0;
+  return c;
+}
+
+/// --full-catalog: every catalog algorithm at k <= 3 (capped so the
+/// CDAG stays under ~4M vertices), appended after the headline cases.
+void add_catalog_cases(std::vector<Case>& cases, int kmax,
+                       bool decode_only) {
+  for (const std::string& name : bilinear::catalog_names()) {
+    if (std::any_of(cases.begin(), cases.end(),
+                    [&](const Case& c) { return c.name == name; })) {
+      continue;
+    }
+    const auto alg = bilinear::by_name(name);
+    if (decode_only && bilinear::decoding_components(alg) != 1) continue;
+    int k = kmax;
+    while (k > 1 &&
+           cdag::Layout(alg.n0(), alg.b(), k).num_vertices() > 4000000) {
+      --k;
+    }
+    cases.push_back({name, k, k});
+  }
+}
+
+bool hits_equal(const std::vector<std::uint64_t>& a,
+                const std::vector<std::uint64_t>& b) {
+  return a == b;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  bool failed = false;
+
   bench::print_banner(
       "E2/E3/E4: Lemma 3, Lemma 4 and the Routing Theorem (Theorem 2)",
       "Claim: chains for all guaranteed dependencies hit every vertex at\n"
       "most 2 n0^k times; the Lemma-4 concatenation uses every chain\n"
       "exactly 3 n0^k times; the composed routing hits every vertex and\n"
-      "every meta-vertex at most 6 a^k times.");
+      "every meta-vertex at most 6 a^k times. The memoized engine must\n"
+      "reproduce the brute-force hit arrays bit for bit.");
 
-  support::Table table({"algorithm", "k", "chains", "L3 max", "L3 bound",
-                        "L4 exact", "T2 max", "T2 meta", "T2 bound", "ok",
-                        "sec"});
-  bench::BenchJson json("routing");
-  struct Case {
-    const char* name;
-    int kmax;
-  };
-  for (const Case c : {Case{"strassen", 6}, Case{"winograd", 6},
-                       Case{"laderman", 3}, Case{"strassen_squared", 3},
-                       Case{"strassen_x_classical2", 3}}) {
+  support::Table table({"algorithm", "k", "engine", "chains", "L3 max",
+                        "L3 bound", "L4 exact", "T2 max", "T2 meta",
+                        "T2 bound", "ok", "sec", "speedup"});
+  bench::BenchJson json("routing_memo");
+
+  std::vector<Case> chain_cases = {{"strassen", 6, 7},
+                                   {"winograd", 6, 7},
+                                   {"laderman", 3, 4},
+                                   {"strassen_squared", 3, 3},
+                                   {"strassen_x_classical2", 3, 3}};
+  if (opt.full_catalog) add_catalog_cases(chain_cases, 3, false);
+
+  for (const Case& raw : chain_cases) {
+    const Case c = capped(opt, raw);
     const auto alg = bilinear::by_name(c.name);
     const routing::ChainRouter router(alg);
-    for (int k = 1; k <= c.kmax; ++k) {
-      bench::Stopwatch timer;
+    const routing::MemoRoutingEngine memo(router);
+    for (int k = 1; k <= std::max(c.kmax_brute, c.kmax_memo); ++k) {
       const cdag::Cdag graph(alg, k, {.with_coefficients = false});
       const cdag::SubComputation sub(graph, k, 0);
-      const auto l3 = routing::verify_chain_routing(router, sub);
-      const bool l4 = routing::verify_chain_multiplicities(router, sub);
-      const auto t2 = routing::verify_full_routing_aggregated(router, sub);
-      const bool ok = l3.ok() && l4 && t2.ok();
-      const double secs = timer.seconds();
-      json.add_record()
-          .set("experiment", "chain_routing")
-          .set("algorithm", c.name)
-          .set("k", k)
-          .set("chains", l3.num_paths)
-          .set("l3_max_hits", l3.max_hits)
-          .set("l3_bound", l3.bound)
-          .set("l4_exact", l4)
-          .set("t2_max_vertex_hits", t2.max_vertex_hits)
-          .set("t2_max_meta_hits", t2.max_meta_hits)
-          .set("t2_bound", t2.bound)
-          .set("ok", ok)
-          .set("seconds", secs);
-      table.add_row({c.name, std::to_string(k), fmt_count(l3.num_paths),
-                     fmt_count(l3.max_hits), fmt_count(l3.bound),
-                     l4 ? "yes" : "NO", fmt_count(t2.max_vertex_hits),
-                     fmt_count(t2.max_meta_hits), fmt_count(t2.bound),
-                     ok ? "OK" : "VIOLATED", fmt_fixed(secs, 2)});
+
+      struct ChainRun {
+        routing::ChainHitCounts counts;
+        routing::HitStats l3;
+        bool l4 = false;
+        routing::FullRoutingStats t2;
+        double secs = 0;
+        [[nodiscard]] bool ok() const { return l3.ok() && l4 && t2.ok(); }
+      };
+      std::optional<ChainRun> brute, memo_run;
+
+      if (k <= c.kmax_brute) {
+        bench::Stopwatch timer;
+        ChainRun run;
+        run.counts = routing::count_chain_hits(router, sub);
+        run.l3 = routing::chain_stats_from_counts(run.counts, sub);
+        run.l4 = routing::verify_chain_multiplicities(router, sub);
+        run.t2 = routing::full_routing_from_chain_counts(sub, run.counts);
+        run.secs = timer.seconds();
+        brute.emplace(std::move(run));
+      }
+      if (k <= c.kmax_memo) {
+        bench::Stopwatch timer;
+        ChainRun run;
+        run.counts = memo.chain_hits(sub);
+        run.l3 = routing::chain_stats_from_counts(run.counts, sub);
+        run.l4 = memo.verify_chain_multiplicities(sub);
+        run.t2 = routing::full_routing_from_chain_counts(sub, run.counts);
+        run.secs = timer.seconds();
+        memo_run.emplace(std::move(run));
+      }
+
+      const auto emit = [&](const ChainRun& run, routing::EngineKind kind) {
+        const char* engine = routing::engine_name(kind);
+        auto& rec = json.add_record()
+                        .set("experiment", "chain_routing")
+                        .set("algorithm", c.name)
+                        .set("k", k)
+                        .set("engine", engine)
+                        .set("threads", support::parallel::num_threads())
+                        .set("commit", bench::git_commit())
+                        .set("chains", run.l3.num_paths)
+                        .set("l3_max_hits", run.l3.max_hits)
+                        .set("l3_bound", run.l3.bound)
+                        .set("l4_exact", run.l4)
+                        .set("t2_max_vertex_hits", run.t2.max_vertex_hits)
+                        .set("t2_max_meta_hits", run.t2.max_meta_hits)
+                        .set("t2_bound", run.t2.bound)
+                        .set("ok", run.ok())
+                        .set("seconds", run.secs);
+        std::string speed = "-";
+        if (kind == routing::EngineKind::kMemo && brute.has_value()) {
+          const bool identical =
+              hits_equal(run.counts.hits, brute->counts.hits) &&
+              run.counts.num_chains == brute->counts.num_chains &&
+              run.counts.max_hits == brute->counts.max_hits &&
+              run.counts.argmax == brute->counts.argmax;
+          const double speedup =
+              run.secs > 0 ? brute->secs / run.secs : 0.0;
+          rec.set("counts_bit_identical", identical).set("speedup", speedup);
+          speed = fmt_fixed(speedup, 1) + "x";
+          if (!identical) {
+            std::fprintf(stderr,
+                         "DIVERGENCE: %s k=%d memo chain counts differ "
+                         "from brute\n",
+                         c.name.c_str(), k);
+            failed = true;
+          }
+        }
+        if (!run.ok()) failed = true;
+        table.add_row({c.name, std::to_string(k), engine,
+                       fmt_count(run.l3.num_paths), fmt_count(run.l3.max_hits),
+                       fmt_count(run.l3.bound), run.l4 ? "yes" : "NO",
+                       fmt_count(run.t2.max_vertex_hits),
+                       fmt_count(run.t2.max_meta_hits),
+                       fmt_count(run.t2.bound), run.ok() ? "OK" : "VIOLATED",
+                       fmt_fixed(run.secs, 2), speed});
+      };
+      if (brute) emit(*brute, routing::EngineKind::kBrute);
+      if (memo_run) emit(*memo_run, routing::EngineKind::kMemo);
     }
   }
   table.print(std::cout);
@@ -77,37 +243,111 @@ int main() {
       "E5: Claim 1 — the decoding-graph routing of Section 5",
       "Claim: for bases with a connected decoding graph there is an\n"
       "(|D_1| * max(a,b)^k)-routing between the inputs and outputs of D_k\n"
-      "(11 * 7^k for Strassen). Paths are enumerated exhaustively.");
-  support::Table claim1({"algorithm", "k", "paths", "max hits", "bound",
-                         "slack", "ok", "sec"});
-  for (const Case c : {Case{"strassen", 5}, Case{"winograd", 5},
-                       Case{"laderman", 3}}) {
+      "(11 * 7^k for Strassen). The brute engine enumerates every\n"
+      "zig-zag; the memoized engine fills the array from the D_1 visit\n"
+      "tables.");
+  support::Table claim1({"algorithm", "k", "engine", "paths", "max hits",
+                         "bound", "slack", "ok", "sec", "speedup"});
+
+  std::vector<Case> decode_cases = {
+      {"strassen", 5, 6}, {"winograd", 5, 6}, {"laderman", 3, 4}};
+  if (opt.full_catalog) add_catalog_cases(decode_cases, 3, true);
+
+  for (const Case& raw : decode_cases) {
+    const Case c = capped(opt, raw);
     const auto alg = bilinear::by_name(c.name);
-    const routing::DecodeRouter router(alg);
-    for (int k = 1; k <= c.kmax; ++k) {
-      bench::Stopwatch timer;
+    const routing::ChainRouter router(alg);
+    const routing::DecodeRouter decoder(alg);
+    const routing::MemoRoutingEngine memo(router, decoder);
+    for (int k = 1; k <= std::max(c.kmax_brute, c.kmax_memo); ++k) {
       const cdag::Cdag graph(alg, k, {.with_coefficients = false});
       const cdag::SubComputation sub(graph, k, 0);
-      const auto stats = routing::verify_decode_routing(router, sub);
-      const double secs = timer.seconds();
-      json.add_record()
-          .set("experiment", "decode_routing")
-          .set("algorithm", c.name)
-          .set("k", k)
-          .set("paths", stats.num_paths)
-          .set("max_hits", stats.max_hits)
-          .set("bound", stats.bound)
-          .set("ok", stats.ok())
-          .set("seconds", secs);
-      claim1.add_row(
-          {c.name, std::to_string(k), fmt_count(stats.num_paths),
-           fmt_count(stats.max_hits), fmt_count(stats.bound),
-           fmt_fixed(static_cast<double>(stats.bound) /
-                         static_cast<double>(stats.max_hits),
-                     1),
-           stats.ok() ? "OK" : "VIOLATED", fmt_fixed(secs, 2)});
+
+      struct DecodeRun {
+        std::vector<std::uint64_t> hits;
+        routing::HitStats stats;
+        double secs = 0;
+      };
+      std::optional<DecodeRun> brute, memo_run;
+
+      if (k <= c.kmax_brute) {
+        bench::Stopwatch timer;
+        DecodeRun run;
+        run.hits = routing::count_decode_hits(decoder, sub);
+        const auto& layout = graph.layout();
+        run.stats.num_paths = layout.pow_b()(k) * layout.pow_a()(k);
+        run.stats.bound =
+            static_cast<std::uint64_t>(decoder.d1_size()) *
+            std::max(layout.pow_a()(k), layout.pow_b()(k));
+        for (cdag::VertexId v = 0; v < run.hits.size(); ++v) {
+          if (run.hits[v] > run.stats.max_hits) {
+            run.stats.max_hits = run.hits[v];
+            run.stats.argmax = v;
+          }
+        }
+        run.secs = timer.seconds();
+        brute.emplace(std::move(run));
+      }
+      if (k <= c.kmax_memo) {
+        bench::Stopwatch timer;
+        DecodeRun run;
+        run.hits = memo.decode_hits(sub);
+        run.stats = memo.verify_decode_routing(sub);
+        run.secs = timer.seconds();
+        memo_run.emplace(std::move(run));
+      }
+
+      const auto emit = [&](const DecodeRun& run, routing::EngineKind kind) {
+        const char* engine = routing::engine_name(kind);
+        auto& rec = json.add_record()
+                        .set("experiment", "decode_routing")
+                        .set("algorithm", c.name)
+                        .set("k", k)
+                        .set("engine", engine)
+                        .set("threads", support::parallel::num_threads())
+                        .set("commit", bench::git_commit())
+                        .set("paths", run.stats.num_paths)
+                        .set("max_hits", run.stats.max_hits)
+                        .set("bound", run.stats.bound)
+                        .set("ok", run.stats.ok())
+                        .set("seconds", run.secs);
+        std::string speed = "-";
+        if (kind == routing::EngineKind::kMemo && brute.has_value()) {
+          const bool identical = hits_equal(run.hits, brute->hits) &&
+                                 run.stats.max_hits == brute->stats.max_hits &&
+                                 run.stats.argmax == brute->stats.argmax;
+          const double speedup =
+              run.secs > 0 ? brute->secs / run.secs : 0.0;
+          rec.set("counts_bit_identical", identical).set("speedup", speedup);
+          speed = fmt_fixed(speedup, 1) + "x";
+          if (!identical) {
+            std::fprintf(stderr,
+                         "DIVERGENCE: %s k=%d memo decode counts differ "
+                         "from brute\n",
+                         c.name.c_str(), k);
+            failed = true;
+          }
+        }
+        if (!run.stats.ok()) failed = true;
+        claim1.add_row(
+            {c.name, std::to_string(k), engine, fmt_count(run.stats.num_paths),
+             fmt_count(run.stats.max_hits), fmt_count(run.stats.bound),
+             fmt_fixed(static_cast<double>(run.stats.bound) /
+                           static_cast<double>(run.stats.max_hits),
+                       1),
+             run.stats.ok() ? "OK" : "VIOLATED", fmt_fixed(run.secs, 2),
+             speed});
+      };
+      if (brute) emit(*brute, routing::EngineKind::kBrute);
+      if (memo_run) emit(*memo_run, routing::EngineKind::kMemo);
     }
   }
   claim1.print(std::cout);
+
+  if (failed) {
+    std::fprintf(stderr,
+                 "bench_routing: FAILED (divergence or bound violation)\n");
+    return 1;
+  }
   return 0;
 }

@@ -2,10 +2,15 @@
 //
 //   ./routing_explorer --alg=strassen --k=3
 //   ./routing_explorer --alg=laderman --k=2 --show-chain
+//   ./routing_explorer --alg=strassen --k=2 --engine=brute
+//   ./routing_explorer --alg=strassen --k=2 --dot=paths.dot
 //
 // Prints the Theorem-3 base matching, the Lemma-3 / Theorem-2 hit
-// statistics for G_k, and optionally walks one concrete chain and one
-// concatenated In->Out path, naming every vertex it passes.
+// statistics for G_k (via the memoized closed-form engine by default,
+// or --engine=brute for the enumerating oracle), and optionally walks
+// one concrete chain and one concatenated In->Out path, naming every
+// vertex it passes. --dot writes those two sample paths as a DOT edge
+// overlay for graphviz.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -13,6 +18,8 @@
 #include "pathrouting/bilinear/catalog.hpp"
 #include "pathrouting/cdag/cdag.hpp"
 #include "pathrouting/routing/concat_routing.hpp"
+#include "pathrouting/routing/memo_routing.hpp"
+#include "pathrouting/routing/path_store.hpp"
 #include "pathrouting/support/cli.hpp"
 
 using namespace pathrouting;  // NOLINT: example brevity
@@ -39,7 +46,18 @@ int main(int argc, char** argv) {
   const int k = static_cast<int>(cli.flag_int("k", 3, "recursion depth of G_k"));
   const bool show_chain =
       cli.flag_bool("show-chain", false, "print a sample chain and path");
+  const std::string engine =
+      cli.flag_str("engine", "memo",
+                   "verification engine: memo (closed forms) or brute "
+                   "(path enumeration)");
+  const std::string dot_file =
+      cli.flag_str("dot", "", "write the sample chain and Lemma-4 path "
+                              "as a DOT overlay to this file");
   cli.finish("Explore the Theorem-2 routing of a Strassen-like CDAG.");
+  if (engine != "memo" && engine != "brute") {
+    std::fprintf(stderr, "--engine must be memo or brute\n");
+    return 2;
+  }
 
   const auto alg = bilinear::by_name(name);
   std::printf("%s: n0=%d, a=%d, b=%d, omega0=%.4f\n", alg.name().c_str(),
@@ -67,14 +85,19 @@ int main(int argc, char** argv) {
 
   const cdag::Cdag graph(alg, k, {.with_coefficients = false});
   const cdag::SubComputation sub(graph, k, 0);
-  const auto l3 = routing::verify_chain_routing(router, sub);
-  std::printf("\nLemma 3 on G_%d: %llu chains, busiest vertex hit %llu "
-              "times (bound 2*n0^k = %llu) -> %s\n",
-              k, static_cast<unsigned long long>(l3.num_paths),
+  const routing::MemoRoutingEngine memo(router);
+  const bool use_memo = engine == "memo";
+  const auto l3 = use_memo ? memo.verify_chain_routing(sub)
+                           : routing::verify_chain_routing(router, sub);
+  std::printf("\nLemma 3 on G_%d (%s engine): %llu chains, busiest vertex "
+              "hit %llu times (bound 2*n0^k = %llu) -> %s\n",
+              k, engine.c_str(), static_cast<unsigned long long>(l3.num_paths),
               static_cast<unsigned long long>(l3.max_hits),
               static_cast<unsigned long long>(l3.bound),
               l3.ok() ? "holds" : "VIOLATED");
-  const auto t2 = routing::verify_full_routing_aggregated(router, sub);
+  const auto t2 = use_memo
+                      ? memo.verify_full_routing(sub)
+                      : routing::verify_full_routing_aggregated(router, sub);
   std::printf("Theorem 2 on G_%d: %llu In x Out paths, busiest vertex %llu, "
               "busiest meta-vertex %llu (bound 6*a^k = %llu) -> %s\n",
               k, static_cast<unsigned long long>(t2.num_paths),
@@ -83,26 +106,44 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(t2.bound),
               t2.ok() ? "holds" : "VIOLATED");
 
-  if (show_chain) {
+  if (show_chain || !dot_file.empty()) {
     const auto& layout = graph.layout();
-    std::vector<cdag::VertexId> chain;
-    router.append_chain(sub, bilinear::Side::A, 0,
-                        routing::guaranteed_output(layout, k, bilinear::Side::A,
-                                                   0, 1),
-                        chain);
-    std::printf("\nChain for the guaranteed dependence (first A-input -> its "
-                "2nd guaranteed output):\n");
-    for (const cdag::VertexId v : chain) {
-      std::printf("  %s\n", describe(layout, v).c_str());
+    routing::PathStore store;
+    store.add_path([&](std::vector<cdag::VertexId>& out) {
+      router.append_chain(sub, bilinear::Side::A, 0,
+                          routing::guaranteed_output(layout, k,
+                                                     bilinear::Side::A, 0, 1),
+                          out);
+    });
+    store.add_path([&](std::vector<cdag::VertexId>& out) {
+      routing::append_full_path(router, sub, bilinear::Side::A, 0,
+                                sub.inputs_per_side() - 1, out);
+    });
+    if (show_chain) {
+      std::printf("\nChain for the guaranteed dependence (first A-input -> "
+                  "its 2nd guaranteed output):\n");
+      for (const cdag::VertexId v : store.path(0)) {
+        std::printf("  %s\n", describe(layout, v).c_str());
+      }
+      std::printf("\nLemma-4 path (first A-input -> last output, three "
+                  "chains concatenated, %zu vertices):\n",
+                  store.path(1).size());
+      for (const cdag::VertexId v : store.path(1)) {
+        std::printf("  %s\n", describe(layout, v).c_str());
+      }
     }
-    std::vector<cdag::VertexId> path;
-    routing::append_full_path(router, sub, bilinear::Side::A, 0,
-                              sub.inputs_per_side() - 1, path);
-    std::printf("\nLemma-4 path (first A-input -> last output, three chains "
-                "concatenated, %zu vertices):\n",
-                path.size());
-    for (const cdag::VertexId v : path) {
-      std::printf("  %s\n", describe(layout, v).c_str());
+    if (!dot_file.empty()) {
+      const std::string dot =
+          routing::paths_to_dot(layout, store, alg.name() + "_routing");
+      std::FILE* f = std::fopen(dot_file.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", dot_file.c_str());
+        return 1;
+      }
+      std::fwrite(dot.data(), 1, dot.size(), f);
+      std::fclose(f);
+      std::printf("\nwrote %s (chain + Lemma-4 path overlay)\n",
+                  dot_file.c_str());
     }
   }
   return 0;

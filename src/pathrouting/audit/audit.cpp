@@ -56,6 +56,7 @@ AuditReport run_all(const cdag::Cdag& cdag, const RunAllOptions& options) {
       const cdag::SubComputation sub(cdag, k, 0);
       report.merge(audit_chain_routing(router, sub, selection));
       report.merge(audit_concat_routing(router, sub, selection));
+      std::optional<routing::DecodeRouter> decoder;
       if (bilinear::decoding_components(alg) == 1) {
         // The decode audit streams a^k*b^k zig-zags; same budget.
         int kd = k;
@@ -63,9 +64,21 @@ AuditReport run_all(const cdag::Cdag& cdag, const RunAllOptions& options) {
                layout.pow_a()(kd) * layout.pow_b()(kd) > 4000000) {
           --kd;
         }
-        const routing::DecodeRouter decoder(alg);
+        decoder.emplace(alg);
         const cdag::SubComputation dsub(cdag, kd, 0);
-        report.merge(audit_decode_routing(decoder, dsub, selection));
+        report.merge(audit_decode_routing(*decoder, dsub, selection));
+      }
+      if (k >= 1) {
+        // The memoized engine re-derives the same hit arrays from the
+        // closed forms; reconcile them (and the Fact-1 renaming)
+        // against the certificates.
+        std::optional<routing::MemoRoutingEngine> engine;
+        if (decoder) {
+          engine.emplace(router, *decoder);
+        } else {
+          engine.emplace(router);
+        }
+        report.merge(audit_memo_routing(*engine, sub, selection));
       }
       if (r >= 2 && bilinear::lemma1_precondition(alg)) {
         const int kf = std::min(r - 2, 1);

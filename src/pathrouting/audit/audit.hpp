@@ -26,6 +26,8 @@
 #include "pathrouting/cdag/subcomputation.hpp"
 #include "pathrouting/routing/chain_routing.hpp"
 #include "pathrouting/routing/decode_routing.hpp"
+#include "pathrouting/routing/memo_routing.hpp"
+#include "pathrouting/routing/path_store.hpp"
 
 namespace pathrouting::audit {
 
@@ -72,9 +74,42 @@ AuditReport audit_cdag(const CdagView& view,
 AuditReport audit_cdag(const cdag::Cdag& cdag,
                        const RuleSelection& selection = RuleSelection::all());
 
+/// The PathFamily view of an arena-backed store: the CSR shapes
+/// coincide, so no copying. Expectations (bounds, lengths, counts) stay
+/// zeroed; set them on the returned view before auditing.
+PathFamily family_view(const routing::PathStore& store);
+
 /// Generic path-family audit (routing.* rules except chain-count).
 AuditReport audit_path_family(
     const CdagView& view, const PathFamily& family,
+    const RuleSelection& selection = RuleSelection::all());
+
+/// Fact 1: audits a copy-renaming block table against the canonical
+/// G_k tiling (fact1.copy-blocks) and the subcomputation address
+/// formulas / injectivity into G_r (fact1.copy-bijection). Findings
+/// attach the offending block index in `vertex`. Requires
+/// 1 <= k <= r and prefix < b^(r-k).
+AuditReport audit_copy_translation(
+    const cdag::Layout& global, int k, std::uint64_t prefix,
+    std::span<const cdag::CopyBlock> blocks,
+    const RuleSelection& selection = RuleSelection::all());
+
+/// Certificate reconciliation of a memoized chain-hit array
+/// (routing.memo-totals): the chain count, the total-hits closed form
+/// num_chains * (2k+2), and the recorded max/argmax must match
+/// `counts`; the array is also checked against the 2*n0^k congestion
+/// bound (routing.congestion).
+AuditReport audit_memo_chain_counts(
+    const routing::MemoRoutingEngine& engine, const cdag::SubComputation& sub,
+    const routing::ChainHitCounts& counts,
+    const RuleSelection& selection = RuleSelection::all());
+
+/// One-stop memoized-routing audit of `sub`: the Fact-1 copy renaming
+/// (fact1.*), the memoized chain counts, and — when the engine has a
+/// decoder — the Claim-1 totals and congestion of the memoized decode
+/// array.
+AuditReport audit_memo_routing(
+    const routing::MemoRoutingEngine& engine, const cdag::SubComputation& sub,
     const RuleSelection& selection = RuleSelection::all());
 
 /// Lemma 3: materializes every guaranteed-dependence chain of `sub` and

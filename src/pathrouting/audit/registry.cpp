@@ -64,6 +64,21 @@ constexpr RuleInfo kRules[] = {
     {"routing.chain-count",
      "the chain routing covers all 2*a^k*n0^k guaranteed dependencies",
      "Section 7, Lemma 3"},
+    {"routing.memo-totals",
+     "memoized hit arrays reconcile with the closed-form certificates: "
+     "2*a^k*n0^k chains of 2k+2 vertices each, D_1 visit totals for the "
+     "decode zig-zags, and recorded max/argmax matching the array",
+     "Lemmas 3-4, Claim 1 (certificate totals)"},
+
+    // Fact-1 copy renamings (the memoized engine's translation maps).
+    {"fact1.copy-blocks",
+     "a copy renaming tiles the canonical G_k: one contiguous block per "
+     "rank, 3(k+1) in total, jointly covering every local id exactly once",
+     "Fact 1"},
+    {"fact1.copy-bijection",
+     "copy blocks embed injectively into G_r: global runs stay in range, "
+     "strictly increase, and match the subcomputation address formulas",
+     "Fact 1"},
 
     // Hall matching witnesses (Theorem 3).
     {"hall.domain",

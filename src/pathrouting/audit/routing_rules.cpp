@@ -32,6 +32,9 @@ constexpr std::string_view kLength = "routing.path-length";
 constexpr std::string_view kCongestion = "routing.congestion";
 constexpr std::string_view kDisjoint = "routing.path-disjoint";
 constexpr std::string_view kChainCount = "routing.chain-count";
+constexpr std::string_view kMemoTotals = "routing.memo-totals";
+constexpr std::string_view kCopyBlocks = "fact1.copy-blocks";
+constexpr std::string_view kCopyBijection = "fact1.copy-bijection";
 
 std::string pair_str(std::uint64_t u, std::uint64_t v) {
   return "(" + std::to_string(u) + " -> " + std::to_string(v) + ")";
@@ -109,30 +112,26 @@ void congestion_findings(const std::vector<std::uint64_t>& hits,
 
 /// Per-vertex hit counts of a streamed path enumeration:
 /// enumerate(index, path_out) materializes the paths of one stream
-/// index; shards merge by elementwise integer sum (exactly
-/// commutative), so the counts are thread-count independent.
+/// index; all workers bump one shared counter array (relaxed atomic
+/// adds, exactly commutative), so the counts are thread-count
+/// independent and the working set does not grow with PR_THREADS.
 template <typename Enumerate>
 std::vector<std::uint64_t> streamed_hits(std::uint64_t num_indices,
                                          std::uint64_t grain, std::uint64_t n,
                                          const Enumerate& enumerate) {
-  return parallel::sharded_accumulate<std::vector<std::uint64_t>>(
-      0, num_indices, grain,
-      [&] { return std::vector<std::uint64_t>(n, 0); },
-      [&](std::vector<std::uint64_t>& hits, std::uint64_t lo,
-          std::uint64_t hi) {
+  parallel::HitCounter hits(n);
+  parallel::parallel_for(
+      0, num_indices, grain, [&](std::uint64_t lo, std::uint64_t hi) {
         std::vector<VertexId> path;
         for (std::uint64_t idx = lo; idx < hi; ++idx) {
           enumerate(idx, [&](std::span<const VertexId> p) {
             for (const VertexId v : p) {
-              if (v < n) ++hits[v];
+              if (v < n) hits.add(v);
             }
           }, path);
         }
-      },
-      [](std::vector<std::uint64_t>& acc,
-         const std::vector<std::uint64_t>& shard) {
-        for (std::size_t v = 0; v < acc.size(); ++v) acc[v] += shard[v];
       });
+  return hits.take();
 }
 
 }  // namespace
@@ -187,8 +186,10 @@ AuditReport audit_path_family(const CdagView& view, const PathFamily& family,
   }
 
   if (family.congestion_bound != 0 && selection.enabled(kCongestion)) {
+    const std::uint64_t avg_len =
+        num_paths == 0 ? 1 : family.vertices.size() / num_paths + 1;
     const std::vector<std::uint64_t> hits = streamed_hits(
-        num_paths, /*grain=*/64, n,
+        num_paths, parallel::work_grain(num_paths, avg_len), n,
         [&](std::uint64_t i, const auto& sink, std::vector<VertexId>&) {
           sink(family.vertices.subspan(
               family.offsets[i], family.offsets[i + 1] - family.offsets[i]));
@@ -232,6 +233,187 @@ AuditReport audit_path_family(const CdagView& view, const PathFamily& family,
                                 family.expected_paths, num_paths));
     }
     flush(report, selection, kChainCount, std::move(findings));
+  }
+  return report;
+}
+
+PathFamily family_view(const routing::PathStore& store) {
+  PathFamily family;
+  family.offsets = store.offsets();
+  family.vertices = store.vertices();
+  family.sources = store.sources();
+  family.sinks = store.sinks();
+  return family;
+}
+
+AuditReport audit_copy_translation(const Layout& global, int k,
+                                   std::uint64_t prefix,
+                                   std::span<const cdag::CopyBlock> blocks,
+                                   const RuleSelection& selection) {
+  PR_REQUIRE_MSG(k >= 1 && k <= global.r(),
+                 "audit_copy_translation: k outside 1..r");
+  PR_REQUIRE_MSG(prefix < global.pow_b()(global.r() - k),
+                 "audit_copy_translation: prefix is not a copy index");
+  const Layout local(global.n0(), global.b(), k);
+  AuditReport report;
+  Findings structure, bijection;
+
+  // The reference runs: one per canonical rank, in (common) id order,
+  // with the global bases given by the Fact-1 address formulas.
+  struct Run {
+    VertexId local_base, global_base;
+    std::uint64_t length;
+  };
+  std::vector<Run> expected;
+  for (const Side side : {Side::A, Side::B}) {
+    for (int t = 0; t <= k; ++t) {
+      expected.push_back(
+          {local.enc(side, t, 0, 0),
+           global.enc(side, global.r() - k + t, prefix * global.pow_b()(t), 0),
+           local.enc_rank_size(t)});
+    }
+  }
+  for (int t = 0; t <= k; ++t) {
+    expected.push_back({local.dec(t, 0, 0),
+                        global.dec(t, prefix * global.pow_b()(k - t), 0),
+                        local.dec_rank_size(t)});
+  }
+
+  if (blocks.size() != expected.size()) {
+    structure.add(error_counts(kCopyBlocks,
+                               "renaming does not have one block per "
+                               "canonical G_k rank (3(k+1) runs)",
+                               expected.size(), blocks.size()));
+  }
+  VertexId next_local = 0;
+  std::uint64_t covered = 0;
+  std::uint64_t prev_global_end = 0;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const cdag::CopyBlock& blk = blocks[i];
+    if (blk.local_base != next_local) {
+      structure.add(error_counts(kCopyBlocks,
+                                 "block does not start where the previous "
+                                 "one ended (local ids must tile G_k)",
+                                 next_local, blk.local_base, i));
+    }
+    if (i < expected.size() && blk.length != expected[i].length) {
+      structure.add(error_counts(kCopyBlocks,
+                                 "block length differs from its rank size",
+                                 expected[i].length, blk.length, i));
+    }
+    next_local = blk.local_base + static_cast<VertexId>(blk.length);
+    covered += blk.length;
+
+    if (blk.global_base + blk.length > global.num_vertices()) {
+      bijection.add(error_counts(kCopyBijection,
+                                 "block run leaves the global vertex range",
+                                 global.num_vertices(),
+                                 blk.global_base + blk.length, i));
+    }
+    if (i > 0 && blk.global_base < prev_global_end) {
+      bijection.add(error_counts(kCopyBijection,
+                                 "block overlaps or reorders the previous "
+                                 "global run (the renaming is strictly "
+                                 "increasing)",
+                                 prev_global_end, blk.global_base, i));
+    }
+    prev_global_end = blk.global_base + blk.length;
+    if (i < expected.size() && blk.global_base != expected[i].global_base) {
+      bijection.add(error_counts(kCopyBijection,
+                                 "block base disagrees with the Fact-1 "
+                                 "address formulas",
+                                 expected[i].global_base, blk.global_base, i));
+    }
+  }
+  if (covered != local.num_vertices()) {
+    structure.add(error_counts(kCopyBlocks,
+                               "blocks do not cover the canonical G_k "
+                               "exactly",
+                               local.num_vertices(), covered));
+  }
+  flush(report, selection, kCopyBlocks, std::move(structure));
+  flush(report, selection, kCopyBijection, std::move(bijection));
+  return report;
+}
+
+AuditReport audit_memo_chain_counts(const routing::MemoRoutingEngine& engine,
+                                    const SubComputation& sub,
+                                    const routing::ChainHitCounts& counts,
+                                    const RuleSelection& selection) {
+  const Layout& layout = sub.cdag().layout();
+  const int k = sub.k();
+  AuditReport report;
+  Findings totals;
+  if (counts.num_chains != engine.expected_num_chains(k)) {
+    totals.add(error_counts(kMemoTotals,
+                            "chain count disagrees with 2*a^k*n0^k "
+                            "(one chain per guaranteed dependence)",
+                            engine.expected_num_chains(k), counts.num_chains));
+  }
+  std::uint64_t total = 0, max_hits = 0;
+  VertexId argmax = 0;
+  for (VertexId v = 0; v < counts.hits.size(); ++v) {
+    total += counts.hits[v];
+    if (counts.hits[v] > max_hits) {
+      max_hits = counts.hits[v];
+      argmax = v;
+    }
+  }
+  if (total != engine.expected_chain_total_hits(k)) {
+    totals.add(error_counts(kMemoTotals,
+                            "hit-array total disagrees with the certificate "
+                            "num_chains * (2k+2) (chains have 2k+2 distinct "
+                            "vertices)",
+                            engine.expected_chain_total_hits(k), total));
+  }
+  if (max_hits != counts.max_hits || argmax != counts.argmax) {
+    totals.add(error_counts(kMemoTotals,
+                            "recorded max hits / argmax disagree with the "
+                            "array (smallest-id tie-break)",
+                            max_hits, counts.max_hits, argmax));
+  }
+  flush(report, selection, kMemoTotals, std::move(totals));
+
+  if (selection.enabled(kCongestion)) {
+    Findings findings;
+    congestion_findings(counts.hits,
+                        2 * routing::guaranteed_fanout(layout, k),
+                        "memoized chain-routing vertex", findings);
+    flush(report, selection, kCongestion, std::move(findings));
+  }
+  return report;
+}
+
+AuditReport audit_memo_routing(const routing::MemoRoutingEngine& engine,
+                               const SubComputation& sub,
+                               const RuleSelection& selection) {
+  const Layout& layout = sub.cdag().layout();
+  const int k = sub.k();
+  const cdag::CopyTranslation map(layout, k, sub.prefix());
+  AuditReport report =
+      audit_copy_translation(layout, k, sub.prefix(), map.blocks(), selection);
+  report.merge(
+      audit_memo_chain_counts(engine, sub, engine.chain_hits(sub), selection));
+
+  if (engine.has_decoder()) {
+    const std::vector<std::uint64_t> hits = engine.decode_hits(sub);
+    Findings totals;
+    std::uint64_t total = 0;
+    for (const std::uint64_t h : hits) total += h;
+    if (total != engine.expected_decode_total_hits(k)) {
+      totals.add(error_counts(kMemoTotals,
+                              "decode hit-array total disagrees with the "
+                              "Claim-1 certificate b^k*a^k + "
+                              "k*b^(k-1)*a^(k-1)*(D_1 visit totals)",
+                              engine.expected_decode_total_hits(k), total));
+    }
+    flush(report, selection, kMemoTotals, std::move(totals));
+    if (selection.enabled(kCongestion)) {
+      Findings findings;
+      congestion_findings(hits, engine.verify_decode_routing(sub).bound,
+                          "memoized decode-routing vertex", findings);
+      flush(report, selection, kCongestion, std::move(findings));
+    }
   }
   return report;
 }
@@ -426,17 +608,15 @@ AuditReport audit_concat_routing(const routing::ChainRouter& router,
     flush(report, selection, kLength, std::move(chunked.length));
 
     if (selection.enabled(kCongestion)) {
-      // Vertex-level hits, plus per-path-deduplicated meta-vertex hits.
-      struct Acc {
-        std::vector<std::uint64_t> vertex_hits, meta_hits;
-      };
-      const Acc acc = parallel::sharded_accumulate<Acc>(
-          0, 2 * num_in, /*grain=*/4,
-          [&] {
-            return Acc{std::vector<std::uint64_t>(n, 0),
-                       std::vector<std::uint64_t>(n, 0)};
-          },
-          [&](Acc& shard, std::uint64_t lo, std::uint64_t hi) {
+      // Vertex-level hits, plus per-path-deduplicated meta-vertex hits;
+      // both in shared counter arrays (relaxed atomic adds).
+      parallel::HitCounter vertex_hits(n);
+      parallel::HitCounter meta_hits(n);
+      const std::uint64_t grain = parallel::work_grain(
+          2 * num_in,
+          /*per_item_cost=*/num_in * static_cast<std::uint64_t>(6 * k + 4));
+      parallel::parallel_for(
+          0, 2 * num_in, grain, [&](std::uint64_t lo, std::uint64_t hi) {
             std::vector<VertexId> roots_on_path;
             for (std::uint64_t idx = lo; idx < hi; ++idx) {
               for_pair_paths(idx, [&](Side, std::uint64_t, std::uint64_t,
@@ -444,27 +624,21 @@ AuditReport audit_concat_routing(const routing::ChainRouter& router,
                 roots_on_path.clear();
                 for (const VertexId v : path) {
                   if (v >= n) continue;
-                  ++shard.vertex_hits[v];
+                  vertex_hits.add(v);
                   const VertexId root = local_root(v);
                   if (std::find(roots_on_path.begin(), roots_on_path.end(),
                                 root) == roots_on_path.end()) {
                     roots_on_path.push_back(root);
-                    ++shard.meta_hits[root];
+                    meta_hits.add(root);
                   }
                 }
               });
             }
-          },
-          [](Acc& target, const Acc& shard) {
-            for (std::size_t v = 0; v < target.vertex_hits.size(); ++v) {
-              target.vertex_hits[v] += shard.vertex_hits[v];
-              target.meta_hits[v] += shard.meta_hits[v];
-            }
           });
       Findings findings = std::move(chunked.roots);
-      congestion_findings(acc.vertex_hits, bound, "full-routing vertex",
+      congestion_findings(vertex_hits.take(), bound, "full-routing vertex",
                           findings);
-      congestion_findings(acc.meta_hits, bound, "full-routing meta-vertex",
+      congestion_findings(meta_hits.take(), bound, "full-routing meta-vertex",
                           findings);
       flush(report, selection, kCongestion, std::move(findings));
     }
@@ -525,8 +699,11 @@ AuditReport audit_decode_routing(const routing::DecodeRouter& router,
   }
 
   if (selection.enabled(kCongestion)) {
+    const std::uint64_t grain = parallel::work_grain(
+        num_q,
+        /*per_item_cost=*/num_e * static_cast<std::uint64_t>(2 * k + 2));
     const std::vector<std::uint64_t> hits = streamed_hits(
-        num_q, /*grain=*/8, n,
+        num_q, grain, n,
         [&](std::uint64_t q, const auto& sink, std::vector<VertexId>& path) {
           for (std::uint64_t e = 0; e < num_e; ++e) {
             path.clear();

@@ -1,5 +1,7 @@
 #include "pathrouting/cdag/layout.hpp"
 
+#include <algorithm>
+
 namespace pathrouting::cdag {
 
 Layout::Layout(int n0, int b, int r)
@@ -77,6 +79,64 @@ VertexRef Layout::ref(VertexId v) const {
 int Layout::level(VertexId v) const {
   const VertexRef rf = ref(v);
   return rf.layer == LayerKind::Dec ? r_ + 1 + rf.rank : rf.rank;
+}
+
+CopyTranslation::CopyTranslation(const Layout& global, int k,
+                                 std::uint64_t prefix)
+    : local_(global.n0(), global.b(), k), prefix_(prefix) {
+  const int r = global.r();
+  PR_REQUIRE_MSG(k >= 1 && k <= r, "CopyTranslation: k outside 1..r");
+  PR_REQUIRE_MSG(prefix < global.pow_b()(r - k),
+                 "CopyTranslation: prefix outside 0..b^(r-k)-1");
+  blocks_.reserve(static_cast<std::size_t>(3 * (k + 1)));
+  const auto add = [&](VertexId local_base, VertexId global_base,
+                       std::uint64_t length) {
+    blocks_.push_back({local_base, global_base, length});
+  };
+  // Local ids are laid out encA ranks 0..k, encB ranks 0..k, dec ranks
+  // 0..k — the same rank order the global ids of the copy follow, so
+  // emitting rank runs in this order keeps blocks sorted on both sides.
+  for (const Side side : {Side::A, Side::B}) {
+    for (int t = 0; t <= k; ++t) {
+      add(local_.enc(side, t, 0, 0),
+          global.enc(side, r - k + t, prefix * global.pow_b()(t), 0),
+          local_.enc_rank_size(t));
+    }
+  }
+  for (int t = 0; t <= k; ++t) {
+    add(local_.dec(t, 0, 0),
+        global.dec(t, prefix * global.pow_b()(k - t), 0),
+        local_.dec_rank_size(t));
+  }
+  PR_ENSURE(blocks_.front().local_base == 0);
+  PR_ENSURE(blocks_.back().local_base + blocks_.back().length ==
+            local_.num_vertices());
+}
+
+VertexId CopyTranslation::to_global(VertexId local) const {
+  PR_REQUIRE(local < local_.num_vertices());
+  // Blocks are sorted by local_base and tile the local id space; find
+  // the run containing `local`.
+  auto it = std::upper_bound(blocks_.begin(), blocks_.end(), local,
+                             [](VertexId v, const CopyBlock& blk) {
+                               return v < blk.local_base;
+                             });
+  PR_ASSERT(it != blocks_.begin());
+  --it;
+  return static_cast<VertexId>(it->global_base + (local - it->local_base));
+}
+
+VertexId CopyTranslation::to_local(VertexId global) const {
+  auto it = std::upper_bound(blocks_.begin(), blocks_.end(), global,
+                             [](VertexId v, const CopyBlock& blk) {
+                               return v < blk.global_base;
+                             });
+  PR_REQUIRE_MSG(it != blocks_.begin(),
+                 "CopyTranslation::to_local: vertex below the copy's runs");
+  --it;
+  PR_REQUIRE_MSG(global < it->global_base + it->length,
+                 "CopyTranslation::to_local: vertex is not in this copy");
+  return static_cast<VertexId>(it->local_base + (global - it->global_base));
 }
 
 RowCol morton_to_rowcol(const PowTable& pow_a, int n0, std::uint64_t p,

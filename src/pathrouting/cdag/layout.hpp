@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "pathrouting/bilinear/analysis.hpp"  // for bilinear::Side
@@ -110,6 +111,51 @@ class Layout {
   PowTable pow_a_, pow_b_;
   std::vector<std::uint64_t> enc_a_base_, enc_b_base_, dec_base_;
   std::uint64_t num_vertices_ = 0;
+};
+
+/// One contiguous id run of a Fact-1 vertex-renaming map: local ids
+/// [local_base, local_base + length) of a standalone G_k layout map to
+/// global ids [global_base, global_base + length) of G_r, in order.
+struct CopyBlock {
+  VertexId local_base = 0;
+  VertexId global_base = 0;
+  std::uint64_t length = 0;
+};
+
+/// The Fact-1 vertex renaming between a standalone canonical G_k
+/// (`Layout(n0, b, k)`) and the copy G_k^prefix inside G_r.
+///
+/// Within one G_k-local rank the subcomputation address formulas
+///   enc(X, t, q, p) -> global enc(X, r-k+t, prefix*b^t + q, p)
+///   dec(t, q, p)    -> global dec(t, prefix*b^(k-t) + q, p)
+/// are affine in the packed index q*|p-range| + p, so each of the
+/// 3(k+1) local ranks maps to ONE contiguous global id run and the
+/// whole renaming is these blocks. The map is strictly increasing
+/// (blocks appear in both local and global id order), so id-order
+/// tie-breaks (smallest argmax) translate verbatim: per-vertex counts
+/// computed once on the canonical copy move to any copy by block
+/// copies (memo_routing.hpp builds on exactly this).
+class CopyTranslation {
+ public:
+  /// The renaming for copy `prefix` of G_k inside `global`
+  /// (1 <= k <= r, 0 <= prefix < b^(r-k)).
+  CopyTranslation(const Layout& global, int k, std::uint64_t prefix);
+
+  [[nodiscard]] int k() const { return local_.r(); }
+  [[nodiscard]] std::uint64_t prefix() const { return prefix_; }
+  /// The canonical standalone G_k the local side of the map lives in.
+  [[nodiscard]] const Layout& local() const { return local_; }
+  /// The 3(k+1) runs, in (common) id order.
+  [[nodiscard]] std::span<const CopyBlock> blocks() const { return blocks_; }
+
+  [[nodiscard]] VertexId to_global(VertexId local) const;
+  /// Inverse; `global` must belong to the copy (aborts otherwise).
+  [[nodiscard]] VertexId to_local(VertexId global) const;
+
+ private:
+  Layout local_;
+  std::uint64_t prefix_;
+  std::vector<CopyBlock> blocks_;
 };
 
 /// Morton position word (length `len` digits in base n0^2) -> (row, col)

@@ -22,13 +22,12 @@ ChainRouter::ChainRouter(const BilinearAlgorithm& alg)
     : alg_(alg), mu_a_(require_matching(alg, Side::A)),
       mu_b_(require_matching(alg, Side::B)) {}
 
-void ChainRouter::append_chain(const SubComputation& sub, Side side,
-                               std::uint64_t vpos, std::uint64_t wpos,
-                               std::vector<VertexId>& out) const {
+std::uint64_t ChainRouter::chain_q_word(const SubComputation& sub, Side side,
+                                        std::uint64_t vpos,
+                                        std::uint64_t wpos) const {
   const cdag::Layout& layout = sub.cdag().layout();
   const int k = sub.k();
   const auto& pow_a = layout.pow_a();
-  const auto& pow_b = layout.pow_b();
   PR_DCHECK_MSG(is_guaranteed_dep(layout, k, side, vpos, wpos),
                 "chains exist only for guaranteed dependencies (Section 7)");
   const BaseMatching& mu = matching(side);
@@ -40,12 +39,56 @@ void ChainRouter::append_chain(const SubComputation& sub, Side side,
     q_word = q_word * static_cast<std::uint64_t>(alg_.b()) +
              static_cast<std::uint64_t>(mu.product(d, e));
   }
+  return q_word;
+}
+
+void ChainRouter::append_chain(const SubComputation& sub, Side side,
+                               std::uint64_t vpos, std::uint64_t wpos,
+                               std::vector<VertexId>& out) const {
+  const cdag::Layout& layout = sub.cdag().layout();
+  const int k = sub.k();
+  const auto& pow_a = layout.pow_a();
+  const auto& pow_b = layout.pow_b();
+  const std::uint64_t q_word = chain_q_word(sub, side, vpos, wpos);
   // Climb the encoding: at rank t the first t recursion digits are
   // fixed and the position keeps the remaining k-t input digits.
   for (int t = 0; t <= k; ++t) {
     out.push_back(sub.enc(side, t, q_word / pow_b(k - t), vpos % pow_a(k - t)));
   }
   // Descend the decoding: at rank t the last t output digits are known.
+  for (int t = 0; t <= k; ++t) {
+    out.push_back(sub.dec(t, q_word / pow_b(t), wpos % pow_a(t)));
+  }
+}
+
+void ChainRouter::append_chain_reversed(const SubComputation& sub, Side side,
+                                        std::uint64_t vpos,
+                                        std::uint64_t wpos, bool skip_first,
+                                        std::vector<VertexId>& out) const {
+  const cdag::Layout& layout = sub.cdag().layout();
+  const int k = sub.k();
+  const auto& pow_a = layout.pow_a();
+  const auto& pow_b = layout.pow_b();
+  const std::uint64_t q_word = chain_q_word(sub, side, vpos, wpos);
+  for (int t = skip_first ? k - 1 : k; t >= 0; --t) {
+    out.push_back(sub.dec(t, q_word / pow_b(t), wpos % pow_a(t)));
+  }
+  for (int t = k; t >= 0; --t) {
+    out.push_back(sub.enc(side, t, q_word / pow_b(k - t), vpos % pow_a(k - t)));
+  }
+}
+
+void ChainRouter::append_chain_tail(const SubComputation& sub, Side side,
+                                    std::uint64_t vpos, std::uint64_t wpos,
+                                    std::vector<VertexId>& out) const {
+  const cdag::Layout& layout = sub.cdag().layout();
+  const int k = sub.k();
+  const auto& pow_a = layout.pow_a();
+  const auto& pow_b = layout.pow_b();
+  const std::uint64_t q_word = chain_q_word(sub, side, vpos, wpos);
+  for (int t = 1; t <= k; ++t) {
+    out.push_back(sub.enc(side, t, q_word / pow_b(k - t), vpos % pow_a(k - t)));
+  }
   for (int t = 0; t <= k; ++t) {
     out.push_back(sub.dec(t, q_word / pow_b(t), wpos % pow_a(t)));
   }
@@ -58,17 +101,19 @@ ChainHitCounts count_chain_hits(const ChainRouter& router,
   const std::uint64_t num_in = sub.inputs_per_side();
   const std::uint64_t fanout = guaranteed_fanout(layout, k);
   const std::uint64_t n = sub.cdag().graph().num_vertices();
-  // One chunk body walks all chains of a range of (side, input) pairs;
-  // per-worker hit shards merge by elementwise integer sum, which is
-  // exactly commutative, so the merged array is bit-identical to the
-  // serial count at any thread count.
+  // One chunk body walks all chains of a range of (side, input) pairs
+  // into ONE shared counter array (relaxed atomic adds): integer sums
+  // are exactly commutative, so the counts are bit-identical to the
+  // serial ones at any thread count, and the cache working set stays
+  // a single array no matter how many workers run.
   ChainHitCounts counts;
   counts.num_chains = 2 * num_in * fanout;
-  counts.hits = parallel::sharded_accumulate<std::vector<std::uint64_t>>(
-      0, 2 * num_in, /*grain=*/16,
-      [&] { return std::vector<std::uint64_t>(n, 0); },
-      [&](std::vector<std::uint64_t>& hits, std::uint64_t lo,
-          std::uint64_t hi) {
+  parallel::HitCounter hits(n);
+  const std::uint64_t grain = parallel::work_grain(
+      2 * num_in, /*per_item_cost=*/fanout * static_cast<std::uint64_t>(
+                                                 2 * k + 2));
+  parallel::parallel_for(
+      0, 2 * num_in, grain, [&](std::uint64_t lo, std::uint64_t hi) {
         std::vector<VertexId> chain;
         for (std::uint64_t idx = lo; idx < hi; ++idx) {
           const Side side = idx < num_in ? Side::A : Side::B;
@@ -78,14 +123,11 @@ ChainHitCounts count_chain_hits(const ChainRouter& router,
                 guaranteed_output(layout, k, side, vpos, free);
             chain.clear();
             router.append_chain(sub, side, vpos, wpos, chain);
-            for (const VertexId v : chain) ++hits[v];
+            for (const VertexId v : chain) hits.add(v);
           }
         }
-      },
-      [](std::vector<std::uint64_t>& acc,
-         const std::vector<std::uint64_t>& shard) {
-        for (std::size_t v = 0; v < acc.size(); ++v) acc[v] += shard[v];
       });
+  counts.hits = hits.take();
   // Max and argmax from the merged array; ties resolve to the smallest
   // vertex id, independent of enumeration or thread schedule.
   for (VertexId v = 0; v < n; ++v) {
@@ -97,9 +139,8 @@ ChainHitCounts count_chain_hits(const ChainRouter& router,
   return counts;
 }
 
-HitStats verify_chain_routing(const ChainRouter& router,
-                              const SubComputation& sub) {
-  const ChainHitCounts counts = count_chain_hits(router, sub);
+HitStats chain_stats_from_counts(const ChainHitCounts& counts,
+                                 const SubComputation& sub) {
   HitStats stats;
   stats.num_paths = counts.num_chains;
   stats.max_hits = counts.max_hits;
@@ -107,6 +148,11 @@ HitStats verify_chain_routing(const ChainRouter& router,
   stats.bound =
       2 * guaranteed_fanout(sub.cdag().layout(), sub.k());  // 2 * n0^k
   return stats;
+}
+
+HitStats verify_chain_routing(const ChainRouter& router,
+                              const SubComputation& sub) {
+  return chain_stats_from_counts(count_chain_hits(router, sub), sub);
 }
 
 }  // namespace pathrouting::routing

@@ -38,7 +38,26 @@ class ChainRouter {
   void append_chain(const SubComputation& sub, Side side, std::uint64_t vpos,
                     std::uint64_t wpos, std::vector<VertexId>& out) const;
 
+  /// The same chain walked from its output back to its input (Lemma 4
+  /// traverses the middle chain in reverse); `skip_first` drops the
+  /// output vertex when it is a junction the caller already emitted.
+  void append_chain_reversed(const SubComputation& sub, Side side,
+                             std::uint64_t vpos, std::uint64_t wpos,
+                             bool skip_first,
+                             std::vector<VertexId>& out) const;
+
+  /// The chain minus its input vertex (Lemma 4's third chain starts at
+  /// the junction the reversed middle chain just ended on).
+  void append_chain_tail(const SubComputation& sub, Side side,
+                         std::uint64_t vpos, std::uint64_t wpos,
+                         std::vector<VertexId>& out) const;
+
  private:
+  /// The Claim-2 recursion word q_1..q_k = mu(d_t, e_t) digit by digit.
+  [[nodiscard]] std::uint64_t chain_q_word(const SubComputation& sub,
+                                           Side side, std::uint64_t vpos,
+                                           std::uint64_t wpos) const;
+
   BilinearAlgorithm alg_;
   BaseMatching mu_a_;
   BaseMatching mu_b_;
@@ -68,5 +87,11 @@ struct HitStats {
 };
 HitStats verify_chain_routing(const ChainRouter& router,
                               const SubComputation& sub);
+
+/// The Lemma-3 stats of an already-computed hit array (shared by the
+/// brute-force path above and the memoized engine, so both engines
+/// produce the verdict from counts through one code path).
+HitStats chain_stats_from_counts(const ChainHitCounts& counts,
+                                 const SubComputation& sub);
 
 }  // namespace pathrouting::routing

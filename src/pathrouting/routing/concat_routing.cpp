@@ -1,6 +1,7 @@
 #include "pathrouting/routing/concat_routing.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "pathrouting/support/parallel.hpp"
 
@@ -49,21 +50,23 @@ void append_full_path(const ChainRouter& router, const SubComputation& sub,
                       std::vector<VertexId>& out) {
   const Layout& layout = sub.cdag().layout();
   const PathSpec spec = make_spec(layout, sub.k(), in_side, vpos, wpos);
+  // All three chains append straight into `out` (the reversed middle
+  // chain and the tail of chain 3 skip their duplicated junction
+  // vertices), so building a full path allocates nothing beyond the
+  // caller's buffer.
   router.append_chain(sub, spec.side1, spec.v1, spec.w1, out);
-  std::vector<VertexId> middle;
-  router.append_chain(sub, spec.side2, spec.v2, spec.w2, middle);
+  [[maybe_unused]] const std::size_t junction1 = out.size() - 1;
   // The middle chain is walked from its output end (= the end of the
-  // first chain) back to its input; drop the duplicated junction.
-  PR_DCHECK_MSG(out.back() == middle.back(),
+  // first chain) back to its input; the duplicated junction is skipped.
+  router.append_chain_reversed(sub, spec.side2, spec.v2, spec.w2,
+                               /*skip_first=*/true, out);
+  PR_DCHECK_MSG(out[junction1] == sub.output(spec.w2),
                 "Lemma-4 junction mismatch: chain 1 must end where the "
                 "reversed middle chain ends");
-  out.insert(out.end(), middle.rbegin() + 1, middle.rend());
-  std::vector<VertexId> last;
-  router.append_chain(sub, spec.side3, spec.v3, spec.w3, last);
-  PR_DCHECK_MSG(out.back() == last.front(),
+  PR_DCHECK_MSG(out.back() == sub.input(spec.side3, spec.v3),
                 "Lemma-4 junction mismatch: the middle chain's input must "
                 "start chain 3");
-  out.insert(out.end(), last.begin() + 1, last.end());
+  router.append_chain_tail(sub, spec.side3, spec.v3, spec.w3, out);
 }
 
 bool verify_chain_multiplicities(const ChainRouter& router,
@@ -74,25 +77,22 @@ bool verify_chain_multiplicities(const ChainRouter& router,
   const std::uint64_t num_in = sub.inputs_per_side();
   const std::uint64_t fanout = guaranteed_fanout(layout, k);  // n0^k
   // Chain key: input position x fanout + free word (= the unconstrained
-  // row/column word of the chain's output). Use counters accumulate in
-  // per-worker shards merged by integer sum (exactly commutative).
-  struct Uses {
-    std::vector<std::uint64_t> a, b;
-  };
-  const Uses uses = parallel::sharded_accumulate<Uses>(
-      0, 2 * num_in, /*grain=*/8,
-      [&] {
-        return Uses{std::vector<std::uint64_t>(num_in * fanout, 0),
-                    std::vector<std::uint64_t>(num_in * fanout, 0)};
-      },
-      [&](Uses& acc, std::uint64_t lo, std::uint64_t hi) {
+  // row/column word of the chain's output). Use counters live in one
+  // shared array per side (relaxed atomic adds, exactly commutative),
+  // so the result is thread-count independent.
+  parallel::HitCounter uses_a(num_in * fanout);
+  parallel::HitCounter uses_b(num_in * fanout);
+  const std::uint64_t grain =
+      parallel::work_grain(2 * num_in, /*per_item_cost=*/3 * num_in);
+  parallel::parallel_for(
+      0, 2 * num_in, grain, [&](std::uint64_t lo, std::uint64_t hi) {
         const auto use = [&](Side side, std::uint64_t in_pos,
                              std::uint64_t out_pos) {
           const RowCol oc =
               cdag::morton_to_rowcol(layout.pow_a(), n0, out_pos, k);
           const std::uint64_t free = side == Side::A ? oc.col : oc.row;
-          auto& counters = side == Side::A ? acc.a : acc.b;
-          ++counters[in_pos * fanout + free];
+          auto& counters = side == Side::A ? uses_a : uses_b;
+          counters.add(in_pos * fanout + free);
         };
         for (std::uint64_t idx = lo; idx < hi; ++idx) {
           const Side in_side = idx < num_in ? Side::A : Side::B;
@@ -104,18 +104,14 @@ bool verify_chain_multiplicities(const ChainRouter& router,
             use(spec.side3, spec.v3, spec.w3);
           }
         }
-      },
-      [](Uses& acc, const Uses& shard) {
-        for (std::size_t i = 0; i < acc.a.size(); ++i) acc.a[i] += shard.a[i];
-        for (std::size_t i = 0; i < acc.b.size(); ++i) acc.b[i] += shard.b[i];
       });
   (void)router;
   const std::uint64_t expected = 3 * fanout;  // 3 * n0^k (Lemma 4)
-  const auto all_expected = [&](const std::vector<std::uint64_t>& counters) {
+  const auto all_expected = [&](std::vector<std::uint64_t> counters) {
     return std::all_of(counters.begin(), counters.end(),
                        [&](std::uint64_t u) { return u == expected; });
   };
-  return all_expected(uses.a) && all_expected(uses.b);
+  return all_expected(uses_a.take()) && all_expected(uses_b.take());
 }
 
 FullRoutingStats verify_full_routing_enumerated(const ChainRouter& router,
@@ -127,20 +123,17 @@ FullRoutingStats verify_full_routing_enumerated(const ChainRouter& router,
   FullRoutingStats stats;
   stats.bound = 6 * layout.pow_a()(sub.k());  // 6 * a^k
   stats.num_paths = 2 * num_in * num_in;
-  // Hit shards merge by integer sum and the root-hit flag by logical
-  // and — both exactly commutative, so the result is thread-count
-  // independent.
-  struct Acc {
-    std::vector<std::uint32_t> vertex_hits, meta_hits;
-    bool root_hit_property = true;
-  };
-  const Acc acc = parallel::sharded_accumulate<Acc>(
-      0, 2 * num_in, /*grain=*/4,
-      [&] {
-        return Acc{std::vector<std::uint32_t>(n, 0),
-                   std::vector<std::uint32_t>(n, 0), true};
-      },
-      [&](Acc& shard, std::uint64_t lo, std::uint64_t hi) {
+  // Shared counter arrays (relaxed atomic adds) and a single sticky
+  // flag — all exactly commutative, so the result is thread-count
+  // independent and the working set does not grow with PR_THREADS.
+  parallel::HitCounter vertex_hits(n);
+  parallel::HitCounter meta_hits(n);
+  std::atomic<bool> root_hit_property{true};
+  const std::uint64_t grain = parallel::work_grain(
+      2 * num_in,
+      /*per_item_cost=*/num_in * static_cast<std::uint64_t>(6 * sub.k() + 4));
+  parallel::parallel_for(
+      0, 2 * num_in, grain, [&](std::uint64_t lo, std::uint64_t hi) {
         std::vector<VertexId> path;
         std::vector<VertexId> roots_on_path;
         for (std::uint64_t idx = lo; idx < hi; ++idx) {
@@ -151,12 +144,12 @@ FullRoutingStats verify_full_routing_enumerated(const ChainRouter& router,
             append_full_path(router, sub, in_side, vpos, wpos, path);
             roots_on_path.clear();
             for (const VertexId v : path) {
-              ++shard.vertex_hits[v];
+              vertex_hits.add(v);
               const VertexId root = owner.meta_root(v);
               if (std::find(roots_on_path.begin(), roots_on_path.end(),
                             root) == roots_on_path.end()) {
                 roots_on_path.push_back(root);
-                ++shard.meta_hits[root];
+                meta_hits.add(root);
               }
             }
             // Root-hit property: a path touching any member of a
@@ -165,37 +158,29 @@ FullRoutingStats verify_full_routing_enumerated(const ChainRouter& router,
               if (owner.is_duplicated(v) && v != owner.meta_root(v) &&
                   std::find(path.begin(), path.end(), owner.meta_root(v)) ==
                       path.end()) {
-                shard.root_hit_property = false;
+                root_hit_property.store(false, std::memory_order_relaxed);
               }
             }
           }
         }
-      },
-      [](Acc& target, const Acc& shard) {
-        for (std::size_t v = 0; v < target.vertex_hits.size(); ++v) {
-          target.vertex_hits[v] += shard.vertex_hits[v];
-          target.meta_hits[v] += shard.meta_hits[v];
-        }
-        target.root_hit_property =
-            target.root_hit_property && shard.root_hit_property;
       });
-  stats.root_hit_property = acc.root_hit_property;
+  stats.root_hit_property = root_hit_property.load(std::memory_order_relaxed);
+  const std::vector<std::uint64_t> vhits = vertex_hits.take();
+  const std::vector<std::uint64_t> mhits = meta_hits.take();
   for (std::uint64_t v = 0; v < n; ++v) {
-    if (acc.vertex_hits[v] > stats.max_vertex_hits) {
-      stats.max_vertex_hits = acc.vertex_hits[v];
+    if (vhits[v] > stats.max_vertex_hits) {
+      stats.max_vertex_hits = vhits[v];
       stats.argmax_vertex = static_cast<VertexId>(v);
     }
-    stats.max_meta_hits =
-        std::max<std::uint64_t>(stats.max_meta_hits, acc.meta_hits[v]);
+    stats.max_meta_hits = std::max<std::uint64_t>(stats.max_meta_hits, mhits[v]);
   }
   return stats;
 }
 
-FullRoutingStats verify_full_routing_aggregated(const ChainRouter& router,
-                                                const SubComputation& sub) {
+FullRoutingStats full_routing_from_chain_counts(const SubComputation& sub,
+                                                const ChainHitCounts& chains) {
   const cdag::Cdag& owner = sub.cdag();
   const Layout& layout = owner.layout();
-  const ChainHitCounts chains = count_chain_hits(router, sub);
   const std::uint64_t multiplicity =
       3 * guaranteed_fanout(layout, sub.k());  // 3 * n0^k
   FullRoutingStats stats;
@@ -220,6 +205,11 @@ FullRoutingStats verify_full_routing_aggregated(const ChainRouter& router,
     }
   }
   return stats;
+}
+
+FullRoutingStats verify_full_routing_aggregated(const ChainRouter& router,
+                                                const SubComputation& sub) {
+  return full_routing_from_chain_counts(sub, count_chain_hits(router, sub));
 }
 
 }  // namespace pathrouting::routing

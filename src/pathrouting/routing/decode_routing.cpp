@@ -109,6 +109,32 @@ void DecodeRouter::append_path(const cdag::SubComputation& sub,
   }
 }
 
+std::vector<std::uint64_t> count_decode_hits(const DecodeRouter& router,
+                                             const cdag::SubComputation& sub) {
+  const std::uint64_t n = sub.cdag().graph().num_vertices();
+  const std::uint64_t num_q = sub.num_products();
+  const std::uint64_t num_e = sub.inputs_per_side();
+  // Parallel over products into one shared counter array (relaxed
+  // atomic adds, exactly commutative), so counts are thread-count
+  // independent and the working set does not grow with PR_THREADS.
+  parallel::HitCounter hits(n);
+  const std::uint64_t grain = parallel::work_grain(
+      num_q, /*per_item_cost=*/num_e * static_cast<std::uint64_t>(
+                                           2 * sub.k() + 2));
+  parallel::parallel_for(
+      0, num_q, grain, [&](std::uint64_t lo, std::uint64_t hi) {
+        std::vector<cdag::VertexId> path;
+        for (std::uint64_t q = lo; q < hi; ++q) {
+          for (std::uint64_t e = 0; e < num_e; ++e) {
+            path.clear();
+            router.append_path(sub, q, e, path);
+            for (const cdag::VertexId v : path) hits.add(v);
+          }
+        }
+      });
+  return hits.take();
+}
+
 HitStats verify_decode_routing(const DecodeRouter& router,
                                const cdag::SubComputation& sub) {
   const cdag::Layout& layout = sub.cdag().layout();
@@ -117,32 +143,9 @@ HitStats verify_decode_routing(const DecodeRouter& router,
   const std::uint64_t big =
       std::max(layout.pow_a()(k), layout.pow_b()(k));
   stats.bound = static_cast<std::uint64_t>(router.d1_size()) * big;
-  const std::uint64_t n = sub.cdag().graph().num_vertices();
-  const std::uint64_t num_q = sub.num_products();
-  const std::uint64_t num_e = sub.inputs_per_side();
-  stats.num_paths = num_q * num_e;
-  // Parallel over products; per-worker hit shards merge by integer sum
-  // (exactly commutative), so counts are thread-count independent.
-  const std::vector<std::uint64_t> hits =
-      parallel::sharded_accumulate<std::vector<std::uint64_t>>(
-          0, num_q, /*grain=*/8,
-          [&] { return std::vector<std::uint64_t>(n, 0); },
-          [&](std::vector<std::uint64_t>& shard, std::uint64_t lo,
-              std::uint64_t hi) {
-            std::vector<cdag::VertexId> path;
-            for (std::uint64_t q = lo; q < hi; ++q) {
-              for (std::uint64_t e = 0; e < num_e; ++e) {
-                path.clear();
-                router.append_path(sub, q, e, path);
-                for (const cdag::VertexId v : path) ++shard[v];
-              }
-            }
-          },
-          [](std::vector<std::uint64_t>& acc,
-             const std::vector<std::uint64_t>& shard) {
-            for (std::size_t v = 0; v < acc.size(); ++v) acc[v] += shard[v];
-          });
-  for (std::uint64_t v = 0; v < n; ++v) {
+  stats.num_paths = sub.num_products() * sub.inputs_per_side();
+  const std::vector<std::uint64_t> hits = count_decode_hits(router, sub);
+  for (std::uint64_t v = 0; v < hits.size(); ++v) {
     if (hits[v] > stats.max_hits) {
       stats.max_hits = hits[v];
       stats.argmax = static_cast<cdag::VertexId>(v);

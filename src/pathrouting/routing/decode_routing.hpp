@@ -49,6 +49,13 @@ class DecodeRouter {
   std::vector<std::vector<int>> d1_paths_;  // [q * a + e]
 };
 
+/// Per-vertex hit counts (indexed by global vertex id) of the full
+/// Claim-1 routing: all b^k x a^k zig-zag paths of sub's D_k,
+/// enumerated explicitly. This is the brute-force oracle the memoized
+/// engine (memo_routing.hpp) is cross-checked against.
+std::vector<std::uint64_t> count_decode_hits(const DecodeRouter& router,
+                                             const cdag::SubComputation& sub);
+
 /// Claim 1 verification: route all b^k x a^k input-output pairs of
 /// sub's D_k and check max per-vertex hits <= |D_1| * max(a,b)^k.
 HitStats verify_decode_routing(const DecodeRouter& router,

@@ -1,0 +1,350 @@
+#include "pathrouting/routing/memo_routing.hpp"
+
+#include <algorithm>
+
+namespace pathrouting::routing {
+
+namespace {
+
+using cdag::CopyBlock;
+using cdag::CopyTranslation;
+using cdag::Layout;
+using cdag::SubComputation;
+
+/// n0^0 .. n0^k as plain uint64 (layout pow tables cover a and b only).
+std::vector<std::uint64_t> pow_n0_table(int n0, int k) {
+  std::vector<std::uint64_t> pow(static_cast<std::size_t>(k) + 1, 1);
+  for (int t = 1; t <= k; ++t) {
+    pow[static_cast<std::size_t>(t)] =
+        pow[static_cast<std::size_t>(t) - 1] * static_cast<std::uint64_t>(n0);
+  }
+  return pow;
+}
+
+/// M_side[q] = #{guaranteed digit pairs (d, e) matched to product q}.
+std::vector<std::uint64_t> matched_pair_counts(const BilinearAlgorithm& alg,
+                                               Side side,
+                                               const BaseMatching& mu) {
+  std::vector<std::uint64_t> m(static_cast<std::size_t>(alg.b()), 0);
+  for (int d = 0; d < alg.a(); ++d) {
+    for (int e = 0; e < alg.a(); ++e) {
+      if (is_guaranteed_digit_pair(alg.n0(), side, d, e)) {
+        ++m[static_cast<std::size_t>(mu.product(d, e))];
+      }
+    }
+  }
+  return m;
+}
+
+/// Prefix products P_t[q_1..q_t] = prod_i M[q_i] for t = 0..k; the
+/// level-t table is indexed by the base-b word q_1..q_t.
+std::vector<std::vector<std::uint64_t>> prefix_products(
+    const std::vector<std::uint64_t>& m, int b, int k) {
+  std::vector<std::vector<std::uint64_t>> p(static_cast<std::size_t>(k) + 1);
+  p[0] = {1};
+  for (int t = 1; t <= k; ++t) {
+    const auto& prev = p[static_cast<std::size_t>(t) - 1];
+    auto& cur = p[static_cast<std::size_t>(t)];
+    cur.resize(prev.size() * static_cast<std::size_t>(b));
+    for (std::size_t qw = 0; qw < cur.size(); ++qw) {
+      cur[qw] = prev[qw / static_cast<std::size_t>(b)] *
+                m[qw % static_cast<std::size_t>(b)];
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+const char* engine_name(EngineKind kind) {
+  return kind == EngineKind::kMemo ? "memo" : "brute";
+}
+
+struct MemoRoutingEngine::CanonicalCounts {
+  explicit CanonicalCounts(Layout layout) : layout(std::move(layout)) {}
+  Layout layout;  // the standalone canonical G_k
+  std::vector<std::uint64_t> chain_hits;
+  std::uint64_t chain_max = 0;
+  VertexId chain_argmax = 0;
+  std::vector<std::uint64_t> decode_hits;  // empty without a decoder
+  std::uint64_t decode_max = 0;
+  VertexId decode_argmax = 0;
+};
+
+MemoRoutingEngine::~MemoRoutingEngine() = default;
+
+MemoRoutingEngine::MemoRoutingEngine(const ChainRouter& router)
+    : alg_(router.algorithm()),
+      mu_a_(router.matching(Side::A)),
+      mu_b_(router.matching(Side::B)),
+      m_a_(matched_pair_counts(alg_, Side::A, mu_a_)),
+      m_b_(matched_pair_counts(alg_, Side::B, mu_b_)) {}
+
+MemoRoutingEngine::MemoRoutingEngine(const ChainRouter& router,
+                                     const DecodeRouter& decoder)
+    : MemoRoutingEngine(router) {
+  PR_REQUIRE_MSG(decoder.d1_size() == alg_.a() + alg_.b(),
+                 "decoder built from a different base algorithm");
+  decoder_ = decoder;
+  // CPint[x]: strictly-interior product visits (even path index >= 2);
+  // CO[y]: output visits (odd index, terminal included). Index 0 is the
+  // path's starting product, whose D_k vertex is accounted for by the
+  // previous recursion level (or by the initial path vertex).
+  cpint_.assign(static_cast<std::size_t>(alg_.b()), 0);
+  co_.assign(static_cast<std::size_t>(alg_.a()), 0);
+  for (int q = 0; q < alg_.b(); ++q) {
+    for (int e = 0; e < alg_.a(); ++e) {
+      const std::vector<int>& path = decoder_->d1_path(q, e);
+      for (std::size_t i = 1; i < path.size(); ++i) {
+        auto& table = i % 2 == 1 ? co_ : cpint_;
+        ++table[static_cast<std::size_t>(path[i])];
+      }
+    }
+  }
+  for (const std::uint64_t c : cpint_) cpint_sum_ += c;
+  for (const std::uint64_t c : co_) co_sum_ += c;
+}
+
+void MemoRoutingEngine::check_sub(const SubComputation& sub) const {
+  const Layout& layout = sub.cdag().layout();
+  PR_REQUIRE_MSG(layout.n0() == alg_.n0() && layout.b() == alg_.b(),
+                 "subcomputation belongs to a different base algorithm");
+  PR_REQUIRE_MSG(sub.k() >= 1,
+                 "memoized engine routes G_k copies with k >= 1");
+}
+
+const MemoRoutingEngine::CanonicalCounts& MemoRoutingEngine::canonical(
+    int k) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cache_.find(k);
+  if (it != cache_.end()) return *it->second;
+
+  auto cc = std::make_unique<CanonicalCounts>(Layout(alg_.n0(), alg_.b(), k));
+  const Layout& local = cc->layout;
+  const auto& pow_a = local.pow_a();
+  const auto& pow_b = local.pow_b();
+  const std::vector<std::uint64_t> pow_n0 = pow_n0_table(alg_.n0(), k);
+  const std::uint64_t b = static_cast<std::uint64_t>(alg_.b());
+
+  // --- Lemma-3 chain hits, closed form (see header). ---
+  cc->chain_hits.assign(local.num_vertices(), 0);
+  const auto pa = prefix_products(m_a_, alg_.b(), k);
+  const auto pb = prefix_products(m_b_, alg_.b(), k);
+  for (const Side side : {Side::A, Side::B}) {
+    const auto& pp = side == Side::A ? pa : pb;
+    for (int t = 0; t <= k; ++t) {
+      for (std::uint64_t qw = 0; qw < pow_b(t); ++qw) {
+        const std::uint64_t val =
+            pp[static_cast<std::size_t>(t)][qw] *
+            pow_n0[static_cast<std::size_t>(k - t)];
+        const VertexId base = local.enc(side, t, qw, 0);
+        for (std::uint64_t p = 0; p < pow_a(k - t); ++p) {
+          cc->chain_hits[base + p] = val;
+        }
+      }
+    }
+  }
+  for (int t = 0; t <= k; ++t) {
+    for (std::uint64_t qw = 0; qw < pow_b(k - t); ++qw) {
+      const std::uint64_t val =
+          (pa[static_cast<std::size_t>(k - t)][qw] +
+           pb[static_cast<std::size_t>(k - t)][qw]) *
+          pow_n0[static_cast<std::size_t>(t)];
+      const VertexId base = local.dec(t, qw, 0);
+      for (std::uint64_t p = 0; p < pow_a(t); ++p) {
+        cc->chain_hits[base + p] = val;
+      }
+    }
+  }
+  for (VertexId v = 0; v < local.num_vertices(); ++v) {
+    if (cc->chain_hits[v] > cc->chain_max) {
+      cc->chain_max = cc->chain_hits[v];
+      cc->chain_argmax = v;
+    }
+  }
+
+  // --- Claim-1 decode hits, closed form (see header). ---
+  if (decoder_.has_value()) {
+    const std::uint64_t a = static_cast<std::uint64_t>(alg_.a());
+    cc->decode_hits.assign(local.num_vertices(), 0);
+    // Rank 0: once per path starting here, plus interior revisits.
+    for (std::uint64_t q = 0; q < pow_b(k); ++q) {
+      cc->decode_hits[local.dec(0, q, 0)] =
+          (a + cpint_[q % b]) * pow_a(k - 1);
+    }
+    for (int t = 1; t < k; ++t) {
+      for (std::uint64_t q = 0; q < pow_b(k - t); ++q) {
+        const std::uint64_t down = cpint_[q % b] * pow_b(t) * pow_a(k - t - 1);
+        const VertexId base = local.dec(t, q, 0);
+        for (std::uint64_t p = 0; p < pow_a(t); ++p) {
+          cc->decode_hits[base + p] =
+              down + co_[p / pow_a(t - 1)] * pow_b(t - 1) * pow_a(k - t);
+        }
+      }
+    }
+    for (std::uint64_t p = 0; p < pow_a(k); ++p) {
+      cc->decode_hits[local.dec(k, 0, p)] =
+          co_[p / pow_a(k - 1)] * pow_b(k - 1);
+    }
+    for (VertexId v = 0; v < local.num_vertices(); ++v) {
+      if (cc->decode_hits[v] > cc->decode_max) {
+        cc->decode_max = cc->decode_hits[v];
+        cc->decode_argmax = v;
+      }
+    }
+  }
+
+  return *cache_.emplace(k, std::move(cc)).first->second;
+}
+
+ChainHitCounts MemoRoutingEngine::chain_hits(const SubComputation& sub) const {
+  check_sub(sub);
+  const Layout& global = sub.cdag().layout();
+  const int k = sub.k();
+  const CanonicalCounts& cc = canonical(k);
+  const CopyTranslation map(global, k, sub.prefix());
+  ChainHitCounts counts;
+  counts.hits.assign(global.num_vertices(), 0);
+  for (const CopyBlock& blk : map.blocks()) {
+    std::copy_n(cc.chain_hits.begin() + blk.local_base, blk.length,
+                counts.hits.begin() + blk.global_base);
+  }
+  counts.num_chains =
+      2 * global.pow_a()(k) * guaranteed_fanout(global, k);
+  // Blocks are monotone in both id spaces and everything outside the
+  // copy is zero, so the smallest-id argmax translates verbatim.
+  counts.max_hits = cc.chain_max;
+  counts.argmax = map.to_global(cc.chain_argmax);
+  return counts;
+}
+
+HitStats MemoRoutingEngine::verify_chain_routing(
+    const SubComputation& sub) const {
+  return chain_stats_from_counts(chain_hits(sub), sub);
+}
+
+bool MemoRoutingEngine::verify_chain_multiplicities(
+    const SubComputation& sub) const {
+  check_sub(sub);
+  const int n0 = alg_.n0();
+  const int a = alg_.a();
+  // Role-resolved use counters of the 2*a*n0 guaranteed digit chains:
+  // chain key = (side, input digit, free digit of the output), role =
+  // position in the Lemma-4 three-chain sequence.
+  std::vector<std::uint64_t> uses(
+      static_cast<std::size_t>(2 * a * n0 * 3), 0);
+  bool all_guaranteed = true;
+  const auto use = [&](Side side, int d_in, int d_out, int role) {
+    if (!is_guaranteed_digit_pair(n0, side, d_in, d_out)) {
+      all_guaranteed = false;
+      return;
+    }
+    const int f = side == Side::A ? d_out % n0 : d_out / n0;
+    const int s = side == Side::A ? 0 : 1;
+    ++uses[static_cast<std::size_t>(((s * a + d_in) * n0 + f) * 3 + role)];
+  };
+  // The k = 1 specs of Lemma 4's sequences (make_spec, digit level).
+  for (int v = 0; v < a; ++v) {
+    const int vr = v / n0, vc = v % n0;
+    for (int w = 0; w < a; ++w) {
+      const int wr = w / n0, wc = w % n0;
+      {  // A-side input: a_ij -> c_ij' <- b_jj' -> c_i'j'
+        const int x = vr * n0 + wc, y = vc * n0 + wc;
+        use(Side::A, v, x, 0);
+        use(Side::B, y, x, 1);
+        use(Side::B, y, w, 2);
+      }
+      {  // B-side input: b_ij -> c_i'j <- a_i'i -> c_i'j'
+        const int x = wr * n0 + vc, y = wr * n0 + vr;
+        use(Side::B, v, x, 0);
+        use(Side::A, y, x, 1);
+        use(Side::A, y, w, 2);
+      }
+    }
+  }
+  if (!all_guaranteed) return false;
+  // Each digit chain carrying each role exactly n0 times at k = 1
+  // factorizes to exactly 3 * n0^k uses of every chain of sub.
+  return std::all_of(uses.begin(), uses.end(), [&](std::uint64_t u) {
+    return u == static_cast<std::uint64_t>(n0);
+  });
+}
+
+FullRoutingStats MemoRoutingEngine::verify_full_routing(
+    const SubComputation& sub) const {
+  return full_routing_from_chain_counts(sub, chain_hits(sub));
+}
+
+std::vector<std::uint64_t> MemoRoutingEngine::decode_hits(
+    const SubComputation& sub) const {
+  check_sub(sub);
+  PR_REQUIRE_MSG(has_decoder(),
+                 "engine was constructed without a DecodeRouter");
+  const Layout& global = sub.cdag().layout();
+  const CanonicalCounts& cc = canonical(sub.k());
+  const CopyTranslation map(global, sub.k(), sub.prefix());
+  std::vector<std::uint64_t> hits(global.num_vertices(), 0);
+  for (const CopyBlock& blk : map.blocks()) {
+    std::copy_n(cc.decode_hits.begin() + blk.local_base, blk.length,
+                hits.begin() + blk.global_base);
+  }
+  return hits;
+}
+
+HitStats MemoRoutingEngine::verify_decode_routing(
+    const SubComputation& sub) const {
+  check_sub(sub);
+  PR_REQUIRE_MSG(has_decoder(),
+                 "engine was constructed without a DecodeRouter");
+  const Layout& global = sub.cdag().layout();
+  const int k = sub.k();
+  const CanonicalCounts& cc = canonical(k);
+  const CopyTranslation map(global, k, sub.prefix());
+  HitStats stats;
+  stats.num_paths = global.pow_b()(k) * global.pow_a()(k);
+  stats.bound = static_cast<std::uint64_t>(decoder_->d1_size()) *
+                std::max(global.pow_a()(k), global.pow_b()(k));
+  stats.max_hits = cc.decode_max;
+  stats.argmax = map.to_global(cc.decode_argmax);
+  return stats;
+}
+
+std::uint64_t MemoRoutingEngine::expected_num_chains(int k) const {
+  std::uint64_t n = 2;
+  for (int t = 0; t < k; ++t) {
+    n *= static_cast<std::uint64_t>(alg_.a()) *
+         static_cast<std::uint64_t>(alg_.n0());
+  }
+  return n;  // 2 * a^k * n0^k
+}
+
+std::uint64_t MemoRoutingEngine::expected_chain_total_hits(int k) const {
+  // Chains have exactly 2k+2 distinct vertices.
+  return expected_num_chains(k) * static_cast<std::uint64_t>(2 * k + 2);
+}
+
+std::uint64_t MemoRoutingEngine::expected_num_decode_paths(int k) const {
+  std::uint64_t n = 1;
+  for (int t = 0; t < k; ++t) {
+    n *= static_cast<std::uint64_t>(alg_.a()) *
+         static_cast<std::uint64_t>(alg_.b());
+  }
+  return n;  // b^k * a^k
+}
+
+std::uint64_t MemoRoutingEngine::expected_decode_total_hits(int k) const {
+  PR_REQUIRE_MSG(has_decoder(),
+                 "engine was constructed without a DecodeRouter");
+  // Every path has 1 + sum_l (|d1_path(q_l, e_l)| - 1) vertices; summed
+  // over all b^k * a^k paths the level sums telescope to the D_1 visit
+  // totals with the other k-1 digit pairs free.
+  std::uint64_t lower = 1;  // a^(k-1) * b^(k-1)
+  for (int t = 0; t + 1 < k; ++t) {
+    lower *= static_cast<std::uint64_t>(alg_.a()) *
+             static_cast<std::uint64_t>(alg_.b());
+  }
+  return expected_num_decode_paths(k) +
+         static_cast<std::uint64_t>(k) * lower * (cpint_sum_ + co_sum_);
+}
+
+}  // namespace pathrouting::routing

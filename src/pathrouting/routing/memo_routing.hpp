@@ -1,0 +1,125 @@
+// Memoized, isomorphism-aware routing verification.
+//
+// By Fact 1 the b^{r-k} copies of G_k inside G_r are pairwise
+// isomorphic, and the Lemma-3 / Theorem-2 / Claim-1 routings are
+// defined purely in G_k-local coordinates — so their per-vertex hit
+// counts are IDENTICAL on every copy up to the Fact-1 vertex renaming
+// (cdag::CopyTranslation). The engine therefore computes each hit array
+// once, on a standalone canonical G_k, and translates it to any copy by
+// contiguous block copies.
+//
+// The canonical arrays themselves are not obtained by enumerating
+// chains either: the routings factor digit-by-digit, which collapses
+// the per-vertex counts to closed forms.
+//
+//   Chains (Lemma 3). With M_side[q] = #{guaranteed digit pairs (d,e)
+//   with mu_side(d,e) = q} and the prefix products
+//   P_t[q_1..q_t] = prod_i M[q_i]:
+//     enc(side, t, q, p)  is hit by  P_t^side[q] * n0^(k-t)  chains,
+//     dec(t, q, p)        by  (P_(k-t)^A[q] + P_(k-t)^B[q]) * n0^t.
+//
+//   Decode zig-zags (Claim 1). With CPint[x] = #{D_1 pairs whose fixed
+//   path visits product x strictly inside} and CO[y] = #{pairs whose
+//   path visits output y}:
+//     dec(0, q, 0)               (a + CPint[q mod b]) * a^(k-1),
+//     dec(t, q, p), 0 < t < k:   CPint[q mod b] * b^t * a^(k-t-1)
+//                                  + CO[p div a^(t-1)] * b^(t-1) * a^(k-t),
+//     dec(k, 0, p):              CO[p div a^(k-1)] * b^(k-1).
+//
+//   Lemma 4's multiplicity claim also factorizes: every guaranteed
+//   digit chain carrying each of the three sequence roles exactly n0
+//   times at k = 1 lifts to exactly 3*n0^k uses per chain at any k.
+//
+// Filling an array costs O(num_vertices) instead of
+// O(num_chains * (2k+2)); everything downstream (max, argmax,
+// Theorem-2 aggregation) is shared with the brute-force engine, whose
+// enumerating counters (count_chain_hits, count_decode_hits) remain
+// the oracle the memoized results are cross-checked against in tests
+// and benchmarks. Closed-form hit *totals* double as certificates the
+// audit layer compares against the materialized arrays
+// (routing.memo-totals).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "pathrouting/cdag/layout.hpp"
+#include "pathrouting/routing/chain_routing.hpp"
+#include "pathrouting/routing/concat_routing.hpp"
+#include "pathrouting/routing/decode_routing.hpp"
+
+namespace pathrouting::routing {
+
+/// Which verification engine produced a result (benchmarks and audit
+/// reports tag their records with this).
+enum class EngineKind { kBrute, kMemo };
+[[nodiscard]] const char* engine_name(EngineKind kind);
+
+class MemoRoutingEngine {
+ public:
+  /// Chain-routing only (Lemmas 3-4, Theorem 2).
+  explicit MemoRoutingEngine(const ChainRouter& router);
+  /// Also memoizes the Claim-1 decode routing; `decoder` must be built
+  /// from the same base algorithm as `router`.
+  MemoRoutingEngine(const ChainRouter& router, const DecodeRouter& decoder);
+  ~MemoRoutingEngine();  // out of line: CanonicalCounts is incomplete here
+
+  [[nodiscard]] bool has_decoder() const { return decoder_.has_value(); }
+  [[nodiscard]] const BilinearAlgorithm& algorithm() const { return alg_; }
+
+  /// Lemma-3 hit counts of `sub`, bit-identical to
+  /// count_chain_hits(router, sub) (the brute oracle). Requires
+  /// sub.k() >= 1 and a CDAG of the engine's base algorithm.
+  [[nodiscard]] ChainHitCounts chain_hits(const cdag::SubComputation& sub) const;
+  [[nodiscard]] HitStats verify_chain_routing(
+      const cdag::SubComputation& sub) const;
+
+  /// Lemma 4's accounting, decided at the digit level (O(a^2) work):
+  /// true iff every guaranteed digit chain carries each of the three
+  /// sequence roles exactly n0 times, which lifts to exactly 3*n0^k
+  /// uses of every chain of `sub`.
+  [[nodiscard]] bool verify_chain_multiplicities(
+      const cdag::SubComputation& sub) const;
+
+  /// Theorem 2 from the memoized chain counts (same aggregation path
+  /// as verify_full_routing_aggregated).
+  [[nodiscard]] FullRoutingStats verify_full_routing(
+      const cdag::SubComputation& sub) const;
+
+  /// Claim-1 hit counts / verdict; requires has_decoder().
+  [[nodiscard]] std::vector<std::uint64_t> decode_hits(
+      const cdag::SubComputation& sub) const;
+  [[nodiscard]] HitStats verify_decode_routing(
+      const cdag::SubComputation& sub) const;
+
+  /// Closed-form certificate totals (audit rule routing.memo-totals):
+  /// 2 * a^k * n0^k chains of 2k+2 vertices each, and b^k * a^k
+  /// zig-zags whose total length follows from the D_1 path lengths.
+  [[nodiscard]] std::uint64_t expected_num_chains(int k) const;
+  [[nodiscard]] std::uint64_t expected_chain_total_hits(int k) const;
+  [[nodiscard]] std::uint64_t expected_num_decode_paths(int k) const;
+  [[nodiscard]] std::uint64_t expected_decode_total_hits(int k) const;
+
+ private:
+  /// Per-k canonical G_k hit arrays, computed once under a lock and
+  /// cached for the engine's lifetime.
+  struct CanonicalCounts;
+  [[nodiscard]] const CanonicalCounts& canonical(int k) const;
+  void check_sub(const cdag::SubComputation& sub) const;
+
+  BilinearAlgorithm alg_;
+  BaseMatching mu_a_;
+  BaseMatching mu_b_;
+  std::vector<std::uint64_t> m_a_, m_b_;   // M_side[q], size b
+  std::optional<DecodeRouter> decoder_;
+  std::vector<std::uint64_t> cpint_, co_;  // decode D_1 visit tables
+  std::uint64_t cpint_sum_ = 0, co_sum_ = 0;
+  mutable std::mutex mutex_;
+  mutable std::map<int, std::unique_ptr<CanonicalCounts>> cache_;
+};
+
+}  // namespace pathrouting::routing

@@ -1,0 +1,55 @@
+#include "pathrouting/routing/path_store.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pathrouting::routing {
+
+void accumulate_hits(const PathStore& store, std::span<std::uint64_t> hits) {
+  for (const cdag::VertexId v : store.vertices()) {
+    PR_REQUIRE_MSG(v < hits.size(),
+                   "accumulate_hits: stored vertex outside the hit array");
+    ++hits[v];
+  }
+}
+
+namespace {
+
+std::string vertex_label(const cdag::Layout& layout, cdag::VertexId v) {
+  const cdag::VertexRef ref = layout.ref(v);
+  const char* layer = ref.layer == cdag::LayerKind::EncA   ? "encA"
+                      : ref.layer == cdag::LayerKind::EncB ? "encB"
+                                                           : "dec";
+  std::ostringstream label;
+  label << layer << " t" << ref.rank << " q" << ref.q << " p" << ref.p;
+  return label.str();
+}
+
+}  // namespace
+
+std::string paths_to_dot(const cdag::Layout& layout, const PathStore& store,
+                         const std::string& graph_name) {
+  std::ostringstream os;
+  os << "digraph \"" << graph_name << "\" {\n  rankdir=BT;\n"
+     << "  node [shape=box, fontsize=10];\n";
+  // Vertices touched by any path, in id order, labeled by address.
+  std::vector<cdag::VertexId> used(store.vertices().begin(),
+                                   store.vertices().end());
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  for (const cdag::VertexId v : used) {
+    os << "  v" << v << " [label=\"" << v << "\\n"
+       << vertex_label(layout, v) << "\"];\n";
+  }
+  for (std::uint64_t i = 0; i < store.num_paths(); ++i) {
+    const std::span<const cdag::VertexId> path = store.path(i);
+    for (std::size_t j = 0; j + 1 < path.size(); ++j) {
+      os << "  v" << path[j] << " -> v" << path[j + 1] << " [label=\"" << i
+         << "\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace pathrouting::routing

@@ -1,0 +1,102 @@
+// Flat arena for families of routed paths (SoA/CSR form).
+//
+// The explicit-path consumers of the routing layer — the audit rules,
+// DOT export, path exploration — need materialized vertex sequences,
+// but one std::vector<VertexId> per path means one allocation per path
+// (millions for the streamed audits). A PathStore keeps every path of a
+// family in two flat arrays (offsets + packed vertices) with optional
+// per-path declared terminals; appending a path writes straight into
+// the shared arena, so steady-state enumeration performs zero per-path
+// allocations. The CSR shape is exactly what audit::PathFamily views,
+// so a store plugs into the path-family rules without copying.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pathrouting/cdag/layout.hpp"
+
+namespace pathrouting::routing {
+
+class PathStore {
+ public:
+  /// `fill` receives the arena vector and must only push_back the
+  /// path's vertices (in order). Returns the new path's index.
+  template <typename Fill>
+  std::uint64_t add_path(Fill&& fill) {
+    fill(vertices_);
+    PR_REQUIRE_MSG(vertices_.size() >= offsets_.back(),
+                   "PathStore::add_path: fill must only append");
+    offsets_.push_back(vertices_.size());
+    return num_paths() - 1;
+  }
+
+  /// add_path plus declared terminals (audit routing.path-endpoints).
+  template <typename Fill>
+  std::uint64_t add_path(cdag::VertexId source, cdag::VertexId sink,
+                         Fill&& fill) {
+    const std::uint64_t index = add_path(std::forward<Fill>(fill));
+    sources_.push_back(source);
+    sinks_.push_back(sink);
+    PR_REQUIRE_MSG(sources_.size() == num_paths(),
+                   "PathStore: mix of paths with and without terminals");
+    return index;
+  }
+
+  [[nodiscard]] std::uint64_t num_paths() const { return offsets_.size() - 1; }
+  [[nodiscard]] std::uint64_t total_vertices() const {
+    return vertices_.size();
+  }
+  [[nodiscard]] std::span<const cdag::VertexId> path(std::uint64_t i) const {
+    PR_REQUIRE(i < num_paths());
+    return {vertices_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
+  }
+  [[nodiscard]] std::span<const std::uint64_t> offsets() const {
+    return offsets_;
+  }
+  [[nodiscard]] std::span<const cdag::VertexId> vertices() const {
+    return vertices_;
+  }
+  [[nodiscard]] std::span<const cdag::VertexId> sources() const {
+    return sources_;
+  }
+  [[nodiscard]] std::span<const cdag::VertexId> sinks() const {
+    return sinks_;
+  }
+
+  void reserve(std::uint64_t paths, std::uint64_t vertices) {
+    offsets_.reserve(paths + 1);
+    sources_.reserve(paths);
+    sinks_.reserve(paths);
+    vertices_.reserve(vertices);
+  }
+  /// Drops all paths but keeps the arena capacity (per-chunk reuse).
+  void clear() {
+    offsets_.resize(1);
+    vertices_.clear();
+    sources_.clear();
+    sinks_.clear();
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_ = {0};
+  std::vector<cdag::VertexId> vertices_;
+  std::vector<cdag::VertexId> sources_;
+  std::vector<cdag::VertexId> sinks_;
+};
+
+/// Per-vertex hit counts of all stored paths; `hits` must be sized to
+/// the owning graph's vertex count.
+void accumulate_hits(const PathStore& store,
+                     std::span<std::uint64_t> hits);
+
+/// DOT rendering of a path family as an edge overlay: each path becomes
+/// a chain of directed `->` edges labeled with its index; vertex names
+/// come from the layout's addressing. Intended for small explorer
+/// outputs (routing_explorer --dot), not for whole routings.
+std::string paths_to_dot(const cdag::Layout& layout, const PathStore& store,
+                         const std::string& graph_name);
+
+}  // namespace pathrouting::routing

@@ -21,6 +21,14 @@ int env_threads() {
 
 std::atomic<int> g_override{0};
 
+int hardware_width() {
+  static const int hw = [] {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n >= 1 ? static_cast<int>(n) : 1;
+  }();
+  return hw;
+}
+
 // True on pool worker threads and inside a caller's participation in a
 // parallel region: nested parallel calls run inline.
 thread_local bool t_in_parallel_region = false;
@@ -146,12 +154,40 @@ void set_thread_override(int n) {
   g_override.store(n, std::memory_order_relaxed);
 }
 
+int execution_width() {
+  // Results are chunk-deterministic, so running fewer threads than
+  // requested changes nothing but speed — and oversubscribing a
+  // CPU-bound pool past the hardware only adds context switches and
+  // cache evictions (PR_THREADS=8 on a 1-core box must not run slower
+  // than PR_THREADS=1). Test overrides stay exact: forcing 7 threads
+  // on a small machine is how the determinism tests and TSan exercise
+  // real interleavings.
+  const int forced = g_override.load(std::memory_order_relaxed);
+  if (forced >= 1) return forced;
+  const int requested = num_threads();
+  const int hw = hardware_width();
+  return requested < hw ? requested : hw;
+}
+
+std::uint64_t work_grain(std::uint64_t range, std::uint64_t per_item_cost,
+                         std::uint64_t target_chunk_cost) {
+  PR_REQUIRE(per_item_cost >= 1);
+  PR_REQUIRE(target_chunk_cost >= 1);
+  if (range == 0) return 1;
+  std::uint64_t grain = target_chunk_cost / per_item_cost;
+  if (grain < 1) grain = 1;
+  // Cap the chunk count: past ~1024 chunks the cursor traffic buys no
+  // extra load balance. (range + 1023) / 1024 items per chunk minimum.
+  const std::uint64_t min_grain = (range + 1023) / 1024;
+  return grain < min_grain ? min_grain : grain;
+}
+
 void for_chunks(
     std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
     const std::function<void(std::uint64_t, std::uint64_t, int)>& fn) {
   if (end <= begin) return;
   PR_REQUIRE(grain >= 1);
-  const int threads = num_threads();
+  const int threads = execution_width();
   const std::uint64_t num_chunks = (end - begin + grain - 1) / grain;
   if (threads == 1 || num_chunks == 1 || t_in_parallel_region) {
     for (std::uint64_t lo = begin; lo < end; lo += grain) {

@@ -17,6 +17,13 @@
 //     worker runs which chunk is scheduling-dependent, so this is
 //     deterministic only when the merge is EXACTLY commutative and
 //     associative (integer sums, max, logical and/or — not floats).
+//   * HitCounter — a single shared counter array updated through
+//     relaxed atomics. For pure scatter-add accumulation this beats
+//     per-worker shards: no per-worker allocation/zero/merge, and the
+//     cache working set does not grow with the thread count (the fix
+//     for the oversubscribed-machine regression; see the class docs).
+//   * work_grain — deterministic chunk sizing from an estimated
+//     per-item cost; small jobs collapse to one chunk and run inline.
 //
 // The pool is work-stealing-free by construction: there are no deques
 // to steal from, just the shared cursor over fixed chunks. Nested
@@ -24,6 +31,7 @@
 // worker.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -41,6 +49,13 @@ int num_threads();
 /// Test hook: force the thread count to `n` (>= 1) regardless of the
 /// environment; 0 restores the environment-derived value.
 void set_thread_override(int n);
+
+/// Threads that actually participate in a parallel region: the
+/// override when forced (tests need exact interleavings), otherwise
+/// num_threads() capped at the hardware concurrency — oversubscribing
+/// a CPU-bound pool only adds context switches, and every result is
+/// chunk-deterministic regardless of width.
+int execution_width();
 
 /// RAII form of set_thread_override for tests.
 class ThreadOverride {
@@ -88,6 +103,50 @@ T parallel_reduce(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
   for (T& slot : slots) merge(acc, slot);
   return acc;
 }
+
+/// Deterministic work-based grain: chunks hold roughly
+/// `target_chunk_cost / per_item_cost` items, clamped so a range never
+/// splits into more than 1024 chunks. The result depends only on the
+/// range and the (caller-estimated) per-item cost — never on the thread
+/// count — so chunk boundaries, and with them every chunk-ordered fold,
+/// stay bit-identical at any PR_THREADS. Jobs whose total cost is below
+/// one target chunk collapse to a single chunk and run inline, which
+/// keeps tiny verifications (small k) free of pool overhead.
+std::uint64_t work_grain(std::uint64_t range, std::uint64_t per_item_cost,
+                         std::uint64_t target_chunk_cost = 65536);
+
+/// Shared per-index counter array for parallel scatter accumulation
+/// (per-vertex hit counts). All workers add into ONE zero-initialized
+/// array through relaxed atomics: integer addition is exactly
+/// commutative, so the final counts are bit-identical at any thread
+/// count, and — unlike per-worker shard arrays — the memory footprint
+/// is that of the result alone. That is what fixes the
+/// parallel-slower-than-serial regression on few-core machines: with
+/// per-worker shards every context switch swapped one worker's
+/// multi-megabyte hit array out of cache for another's; the shared
+/// array keeps the working set identical at every thread count. There
+/// is no per-worker allocation, zeroing, or merge pass either.
+class HitCounter {
+ public:
+  explicit HitCounter(std::uint64_t n) : counts_(n, 0) {}
+
+  void add(std::uint64_t idx, std::uint64_t delta = 1) {
+    PR_DCHECK_MSG(idx < counts_.size(), "HitCounter::add: index out of range");
+    std::atomic_ref<std::uint64_t>(counts_[idx])
+        .fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t size() const { return counts_.size(); }
+
+  /// Moves the counts out as a plain array. Call only after the
+  /// parallel region completed (for_chunks joins before returning).
+  [[nodiscard]] std::vector<std::uint64_t> take() {
+    return std::move(counts_);
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+};
 
 /// Worker-sharded accumulation for accumulators too large to copy per
 /// chunk (per-vertex hit arrays). make() constructs one accumulator per

@@ -368,6 +368,71 @@ TEST(AuditMutation, ChainCountCatchesMissingPaths) {
   EXPECT_EQ(diag.actual, 1u);
 }
 
+// --- fact1.* and routing.memo-totals, corrupting genuine memo data ---
+
+struct MemoFixture {
+  cdag::Cdag cdag{bilinear::strassen(), 2, {.with_coefficients = false}};
+  routing::ChainRouter router{bilinear::strassen()};
+  routing::MemoRoutingEngine engine{router};
+  cdag::SubComputation sub{cdag, 1, 0};
+
+  AuditReport audit_blocks(const std::vector<cdag::CopyBlock>& blocks,
+                           const std::string& rule) {
+    return audit::audit_copy_translation(cdag.layout(), sub.k(), sub.prefix(),
+                                         blocks, RuleSelection::only({rule}));
+  }
+};
+
+TEST(AuditMutation, CopyBlocksCatchesCorruptedRankLength) {
+  MemoFixture f;
+  const cdag::CopyTranslation map(f.cdag.layout(), f.sub.k(), f.sub.prefix());
+  std::vector<cdag::CopyBlock> blocks(map.blocks().begin(),
+                                      map.blocks().end());
+  ASSERT_GE(blocks.size(), 3u);
+  blocks[2].length += 1;  // rank run no longer matches enc_rank_size
+  const auto& diag = first_finding(f.audit_blocks(blocks, "fact1.copy-blocks"),
+                                   "fact1.copy-blocks");
+  EXPECT_EQ(diag.vertex, 2u);  // block index
+  EXPECT_TRUE(diag.has_counts);
+  EXPECT_EQ(diag.expected + 1, diag.actual);
+}
+
+TEST(AuditMutation, CopyBijectionCatchesShiftedGlobalRun) {
+  MemoFixture f;
+  const cdag::CopyTranslation map(f.cdag.layout(), f.sub.k(), f.sub.prefix());
+  std::vector<cdag::CopyBlock> blocks(map.blocks().begin(),
+                                      map.blocks().end());
+  ASSERT_GE(blocks.size(), 2u);
+  blocks[1].global_base += 1;  // no longer the Fact-1 address formula
+  const auto& diag = first_finding(
+      f.audit_blocks(blocks, "fact1.copy-bijection"), "fact1.copy-bijection");
+  EXPECT_EQ(diag.vertex, 1u);  // block index
+  EXPECT_TRUE(diag.has_counts);
+  EXPECT_EQ(diag.expected + 1, diag.actual);
+}
+
+TEST(AuditMutation, MemoTotalsCatchesCorruptedHitArray) {
+  MemoFixture f;
+  routing::ChainHitCounts counts = f.engine.chain_hits(f.sub);
+  counts.hits[f.cdag.layout().product(0)] += 1;  // total no longer reconciles
+  const auto report = audit::audit_memo_chain_counts(
+      f.engine, f.sub, counts, RuleSelection::only({"routing.memo-totals"}));
+  const auto& diag = first_finding(report, "routing.memo-totals");
+  EXPECT_TRUE(diag.has_counts);
+  EXPECT_EQ(diag.expected, f.engine.expected_chain_total_hits(f.sub.k()));
+  EXPECT_EQ(diag.actual, diag.expected + 1);
+}
+
+TEST(AuditMutation, MemoTotalsCatchesStaleArgmax) {
+  MemoFixture f;
+  routing::ChainHitCounts counts = f.engine.chain_hits(f.sub);
+  counts.argmax += 1;  // no longer the smallest-id maximum
+  const auto report = audit::audit_memo_chain_counts(
+      f.engine, f.sub, counts, RuleSelection::only({"routing.memo-totals"}));
+  const auto& diag = first_finding(report, "routing.memo-totals");
+  EXPECT_TRUE(diag.has_counts);
+}
+
 // --- hall.* rules, on hand-built Theorem-3 witnesses ---
 
 /// mu table defined exactly on the guaranteed digit pairs, all mapped
