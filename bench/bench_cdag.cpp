@@ -59,6 +59,7 @@ int main() {
     const cdag::Cdag graph(alg, r);
     const double build = timer.seconds();
     json.add_record()
+        .set("experiment", "cdag_build")
         .set("algorithm", name)
         .set("r", r)
         .set("vertices", graph.graph().num_vertices())

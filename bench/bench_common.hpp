@@ -3,13 +3,13 @@
 #pragma once
 
 #include <chrono>
-#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <utility>
-#include <vector>
 
+#include "pathrouting/obs/bench_record.hpp"
+#include "pathrouting/obs/export.hpp"
 #include "pathrouting/support/parallel.hpp"
 
 namespace pathrouting::bench {
@@ -32,9 +32,9 @@ inline void print_banner(const std::string& experiment,
   std::printf("\n=== %s ===\n%s\n\n", experiment.c_str(), claim.c_str());
 }
 
-/// The git commit the bench binary was built from (bench/CMakeLists.txt
-/// bakes in `git rev-parse --short HEAD`), so committed BENCH_*.json
-/// files record which code produced them.
+/// The git commit the bench binary was built from (the top-level
+/// CMakeLists bakes in `git rev-parse --short HEAD`), so committed
+/// BENCH_*.json files record which code produced them.
 inline const char* git_commit() {
 #ifdef PR_GIT_COMMIT
   return PR_GIT_COMMIT;
@@ -43,104 +43,48 @@ inline const char* git_commit() {
 #endif
 }
 
-/// Machine-readable bench results. Collects flat key/value records and
-/// writes them to `BENCH_<name>.json` in the working directory (or
+/// Machine-readable bench results on the unified record schema
+/// (obs/bench_record.hpp). Collects flat key/value records and writes
+/// them to `BENCH_<name>.json` in the working directory (or
 /// `$PR_BENCH_JSON_DIR` if set) when `write()` is called or the object
 /// is destroyed. Schema:
 ///   {"bench": <name>, "threads": <PR_THREADS resolution>,
 ///    "records": [{<config/counts/seconds fields>}, ...]}
-/// Counts recorded here are the determinism contract surface: they must
-/// be bit-identical across thread counts (see README "Threading").
+/// The standard per-record fields "threads" and "commit" are injected
+/// automatically at write time — bench main()s only set what is
+/// specific to the measurement, and pr_bench_gate can parse any
+/// baseline. Counts recorded here are the determinism contract
+/// surface: they must be bit-identical across thread counts (see
+/// README "Threading").
 class BenchJson {
  public:
-  class Record {
-   public:
-    Record& set(const std::string& key, const std::string& value) {
-      fields_.emplace_back(key, quote(value));
-      return *this;
-    }
-    Record& set(const std::string& key, const char* value) {
-      return set(key, std::string(value));
-    }
-    Record& set(const std::string& key, std::uint64_t value) {
-      fields_.emplace_back(key, std::to_string(value));
-      return *this;
-    }
-    Record& set(const std::string& key, std::uint32_t value) {
-      return set(key, static_cast<std::uint64_t>(value));
-    }
-    Record& set(const std::string& key, int value) {
-      fields_.emplace_back(key, std::to_string(value));
-      return *this;
-    }
-    Record& set(const std::string& key, double value) {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.6f", value);
-      fields_.emplace_back(key, buf);
-      return *this;
-    }
-    Record& set(const std::string& key, bool value) {
-      fields_.emplace_back(key, value ? "true" : "false");
-      return *this;
-    }
-
-   private:
-    friend class BenchJson;
-    static std::string quote(const std::string& s) {
-      std::string out = "\"";
-      for (const char c : s) {
-        if (c == '"' || c == '\\') out.push_back('\\');
-        out.push_back(c);
-      }
-      out.push_back('"');
-      return out;
-    }
-    std::vector<std::pair<std::string, std::string>> fields_;
-  };
-
-  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  explicit BenchJson(std::string name) { file_.bench = std::move(name); }
   BenchJson(const BenchJson&) = delete;
   BenchJson& operator=(const BenchJson&) = delete;
   ~BenchJson() { write(); }
 
-  Record& add_record() {
-    records_.emplace_back();
-    return records_.back();
+  obs::BenchRecord& add_record() {
+    file_.records.emplace_back();
+    return file_.records.back();
   }
 
   void write() {
     if (written_) return;
     written_ = true;
+    file_.threads = support::parallel::num_threads();
+    obs::finalize_records(file_, git_commit());
     std::string dir;
     if (const char* env = std::getenv("PR_BENCH_JSON_DIR")) {
       dir = std::string(env) + "/";
     }
-    const std::string path = dir + "BENCH_" + name_ + ".json";
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
-      return;
+    const std::string path = dir + "BENCH_" + file_.bench + ".json";
+    if (obs::write_bench_file(file_, path)) {
+      std::printf("wrote %s\n", path.c_str());
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"threads\": %d,\n",
-                 name_.c_str(), support::parallel::num_threads());
-    std::fprintf(f, "  \"records\": [");
-    for (std::size_t i = 0; i < records_.size(); ++i) {
-      std::fprintf(f, "%s\n    {", i == 0 ? "" : ",");
-      const auto& fields = records_[i].fields_;
-      for (std::size_t j = 0; j < fields.size(); ++j) {
-        std::fprintf(f, "%s\"%s\": %s", j == 0 ? "" : ", ",
-                     fields[j].first.c_str(), fields[j].second.c_str());
-      }
-      std::fprintf(f, "}");
-    }
-    std::fprintf(f, "\n  ]\n}\n");
-    std::fclose(f);
-    std::printf("wrote %s\n", path.c_str());
   }
 
  private:
-  std::string name_;
-  std::vector<Record> records_;
+  obs::BenchFile file_;
   bool written_ = false;
 };
 

@@ -28,6 +28,7 @@
 
 #include "bench_common.hpp"
 #include "pathrouting/bilinear/analysis.hpp"
+#include "pathrouting/obs/export.hpp"
 #include "pathrouting/bilinear/catalog.hpp"
 #include "pathrouting/routing/concat_routing.hpp"
 #include "pathrouting/routing/decode_routing.hpp"
@@ -194,8 +195,6 @@ int main(int argc, char** argv) {
                         .set("algorithm", c.name)
                         .set("k", k)
                         .set("engine", engine)
-                        .set("threads", support::parallel::num_threads())
-                        .set("commit", bench::git_commit())
                         .set("chains", run.l3.num_paths)
                         .set("l3_max_hits", run.l3.max_hits)
                         .set("l3_bound", run.l3.bound)
@@ -304,8 +303,6 @@ int main(int argc, char** argv) {
                         .set("algorithm", c.name)
                         .set("k", k)
                         .set("engine", engine)
-                        .set("threads", support::parallel::num_threads())
-                        .set("commit", bench::git_commit())
                         .set("paths", run.stats.num_paths)
                         .set("max_hits", run.stats.max_hits)
                         .set("bound", run.stats.bound)
@@ -343,6 +340,12 @@ int main(int argc, char** argv) {
     }
   }
   claim1.print(std::cout);
+
+  // With PR_OBS=1 in the environment the run was traced; PR_TRACE_OUT
+  // dumps the spans as a chrome://tracing file and PR_METRICS_OUT the
+  // obs counters in the BENCH record schema (see README
+  // "Observability").
+  obs::write_env_outputs("routing_metrics", bench::git_commit());
 
   if (failed) {
     std::fprintf(stderr,

@@ -1,6 +1,7 @@
 #include "pathrouting/bounds/segment_certifier.hpp"
 
 #include "pathrouting/bounds/formulas.hpp"
+#include "pathrouting/obs/obs.hpp"
 #include "pathrouting/support/parallel.hpp"
 
 namespace pathrouting::bounds {
@@ -135,6 +136,7 @@ std::vector<std::uint32_t> CertifyResult::segment_ends(
 CertifyResult certify_segments(const Cdag& cdag,
                                std::span<const VertexId> schedule,
                                const CertifyParams& params) {
+  const obs::TraceSpan span("certify.segments");
   const Layout& layout = cdag.layout();
   const Graph& graph = cdag.graph();
   PR_REQUIRE(params.cache_size >= 1);
@@ -219,12 +221,17 @@ CertifyResult certify_segments(const Cdag& cdag,
   result.family_size = family.prefixes.size();
   result.family_guaranteed = family.guaranteed;
   result.counted_total = counted_total;
+  static obs::Counter obs_runs("certify.runs");
+  static obs::Counter obs_segments("certify.segments");
+  obs_runs.add();
+  obs_segments.add(result.segments.size());
   return result;
 }
 
 CertifyResult certify_segments_decode_only(const Cdag& cdag,
                                            std::span<const VertexId> schedule,
                                            const CertifyParams& params) {
+  const obs::TraceSpan span("certify.segments_decode_only");
   const Layout& layout = cdag.layout();
   const Graph& graph = cdag.graph();
   PR_REQUIRE(params.cache_size >= 1);
@@ -298,6 +305,10 @@ CertifyResult certify_segments_decode_only(const Cdag& cdag,
       walk_segments(cdag, schedule, target, counted, boundary);
   result.k = k;
   result.counted_total = counted_total;
+  static obs::Counter obs_runs("certify.runs");
+  static obs::Counter obs_segments("certify.segments");
+  obs_runs.add();
+  obs_segments.add(result.segments.size());
   return result;
 }
 

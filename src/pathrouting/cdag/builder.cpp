@@ -16,6 +16,7 @@
 
 #include "pathrouting/bilinear/analysis.hpp"
 #include "pathrouting/cdag/cdag.hpp"
+#include "pathrouting/obs/obs.hpp"
 #include "pathrouting/support/debug_hooks.hpp"
 #include "pathrouting/support/parallel.hpp"
 
@@ -91,6 +92,7 @@ std::uint64_t block_grain(std::uint64_t edges_per_block_times_rows,
 
 Cdag::Cdag(BilinearAlgorithm alg, int r, CdagOptions options)
     : alg_(std::move(alg)), layout_(alg_.n0(), alg_.b(), r) {
+  const obs::TraceSpan span("cdag.build");
   const auto u_rows = sparse_uv(alg_, Side::A);
   const auto v_rows = sparse_uv(alg_, Side::B);
   const auto w_rows = sparse_w(alg_);
@@ -348,6 +350,11 @@ Cdag::Cdag(BilinearAlgorithm alg, int r, CdagOptions options)
     }
     ++meta_size_[meta_root_[v]];
   }
+
+  static obs::Counter obs_builds("cdag.builds");
+  static obs::Counter obs_edges("cdag.edges");
+  obs_builds.add();
+  obs_edges.add(num_edges);
 
   // Debug-check builds re-audit every freshly constructed CDAG; the
   // hook is installed by the audit layer (see audit::install_debug_hooks)

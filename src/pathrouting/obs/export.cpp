@@ -1,0 +1,83 @@
+#include "pathrouting/obs/export.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "pathrouting/obs/obs.hpp"
+#include "pathrouting/support/parallel.hpp"
+
+namespace pathrouting::obs {
+
+void write_chrome_trace(std::ostream& os) {
+  const std::vector<SpanRecord> spans = spans_snapshot();
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) os << ",";
+    first = false;
+    // Microsecond timestamps with nanosecond resolution kept in the
+    // fraction (chrome://tracing accepts fractional ts/dur).
+    char ts[32];
+    char dur[32];
+    std::snprintf(ts, sizeof(ts), "%llu.%03llu",
+                  static_cast<unsigned long long>(s.start_ns / 1000),
+                  static_cast<unsigned long long>(s.start_ns % 1000));
+    std::snprintf(dur, sizeof(dur), "%llu.%03llu",
+                  static_cast<unsigned long long>(s.duration_ns / 1000),
+                  static_cast<unsigned long long>(s.duration_ns % 1000));
+    os << "\n  {\"name\": \"" << s.name << "\", \"ph\": \"X\", \"ts\": " << ts
+       << ", \"dur\": " << dur << ", \"pid\": 0, \"tid\": " << s.tid
+       << ", \"args\": {\"depth\": " << s.depth << "}}";
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write trace to %s\n", path.c_str());
+    return false;
+  }
+  write_chrome_trace(out);
+  return out.good();
+}
+
+BenchFile counters_as_bench_file(const std::string& bench_name,
+                                 const std::string& commit) {
+  BenchFile file;
+  file.bench = bench_name;
+  file.threads = support::parallel::num_threads();
+  for (const CounterValue& c : counters_snapshot()) {
+    BenchRecord rec;
+    rec.set("metric", c.name).set("value", c.value);
+    file.records.push_back(std::move(rec));
+  }
+  finalize_records(file, commit);
+  return file;
+}
+
+bool write_bench_file(const BenchFile& file, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << file.to_json();
+  return out.good();
+}
+
+bool write_env_outputs(const std::string& metrics_name,
+                       const std::string& commit) {
+  bool ok = true;
+  if (const char* path = std::getenv("PR_TRACE_OUT")) {
+    ok = write_chrome_trace_file(path) && ok;
+  }
+  if (const char* path = std::getenv("PR_METRICS_OUT")) {
+    ok = write_bench_file(counters_as_bench_file(metrics_name, commit), path) &&
+         ok;
+  }
+  return ok;
+}
+
+}  // namespace pathrouting::obs

@@ -1,5 +1,6 @@
 #include "pathrouting/routing/chain_routing.hpp"
 
+#include "pathrouting/obs/obs.hpp"
 #include "pathrouting/support/parallel.hpp"
 
 namespace pathrouting::routing {
@@ -96,6 +97,7 @@ void ChainRouter::append_chain_tail(const SubComputation& sub, Side side,
 
 ChainHitCounts count_chain_hits(const ChainRouter& router,
                                 const SubComputation& sub) {
+  const obs::TraceSpan span("routing.count_chain_hits");
   const cdag::Layout& layout = sub.cdag().layout();
   const int k = sub.k();
   const std::uint64_t num_in = sub.inputs_per_side();
@@ -128,6 +130,10 @@ ChainHitCounts count_chain_hits(const ChainRouter& router,
         }
       });
   counts.hits = hits.take();
+  // Aggregate adds after the loop — instrumentation may not perturb
+  // the enumeration it measures.
+  static obs::Counter obs_chains("routing.chains_enumerated");
+  obs_chains.add(counts.num_chains);
   // Max and argmax from the merged array; ties resolve to the smallest
   // vertex id, independent of enumeration or thread schedule.
   for (VertexId v = 0; v < n; ++v) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "pathrouting/obs/obs.hpp"
 #include "pathrouting/support/parallel.hpp"
 
 namespace pathrouting::routing {
@@ -71,6 +72,7 @@ void append_full_path(const ChainRouter& router, const SubComputation& sub,
 
 bool verify_chain_multiplicities(const ChainRouter& router,
                                  const SubComputation& sub) {
+  const obs::TraceSpan span("routing.verify_chain_multiplicities");
   const Layout& layout = sub.cdag().layout();
   const int k = sub.k();
   const int n0 = layout.n0();
@@ -116,6 +118,7 @@ bool verify_chain_multiplicities(const ChainRouter& router,
 
 FullRoutingStats verify_full_routing_enumerated(const ChainRouter& router,
                                                 const SubComputation& sub) {
+  const obs::TraceSpan span("routing.verify_full_enumerated");
   const cdag::Cdag& owner = sub.cdag();
   const Layout& layout = owner.layout();
   const std::uint64_t num_in = sub.inputs_per_side();
@@ -165,6 +168,8 @@ FullRoutingStats verify_full_routing_enumerated(const ChainRouter& router,
         }
       });
   stats.root_hit_property = root_hit_property.load(std::memory_order_relaxed);
+  static obs::Counter obs_paths("routing.full_paths_enumerated");
+  obs_paths.add(stats.num_paths);
   const std::vector<std::uint64_t> vhits = vertex_hits.take();
   const std::vector<std::uint64_t> mhits = meta_hits.take();
   for (std::uint64_t v = 0; v < n; ++v) {

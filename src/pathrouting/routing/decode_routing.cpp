@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "pathrouting/obs/obs.hpp"
 #include "pathrouting/support/parallel.hpp"
 
 namespace pathrouting::routing {
@@ -111,6 +112,7 @@ void DecodeRouter::append_path(const cdag::SubComputation& sub,
 
 std::vector<std::uint64_t> count_decode_hits(const DecodeRouter& router,
                                              const cdag::SubComputation& sub) {
+  const obs::TraceSpan span("routing.count_decode_hits");
   const std::uint64_t n = sub.cdag().graph().num_vertices();
   const std::uint64_t num_q = sub.num_products();
   const std::uint64_t num_e = sub.inputs_per_side();
@@ -132,6 +134,8 @@ std::vector<std::uint64_t> count_decode_hits(const DecodeRouter& router,
           }
         }
       });
+  static obs::Counter obs_paths("routing.decode_paths_enumerated");
+  obs_paths.add(num_q * num_e);
   return hits.take();
 }
 

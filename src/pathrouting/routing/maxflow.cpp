@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "pathrouting/obs/obs.hpp"
 #include "pathrouting/support/check.hpp"
 
 namespace pathrouting::routing {
@@ -89,13 +90,22 @@ std::int64_t MaxFlow::dfs(int s, int t, std::int64_t limit) {
 
 std::int64_t MaxFlow::solve(int s, int t) {
   PR_REQUIRE(s != t);
+  const obs::TraceSpan span("maxflow.solve");
+  static obs::Counter obs_solves("maxflow.solves");
+  static obs::Counter obs_phases("maxflow.bfs_phases");
+  static obs::Counter obs_visited("maxflow.bfs_visited");
+  static obs::Counter obs_augments("maxflow.augmenting_paths");
+  obs_solves.add();
   std::int64_t total = 0;
   while (bfs(s, t)) {
+    obs_phases.add();
+    obs_visited.add(bfs_queue_.size());
     iter_.assign(adj_.size(), 0);
     while (true) {
       const std::int64_t pushed = dfs(s, t, INT64_MAX);
       if (pushed == 0) break;
       total += pushed;
+      obs_augments.add();
     }
   }
   return total;

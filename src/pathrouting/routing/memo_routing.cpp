@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "pathrouting/obs/obs.hpp"
+
 namespace pathrouting::routing {
 
 namespace {
@@ -115,9 +117,16 @@ void MemoRoutingEngine::check_sub(const SubComputation& sub) const {
 
 const MemoRoutingEngine::CanonicalCounts& MemoRoutingEngine::canonical(
     int k) const {
+  static obs::Counter obs_hits("memo.canonical_cache_hits");
+  static obs::Counter obs_misses("memo.canonical_cache_misses");
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = cache_.find(k);
-  if (it != cache_.end()) return *it->second;
+  if (it != cache_.end()) {
+    obs_hits.add();
+    return *it->second;
+  }
+  obs_misses.add();
+  const obs::TraceSpan span("memo.canonical_fill");
 
   auto cc = std::make_unique<CanonicalCounts>(Layout(alg_.n0(), alg_.b(), k));
   const Layout& local = cc->layout;
@@ -199,6 +208,7 @@ const MemoRoutingEngine::CanonicalCounts& MemoRoutingEngine::canonical(
 
 ChainHitCounts MemoRoutingEngine::chain_hits(const SubComputation& sub) const {
   check_sub(sub);
+  const obs::TraceSpan span("memo.chain_hits");
   const Layout& global = sub.cdag().layout();
   const int k = sub.k();
   const CanonicalCounts& cc = canonical(k);
@@ -209,6 +219,8 @@ ChainHitCounts MemoRoutingEngine::chain_hits(const SubComputation& sub) const {
     std::copy_n(cc.chain_hits.begin() + blk.local_base, blk.length,
                 counts.hits.begin() + blk.global_base);
   }
+  static obs::Counter obs_blocks("memo.copy_blocks");
+  obs_blocks.add(map.blocks().size());
   counts.num_chains =
       2 * global.pow_a()(k) * guaranteed_fanout(global, k);
   // Blocks are monotone in both id spaces and everything outside the
@@ -280,6 +292,7 @@ std::vector<std::uint64_t> MemoRoutingEngine::decode_hits(
   check_sub(sub);
   PR_REQUIRE_MSG(has_decoder(),
                  "engine was constructed without a DecodeRouter");
+  const obs::TraceSpan span("memo.decode_hits");
   const Layout& global = sub.cdag().layout();
   const CanonicalCounts& cc = canonical(sub.k());
   const CopyTranslation map(global, sub.k(), sub.prefix());
@@ -288,6 +301,8 @@ std::vector<std::uint64_t> MemoRoutingEngine::decode_hits(
     std::copy_n(cc.decode_hits.begin() + blk.local_base, blk.length,
                 hits.begin() + blk.global_base);
   }
+  static obs::Counter obs_blocks("memo.copy_blocks");
+  obs_blocks.add(map.blocks().size());
   return hits;
 }
 

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "pathrouting/obs/obs.hpp"
+
 namespace pathrouting::schedule {
 
 namespace {
@@ -21,6 +23,9 @@ audit::Diagnostic finding(std::string_view rule, std::string_view message,
 
 std::vector<audit::Diagnostic> schedule_diagnostics(
     const Graph& graph, std::span<const VertexId> order) {
+  const obs::TraceSpan span("schedule.validate");
+  static obs::Counter obs_validations("schedule.validations");
+  obs_validations.add();
   const VertexId n = graph.num_vertices();
   std::vector<audit::Diagnostic> diags;
   std::vector<std::uint8_t> done(n, 0);

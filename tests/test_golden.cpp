@@ -1,0 +1,165 @@
+// Golden-certificate corpus: the routing certificates of the headline
+// algorithms, frozen as checked-in text files.
+//
+// For each algorithm the file records the Theorem-3 Hall witnesses
+// (the base matchings, side A and B) plus, per k, the Lemma-3 /
+// Lemma-4 / Theorem-2 chain certificate and the Claim-1 decode
+// certificate, with an FNV-1a digest of the full per-vertex hit
+// arrays. Every number is a pure function of the algorithm, so any
+// diff against the corpus is a behavioural change in the routing
+// engines — exactly what a refactor must not produce silently.
+//
+// Freshly generated text is compared byte-for-byte against
+// tests/golden/<algorithm>.golden (PR_GOLDEN_DIR, baked in by CMake).
+// To regenerate after an intentional change:
+//
+//   PR_GOLDEN_REGEN=1 ./build/tests/test_golden
+//
+// then review the diff like any other source change.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pathrouting/bilinear/analysis.hpp"
+#include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/routing/concat_routing.hpp"
+#include "pathrouting/routing/decode_routing.hpp"
+#include "pathrouting/routing/memo_routing.hpp"
+
+#ifndef PR_GOLDEN_DIR
+#error "PR_GOLDEN_DIR must point at the checked-in corpus"
+#endif
+
+namespace {
+
+using namespace pathrouting;  // NOLINT
+
+/// FNV-1a over the hit array (values fed as 8 little-endian bytes), so
+/// the corpus pins the entire per-vertex array without storing it.
+std::uint64_t fnv1a(const std::vector<std::uint64_t>& values) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const std::uint64_t v : values) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+void append_matching(std::ostringstream& os, const char* label,
+                     const routing::BaseMatching& mu, int a) {
+  os << label;
+  for (int d_in = 0; d_in < a; ++d_in) {
+    for (int d_out = 0; d_out < a; ++d_out) {
+      os << ' '
+         << (mu.defined(d_in, d_out) ? mu.product(d_in, d_out) : -1);
+    }
+  }
+  os << '\n';
+}
+
+/// The full golden text for one algorithm — the generator the corpus
+/// was created with, and the reference every run is diffed against.
+std::string golden_text(const std::string& name, int kmax) {
+  const auto alg = bilinear::by_name(name);
+  const routing::ChainRouter router(alg);
+  const bool decode = bilinear::decoding_components(alg) == 1;
+  std::ostringstream os;
+  os << "pathrouting-golden-v1\n";
+  os << "algorithm " << name << "\n";
+  os << "n0 " << alg.n0() << " b " << alg.b() << "\n";
+  append_matching(os, "hall_mu_a", router.matching(bilinear::Side::A),
+                  alg.a());
+  append_matching(os, "hall_mu_b", router.matching(bilinear::Side::B),
+                  alg.a());
+  if (!decode) {
+    const routing::MemoRoutingEngine memo(router);
+    os << "decode none\n";
+    for (int k = 1; k <= kmax; ++k) {
+      const cdag::Cdag graph(alg, k, {.with_coefficients = false});
+      const cdag::SubComputation sub(graph, k, 0);
+      const routing::ChainHitCounts counts = memo.chain_hits(sub);
+      const routing::HitStats l3 = routing::chain_stats_from_counts(counts, sub);
+      const routing::FullRoutingStats t2 =
+          routing::full_routing_from_chain_counts(sub, counts);
+      os << "k " << k << " chains " << counts.num_chains << " l3_max "
+         << l3.max_hits << " l3_bound " << l3.bound << " l4 "
+         << memo.verify_chain_multiplicities(sub) << " t2_max "
+         << t2.max_vertex_hits << " t2_meta " << t2.max_meta_hits
+         << " t2_bound " << t2.bound << " chain_fnv " << fnv1a(counts.hits)
+         << "\n";
+    }
+    return os.str();
+  }
+  const routing::DecodeRouter decoder(alg);
+  const routing::MemoRoutingEngine memo(router, decoder);
+  os << "decode d1 " << decoder.d1_size() << "\n";
+  for (int k = 1; k <= kmax; ++k) {
+    const cdag::Cdag graph(alg, k, {.with_coefficients = false});
+    const cdag::SubComputation sub(graph, k, 0);
+    const routing::ChainHitCounts counts = memo.chain_hits(sub);
+    const routing::HitStats l3 = routing::chain_stats_from_counts(counts, sub);
+    const routing::FullRoutingStats t2 =
+        routing::full_routing_from_chain_counts(sub, counts);
+    os << "k " << k << " chains " << counts.num_chains << " l3_max "
+       << l3.max_hits << " l3_bound " << l3.bound << " l4 "
+       << memo.verify_chain_multiplicities(sub) << " t2_max "
+       << t2.max_vertex_hits << " t2_meta " << t2.max_meta_hits
+       << " t2_bound " << t2.bound << " chain_fnv " << fnv1a(counts.hits)
+       << "\n";
+    const std::vector<std::uint64_t> hits = memo.decode_hits(sub);
+    const routing::HitStats stats = memo.verify_decode_routing(sub);
+    os << "k " << k << " decode_paths " << stats.num_paths << " decode_max "
+       << stats.max_hits << " decode_bound " << stats.bound << " decode_fnv "
+       << fnv1a(hits) << "\n";
+  }
+  return os.str();
+}
+
+struct GoldenCase {
+  std::string algorithm;
+  int kmax;
+};
+
+class GoldenTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenTest, CertificatesMatchCheckedInCorpus) {
+  const GoldenCase& param = GetParam();
+  const std::string path =
+      std::string(PR_GOLDEN_DIR) + "/" + param.algorithm + ".golden";
+  const std::string fresh = golden_text(param.algorithm, param.kmax);
+
+  const char* regen = std::getenv("PR_GOLDEN_REGEN");
+  if (regen != nullptr && std::string(regen) == "1") {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << fresh;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run with PR_GOLDEN_REGEN=1 to create)";
+  std::ostringstream stored;
+  stored << in.rdbuf();
+  EXPECT_EQ(stored.str(), fresh)
+      << "routing certificates diverged from the corpus; if the change "
+         "is intentional, regenerate with PR_GOLDEN_REGEN=1 and review "
+         "the diff";
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, GoldenTest,
+                         ::testing::Values(GoldenCase{"strassen", 4},
+                                           GoldenCase{"winograd", 4},
+                                           GoldenCase{"laderman", 3}),
+                         [](const auto& info) {
+                           return info.param.algorithm;
+                         });
+
+}  // namespace

@@ -3,13 +3,21 @@
 // parameterised tests.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <sstream>
+
+#include "pathrouting/bilinear/analysis.hpp"
 #include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/bilinear/serialize.hpp"
+#include "pathrouting/bilinear/transform.hpp"
 #include "pathrouting/bounds/formulas.hpp"
 #include "pathrouting/bounds/segment_certifier.hpp"
 #include "pathrouting/cdag/evaluate.hpp"
 #include "pathrouting/matmul/strassen_like.hpp"
 #include "pathrouting/pebble/cache_sim.hpp"
 #include "pathrouting/routing/concat_routing.hpp"
+#include "pathrouting/routing/decode_routing.hpp"
+#include "pathrouting/routing/memo_routing.hpp"
 #include "pathrouting/schedule/schedules.hpp"
 #include "pathrouting/schedule/validate.hpp"
 
@@ -186,6 +194,100 @@ TEST(SubcomputationRoutingTest, BoundHoldsInEveryEmbeddedGk) {
 // catalog after being fed through the certifier and simulator (no
 // hidden state corruption).
 // ---------------------------------------------------------------------
+
+// ---------------------------------------------------------------------
+// Property: on RANDOM correct base algorithms (isotropy-group samples,
+// not just the hand-written catalog) the memoized routing engine is
+// bit-identical to the brute enumerators, and the serializer
+// round-trips byte-stably.
+//
+// Environment knobs (the nightly CI job turns both up):
+//   PR_PROPERTY_SEED   base seed of the sweep       (default 20260806)
+//   PR_PROPERTY_ITERS  algorithms sampled per base  (default 3)
+// Failures log the exact seed, so any counterexample replays with
+// PR_PROPERTY_SEED=<seed> PR_PROPERTY_ITERS=1.
+// ---------------------------------------------------------------------
+
+std::uint64_t property_seed() {
+  const char* env = std::getenv("PR_PROPERTY_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 20260806ull;
+}
+
+int property_iters() {
+  const char* env = std::getenv("PR_PROPERTY_ITERS");
+  const int n = env != nullptr ? std::atoi(env) : 3;
+  return n > 0 ? n : 3;
+}
+
+class RandomAlgorithmTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RandomAlgorithmTest, MemoEngineMatchesBruteOnRandomTransforms) {
+  const auto base = bilinear::by_name(GetParam());
+  const std::uint64_t base_seed = property_seed();
+  const int iters = property_iters();
+  for (int i = 0; i < iters; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    SCOPED_TRACE("PR_PROPERTY_SEED=" + std::to_string(seed) +
+                 " (base " + GetParam() + ")");
+    const auto alg = bilinear::random_transform(base, seed);
+    // The Hall condition (Lemma 5) must survive any basis change: the
+    // transformed algorithm is still correct, and ChainRouter aborts on
+    // infeasible matchings — check feasibility first so a failure is a
+    // test failure, not a process abort.
+    ASSERT_TRUE(
+        routing::compute_base_matching(alg, bilinear::Side::A).has_value());
+    ASSERT_TRUE(
+        routing::compute_base_matching(alg, bilinear::Side::B).has_value());
+    const routing::ChainRouter router(alg);
+    const int k = 2;
+    const Cdag graph(alg, k, {.with_coefficients = false});
+    const cdag::SubComputation sub(graph, k, 0);
+
+    const routing::MemoRoutingEngine chain_memo(router);
+    const routing::ChainHitCounts brute = routing::count_chain_hits(router, sub);
+    const routing::ChainHitCounts memo = chain_memo.chain_hits(sub);
+    ASSERT_EQ(memo.num_chains, brute.num_chains);
+    ASSERT_EQ(memo.max_hits, brute.max_hits);
+    ASSERT_EQ(memo.argmax, brute.argmax);
+    ASSERT_EQ(memo.hits, brute.hits) << "memo chain hit array diverged";
+    EXPECT_TRUE(routing::chain_stats_from_counts(memo, sub).ok());
+    EXPECT_EQ(chain_memo.verify_chain_multiplicities(sub),
+              routing::verify_chain_multiplicities(router, sub));
+
+    if (bilinear::decoding_components(alg) == 1) {
+      const routing::DecodeRouter decoder(alg);
+      const routing::MemoRoutingEngine memo_full(router, decoder);
+      const std::vector<std::uint64_t> brute_hits =
+          routing::count_decode_hits(decoder, sub);
+      ASSERT_EQ(memo_full.decode_hits(sub), brute_hits)
+          << "memo decode hit array diverged";
+      EXPECT_TRUE(memo_full.verify_decode_routing(sub).ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bases, RandomAlgorithmTest,
+                         ::testing::Values("strassen", "classical2"),
+                         [](const auto& info) { return info.param; });
+
+TEST(RandomAlgorithmTest, SerializerRoundTripsByteStable) {
+  const auto base = bilinear::strassen();
+  const std::uint64_t base_seed = property_seed();
+  const int iters = property_iters();
+  for (int i = 0; i < iters; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    SCOPED_TRACE("PR_PROPERTY_SEED=" + std::to_string(seed));
+    const auto alg = bilinear::random_transform(base, seed);
+    std::ostringstream once;
+    bilinear::to_text(alg, once);
+    std::istringstream in(once.str());
+    const bilinear::ParseResult parsed = bilinear::from_text(in);
+    ASSERT_TRUE(parsed.algorithm.has_value()) << parsed.error;
+    std::ostringstream twice;
+    bilinear::to_text(*parsed.algorithm, twice);
+    EXPECT_EQ(once.str(), twice.str());
+  }
+}
 
 TEST(PipelineTest, CertifyThenSimulateLeavesScheduleValid) {
   const auto alg = bilinear::winograd();

@@ -1,0 +1,423 @@
+// pr_bench_gate — regression gate over committed BENCH_*.json files.
+//
+// Loads a baseline (BENCH_routing_memo.json in CI), re-runs every
+// memoized perfsmoke workload it records (experiment chain_routing /
+// decode_routing, engine memo, k <= --kmax) through the observability
+// layer, and fails when the fresh run regresses:
+//
+//   * count fields must match the baseline EXACTLY — the determinism
+//     contract says hit counts, bounds, and verdicts are functions of
+//     the algorithm alone, so any drift is a correctness bug, not
+//     noise;
+//   * "seconds" may grow up to --tolerance x the baseline (floored at
+//     --min-seconds, under which timing is pure jitter).
+//
+// The text diff goes to stdout; --report writes the same verdicts as
+// a BENCH-schema JSON file, and --trace / --metrics dump the chrome
+// trace and obs counters of the fresh run (PR_TRACE_OUT /
+// PR_METRICS_OUT work too). Reports are annotated with the build's
+// commit and the resolved thread count, so a CI artifact is
+// self-describing.
+//
+// --self-test-pessimize deliberately corrupts every fresh record
+// (seconds x100, max-hit count +1) after measurement; the gate must
+// then fail with a readable diff. tests/test_bench_gate.py-style
+// mutation lives in tests/test_obs.cpp's gate section and CI runs the
+// flag directly — a gate that cannot fail gates nothing.
+//
+// Exit codes: 0 pass, 1 regression (or self-test as designed), 2
+// usage/parse errors.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pathrouting/bilinear/analysis.hpp"
+#include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/obs/bench_record.hpp"
+#include "pathrouting/obs/export.hpp"
+#include "pathrouting/obs/obs.hpp"
+#include "pathrouting/routing/concat_routing.hpp"
+#include "pathrouting/routing/decode_routing.hpp"
+#include "pathrouting/routing/memo_routing.hpp"
+#include "pathrouting/support/parallel.hpp"
+
+namespace {
+
+using namespace pathrouting;  // NOLINT
+
+const char* git_commit() {
+#ifdef PR_GIT_COMMIT
+  return PR_GIT_COMMIT;
+#else
+  return "unknown";
+#endif
+}
+
+struct Options {
+  std::string baseline;
+  int kmax = 5;
+  double tolerance = 2.0;     // allowed fresh/base wall-clock ratio
+  double min_seconds = 0.05;  // below this, timing is jitter: never fail
+  std::string report_path;
+  std::string trace_path;
+  std::string metrics_path;
+  bool pessimize = false;
+};
+
+[[noreturn]] void usage(const char* msg) {
+  if (msg != nullptr) std::fprintf(stderr, "pr_bench_gate: %s\n", msg);
+  std::fprintf(
+      stderr,
+      "usage: pr_bench_gate --baseline BENCH_x.json [--kmax N] "
+      "[--tolerance X] [--min-seconds S] [--report out.json] "
+      "[--trace trace.json] [--metrics metrics.json] "
+      "[--self-test-pessimize]\n");
+  std::exit(2);
+}
+
+std::string flag_value(const std::string& arg, const char* name) {
+  const std::size_t n = std::strlen(name);
+  if (arg.compare(0, n, name) == 0 && arg.size() > n && arg[n] == '=') {
+    return arg.substr(n + 1);
+  }
+  return "";
+}
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) usage(what);
+      return argv[++i];
+    };
+    if (arg == "--baseline") {
+      opt.baseline = next("--baseline needs a path");
+    } else if (std::string v = flag_value(arg, "--baseline"); !v.empty()) {
+      opt.baseline = v;
+    } else if (arg == "--kmax") {
+      opt.kmax = std::atoi(next("--kmax needs a value").c_str());
+    } else if (std::string v2 = flag_value(arg, "--kmax"); !v2.empty()) {
+      opt.kmax = std::atoi(v2.c_str());
+    } else if (arg == "--tolerance") {
+      opt.tolerance = std::atof(next("--tolerance needs a value").c_str());
+    } else if (std::string v3 = flag_value(arg, "--tolerance"); !v3.empty()) {
+      opt.tolerance = std::atof(v3.c_str());
+    } else if (arg == "--min-seconds") {
+      opt.min_seconds = std::atof(next("--min-seconds needs a value").c_str());
+    } else if (std::string v4 = flag_value(arg, "--min-seconds"); !v4.empty()) {
+      opt.min_seconds = std::atof(v4.c_str());
+    } else if (arg == "--report") {
+      opt.report_path = next("--report needs a path");
+    } else if (arg == "--trace") {
+      opt.trace_path = next("--trace needs a path");
+    } else if (arg == "--metrics") {
+      opt.metrics_path = next("--metrics needs a path");
+    } else if (arg == "--self-test-pessimize") {
+      opt.pessimize = true;
+    } else {
+      usage(("unknown flag " + arg).c_str());
+    }
+  }
+  if (opt.baseline.empty()) usage("--baseline is required");
+  if (opt.kmax < 1) usage("--kmax must be >= 1");
+  if (opt.tolerance < 1.0) usage("--tolerance must be >= 1.0");
+  return opt;
+}
+
+/// One (experiment, algorithm, k) workload of the baseline; duplicate
+/// records (the committed baseline concatenates a threads=1 and a
+/// threads=8 run) collapse into one group whose timing reference is
+/// the fastest baseline record.
+struct Workload {
+  std::string experiment;
+  std::string algorithm;
+  int k = 0;
+  const obs::BenchRecord* reference = nullptr;  // count comparison
+  double base_seconds = 0;
+};
+
+double seconds_of(const obs::BenchRecord& rec) {
+  const obs::BenchValue* v = rec.find("seconds");
+  return v != nullptr && v->is_number() ? v->as_double() : 0.0;
+}
+
+/// Fields that are run-dependent or derived, never compared exactly.
+bool ignored_field(const std::string& key) {
+  return key == "seconds" || key == "speedup" ||
+         key == "counts_bit_identical" || key == "threads" || key == "commit";
+}
+
+struct FreshRun {
+  obs::BenchRecord rec;
+  double seconds = 0;
+};
+
+FreshRun run_chain(const bilinear::BilinearAlgorithm& alg,
+                   const std::string& name, int k) {
+  const routing::ChainRouter router(alg);
+  const routing::MemoRoutingEngine memo(router);
+  const cdag::Cdag graph(alg, k, {.with_coefficients = false});
+  const cdag::SubComputation sub(graph, k, 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  const routing::ChainHitCounts counts = memo.chain_hits(sub);
+  const routing::HitStats l3 = routing::chain_stats_from_counts(counts, sub);
+  const bool l4 = memo.verify_chain_multiplicities(sub);
+  const routing::FullRoutingStats t2 =
+      routing::full_routing_from_chain_counts(sub, counts);
+  FreshRun run;
+  run.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              t0)
+                    .count();
+  run.rec.set("experiment", "chain_routing")
+      .set("algorithm", name)
+      .set("k", k)
+      .set("engine", "memo")
+      .set("chains", l3.num_paths)
+      .set("l3_max_hits", l3.max_hits)
+      .set("l3_bound", l3.bound)
+      .set("l4_exact", l4)
+      .set("t2_max_vertex_hits", t2.max_vertex_hits)
+      .set("t2_max_meta_hits", t2.max_meta_hits)
+      .set("t2_bound", t2.bound)
+      .set("ok", l3.ok() && l4 && t2.ok())
+      .set("seconds", run.seconds);
+  return run;
+}
+
+FreshRun run_decode(const bilinear::BilinearAlgorithm& alg,
+                    const std::string& name, int k) {
+  const routing::ChainRouter router(alg);
+  const routing::DecodeRouter decoder(alg);
+  const routing::MemoRoutingEngine memo(router, decoder);
+  const cdag::Cdag graph(alg, k, {.with_coefficients = false});
+  const cdag::SubComputation sub(graph, k, 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<std::uint64_t> hits = memo.decode_hits(sub);
+  const routing::HitStats stats = memo.verify_decode_routing(sub);
+  FreshRun run;
+  run.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              t0)
+                    .count();
+  // The hit array itself feeds the obs counters / trace; the record
+  // carries the same summary fields as bench_routing.
+  (void)hits;
+  run.rec.set("experiment", "decode_routing")
+      .set("algorithm", name)
+      .set("k", k)
+      .set("engine", "memo")
+      .set("paths", stats.num_paths)
+      .set("max_hits", stats.max_hits)
+      .set("bound", stats.bound)
+      .set("ok", stats.ok())
+      .set("seconds", run.seconds);
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+
+  obs::BenchParseResult parsed = obs::load_bench_file(opt.baseline);
+  if (!parsed.file.has_value()) {
+    std::fprintf(stderr, "pr_bench_gate: %s\n", parsed.error.c_str());
+    return 2;
+  }
+  const obs::BenchFile& baseline = *parsed.file;
+
+  // Collect the memoized perfsmoke workloads, deduplicating repeated
+  // (experiment, algorithm, k) records across baseline runs.
+  std::vector<Workload> workloads;
+  std::map<std::string, std::size_t> index;
+  int skipped_k = 0;
+  for (const obs::BenchRecord& rec : baseline.records) {
+    const std::string experiment = rec.text_or("experiment", "");
+    if (experiment != "chain_routing" && experiment != "decode_routing") {
+      continue;
+    }
+    if (rec.text_or("engine", "") != "memo") continue;
+    const int k = static_cast<int>(rec.int_or("k", 0));
+    if (k < 1) continue;
+    if (k > opt.kmax) {
+      ++skipped_k;
+      continue;
+    }
+    const std::string algorithm = rec.text_or("algorithm", "");
+    std::string key = experiment;
+    key += '/';
+    key += algorithm;
+    key += '/';
+    key += std::to_string(k);
+    const auto [it, inserted] = index.emplace(key, workloads.size());
+    if (inserted) {
+      workloads.push_back(
+          {experiment, algorithm, k, &rec, seconds_of(rec)});
+      continue;
+    }
+    Workload& wl = workloads[it->second];
+    wl.base_seconds = std::min(wl.base_seconds, seconds_of(rec));
+    // Baseline self-consistency: duplicate records must agree on every
+    // compared field (they are bit-identical across thread counts).
+    for (const auto& [fkey, fval] : wl.reference->fields()) {
+      if (ignored_field(fkey)) continue;
+      const obs::BenchValue* other = rec.find(fkey);
+      if (other == nullptr || other->json() != fval.json()) {
+        std::fprintf(stderr,
+                     "pr_bench_gate: baseline is self-inconsistent: %s "
+                     "field %s\n",
+                     key.c_str(), fkey.c_str());
+        return 2;
+      }
+    }
+  }
+  if (workloads.empty()) {
+    std::fprintf(stderr,
+                 "pr_bench_gate: baseline %s has no memoized "
+                 "chain_routing/decode_routing records with k <= %d\n",
+                 opt.baseline.c_str(), opt.kmax);
+    return 2;
+  }
+
+  // Trace and count the fresh runs regardless of env: the artifact CI
+  // uploads should never be silently empty.
+  obs::set_enabled(true);
+  obs::reset_counters();
+  obs::clear_spans();
+
+  const std::string baseline_commit =
+      baseline.records.front().text_or("commit", "unknown");
+  std::printf(
+      "pr_bench_gate: baseline %s (commit %s) vs build %s (threads %d), "
+      "%zu workloads, tolerance %.2fx, floor %.3fs\n",
+      opt.baseline.c_str(), baseline_commit.c_str(), git_commit(),
+      support::parallel::num_threads(), workloads.size(), opt.tolerance,
+      opt.min_seconds);
+  if (skipped_k > 0) {
+    std::printf("  (%d baseline records above --kmax=%d skipped)\n",
+                skipped_k, opt.kmax);
+  }
+  if (opt.pessimize) {
+    std::printf(
+        "  self-test: pessimizing every fresh record — the gate MUST "
+        "fail\n");
+  }
+
+  obs::BenchFile report;
+  report.bench = "gate_report";
+  report.threads = support::parallel::num_threads();
+  report.extra.emplace_back("baseline", opt.baseline);
+  report.extra.emplace_back("baseline_commit", baseline_commit);
+
+  int count_failures = 0;
+  int slow_failures = 0;
+  for (const Workload& wl : workloads) {
+    const auto alg = bilinear::by_name(wl.algorithm);
+    if (wl.experiment == "decode_routing" &&
+        bilinear::decoding_components(alg) != 1) {
+      // Claim 1 needs a connected decoding graph; a baseline recording
+      // such a workload predates that check — flag, don't crash.
+      std::printf("SKIP %s %s k=%d: decoding graph is disconnected\n",
+                  wl.experiment.c_str(), wl.algorithm.c_str(), wl.k);
+      report.records.emplace_back();
+      report.records.back()
+          .set("experiment", wl.experiment)
+          .set("algorithm", wl.algorithm)
+          .set("k", wl.k)
+          .set("status", "skipped");
+      continue;
+    }
+    FreshRun fresh = wl.experiment == "chain_routing"
+                         ? run_chain(alg, wl.algorithm, wl.k)
+                         : run_decode(alg, wl.algorithm, wl.k);
+    if (opt.pessimize) {
+      // Corrupt the record (never the engines): prove the diff fires.
+      fresh.seconds *= 100.0;
+      fresh.rec.set("seconds", fresh.seconds);
+      const char* hit_key =
+          wl.experiment == "chain_routing" ? "l3_max_hits" : "max_hits";
+      const obs::BenchValue* v = fresh.rec.find(hit_key);
+      fresh.rec.set(hit_key,
+                    static_cast<std::uint64_t>(v->int_value) + 1);
+    }
+
+    // Exact comparison of every tracked (count/verdict) field.
+    std::string mismatched;
+    for (const auto& [fkey, fval] : wl.reference->fields()) {
+      if (ignored_field(fkey)) continue;
+      const obs::BenchValue* fresh_v = fresh.rec.find(fkey);
+      if (fresh_v == nullptr || fresh_v->json() != fval.json()) {
+        if (!mismatched.empty()) mismatched += ",";
+        mismatched += fkey;
+        std::printf("FAIL %s %s k=%d: %s baseline=%s fresh=%s\n",
+                    wl.experiment.c_str(), wl.algorithm.c_str(), wl.k,
+                    fkey.c_str(), fval.json().c_str(),
+                    fresh_v == nullptr ? "<missing>"
+                                       : fresh_v->json().c_str());
+      }
+    }
+
+    const double allowed =
+        std::max(wl.base_seconds * opt.tolerance, opt.min_seconds);
+    const bool slow = fresh.seconds > allowed;
+    const double ratio =
+        wl.base_seconds > 0 ? fresh.seconds / wl.base_seconds : 0.0;
+    if (slow) {
+      std::printf(
+          "FAIL %s %s k=%d: seconds %.6f vs baseline %.6f "
+          "(%.1fx, allowed %.6f)\n",
+          wl.experiment.c_str(), wl.algorithm.c_str(), wl.k, fresh.seconds,
+          wl.base_seconds, ratio, allowed);
+      ++slow_failures;
+    }
+    if (!mismatched.empty()) ++count_failures;
+    if (mismatched.empty() && !slow) {
+      std::printf("ok   %s %s k=%d (%.6fs, baseline %.6fs)\n",
+                  wl.experiment.c_str(), wl.algorithm.c_str(), wl.k,
+                  fresh.seconds, wl.base_seconds);
+    }
+
+    report.records.emplace_back();
+    auto& rrec = report.records.back()
+                     .set("experiment", wl.experiment)
+                     .set("algorithm", wl.algorithm)
+                     .set("k", wl.k)
+                     .set("status", !mismatched.empty() ? "count-mismatch"
+                                    : slow              ? "slow"
+                                                        : "ok")
+                     .set("baseline_seconds", wl.base_seconds)
+                     .set("seconds", fresh.seconds)
+                     .set("ratio", ratio);
+    if (!mismatched.empty()) rrec.set("fields_mismatched", mismatched);
+  }
+
+  obs::finalize_records(report, git_commit());
+  if (!opt.report_path.empty() &&
+      !obs::write_bench_file(report, opt.report_path)) {
+    return 2;
+  }
+  if (!opt.trace_path.empty() &&
+      !obs::write_chrome_trace_file(opt.trace_path)) {
+    return 2;
+  }
+  if (!opt.metrics_path.empty() &&
+      !obs::write_bench_file(
+          obs::counters_as_bench_file("gate_metrics", git_commit()),
+          opt.metrics_path)) {
+    return 2;
+  }
+  obs::write_env_outputs("gate_metrics", git_commit());
+
+  const bool failed = count_failures > 0 || slow_failures > 0;
+  std::printf(
+      "pr_bench_gate: %s (%d count mismatches, %d timing regressions "
+      "over %zu workloads)\n",
+      failed ? "FAILED" : "PASSED", count_failures, slow_failures,
+      workloads.size());
+  return failed ? 1 : 0;
+}
