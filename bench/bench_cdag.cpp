@@ -12,6 +12,7 @@
 #include "pathrouting/cdag/evaluate.hpp"
 #include "pathrouting/cdag/meta.hpp"
 #include "pathrouting/matmul/classical.hpp"
+#include "pathrouting/obs/obs.hpp"
 #include "pathrouting/support/table.hpp"
 
 namespace {
@@ -65,7 +66,8 @@ int main() {
         .set("vertices", graph.graph().num_vertices())
         .set("edges", graph.graph().num_edges())
         .set("duplicated", cdag::count_duplicated_vertices(graph))
-        .set("build_seconds", build);
+        .set("build_seconds", build)
+        .set("max_rss_bytes", obs::max_rss_bytes());
     table.add_row(
         {name, std::to_string(alg.n0()), std::to_string(alg.b()),
          fmt_fixed(alg.omega0(), 4), std::to_string(r),

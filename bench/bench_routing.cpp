@@ -14,8 +14,14 @@
 // can run it as a perf smoke test (--engine=memo --kmax=N under
 // timeout).
 //
+// The implicit engine is the third column: the same closed forms
+// evaluated through cdag::ImplicitCdag (no CSR arrays, no per-vertex
+// hit arrays — digit-state DP only), so its records measure the
+// constant-memory verification path and carry max_rss_bytes. Its
+// stats must match the memoized engine's bit for bit.
+//
 // Flags:
-//   --engine=both|memo|brute   which engines to run (default both)
+//   --engine=both|memo|brute|implicit  which engines (default both=all)
 //   --kmax=N                   cap every case's k (0 = per-case table)
 //   --kmax-brute=N             cap only the brute engine's k
 //   --full-catalog             add every catalog algorithm at k <= 3
@@ -28,7 +34,9 @@
 
 #include "bench_common.hpp"
 #include "pathrouting/bilinear/analysis.hpp"
+#include "pathrouting/cdag/implicit.hpp"
 #include "pathrouting/obs/export.hpp"
+#include "pathrouting/obs/obs.hpp"
 #include "pathrouting/bilinear/catalog.hpp"
 #include "pathrouting/routing/concat_routing.hpp"
 #include "pathrouting/routing/decode_routing.hpp"
@@ -44,6 +52,7 @@ using support::fmt_fixed;
 struct Options {
   bool run_brute = true;
   bool run_memo = true;
+  bool run_implicit = true;
   int kmax = 0;        // 0 = per-case table
   int kmax_brute = 0;  // 0 = per-case table
   bool full_catalog = false;
@@ -53,14 +62,18 @@ Options parse_options(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--engine=both") {
-      opt.run_brute = opt.run_memo = true;
-    } else if (arg == "--engine=memo") {
-      opt.run_brute = false;
-      opt.run_memo = true;
-    } else if (arg == "--engine=brute") {
-      opt.run_brute = true;
-      opt.run_memo = false;
+    if (arg.starts_with("--engine=")) {
+      const std::string engine = arg.substr(std::strlen("--engine="));
+      opt.run_brute = engine == "both" || engine == "brute";
+      opt.run_memo = engine == "both" || engine == "memo";
+      opt.run_implicit = engine == "both" || engine == "implicit";
+      if (!opt.run_brute && !opt.run_memo && !opt.run_implicit) {
+        std::fprintf(stderr,
+                     "unknown engine \"%s\" (valid engines: both, memo, "
+                     "brute, implicit)\n",
+                     engine.c_str());
+        std::exit(2);
+      }
     } else if (arg.starts_with("--kmax=")) {
       opt.kmax = std::atoi(arg.c_str() + std::strlen("--kmax="));
     } else if (arg.starts_with("--kmax-brute=")) {
@@ -70,8 +83,8 @@ Options parse_options(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: bench_routing "
-                   "[--engine=both|memo|brute] [--kmax=N] [--kmax-brute=N] "
-                   "[--full-catalog]\n",
+                   "[--engine=both|memo|brute|implicit] [--kmax=N] "
+                   "[--kmax-brute=N] [--full-catalog]\n",
                    arg.c_str());
       std::exit(2);
     }
@@ -85,15 +98,30 @@ struct Case {
   int kmax_memo;
 };
 
-/// Applies the CLI caps to a case's per-engine k limits.
-Case capped(const Options& opt, Case c) {
+/// A case with the CLI caps applied per engine. The implicit engine
+/// shares the memoized k table (both evaluate closed forms; the
+/// implicit engine's far larger feasible k lives in bench_implicit).
+struct ActiveCase {
+  std::string name;
+  int kmax_brute = 0;
+  int kmax_memo = 0;
+  int kmax_implicit = 0;
+  [[nodiscard]] int kmax() const {
+    return std::max({kmax_brute, kmax_memo, kmax_implicit});
+  }
+};
+
+ActiveCase capped(const Options& opt, const Case& raw) {
+  ActiveCase c{raw.name, raw.kmax_brute, raw.kmax_memo, raw.kmax_memo};
   if (opt.kmax > 0) {
     c.kmax_brute = std::min(c.kmax_brute, opt.kmax);
     c.kmax_memo = std::min(c.kmax_memo, opt.kmax);
+    c.kmax_implicit = std::min(c.kmax_implicit, opt.kmax);
   }
   if (opt.kmax_brute > 0) c.kmax_brute = std::min(c.kmax_brute, opt.kmax_brute);
   if (!opt.run_brute) c.kmax_brute = 0;
   if (!opt.run_memo) c.kmax_memo = 0;
+  if (!opt.run_implicit) c.kmax_implicit = 0;
   return c;
 }
 
@@ -149,13 +177,19 @@ int main(int argc, char** argv) {
   if (opt.full_catalog) add_catalog_cases(chain_cases, 3, false);
 
   for (const Case& raw : chain_cases) {
-    const Case c = capped(opt, raw);
+    const ActiveCase c = capped(opt, raw);
     const auto alg = bilinear::by_name(c.name);
     const routing::ChainRouter router(alg);
     const routing::MemoRoutingEngine memo(router);
-    for (int k = 1; k <= std::max(c.kmax_brute, c.kmax_memo); ++k) {
-      const cdag::Cdag graph(alg, k, {.with_coefficients = false});
-      const cdag::SubComputation sub(graph, k, 0);
+    for (int k = 1; k <= c.kmax(); ++k) {
+      // The implicit engine needs no materialized graph; only the
+      // array-backed engines do.
+      std::optional<cdag::Cdag> graph;
+      std::optional<cdag::SubComputation> sub;
+      if (k <= c.kmax_brute || k <= c.kmax_memo) {
+        graph.emplace(alg, k, cdag::CdagOptions{.with_coefficients = false});
+        sub.emplace(*graph, k, 0);
+      }
 
       struct ChainRun {
         routing::ChainHitCounts counts;
@@ -170,20 +204,20 @@ int main(int argc, char** argv) {
       if (k <= c.kmax_brute) {
         bench::Stopwatch timer;
         ChainRun run;
-        run.counts = routing::count_chain_hits(router, sub);
-        run.l3 = routing::chain_stats_from_counts(run.counts, sub);
-        run.l4 = routing::verify_chain_multiplicities(router, sub);
-        run.t2 = routing::full_routing_from_chain_counts(sub, run.counts);
+        run.counts = routing::count_chain_hits(router, *sub);
+        run.l3 = routing::chain_stats_from_counts(run.counts, *sub);
+        run.l4 = routing::verify_chain_multiplicities(router, *sub);
+        run.t2 = routing::full_routing_from_chain_counts(*sub, run.counts);
         run.secs = timer.seconds();
         brute.emplace(std::move(run));
       }
       if (k <= c.kmax_memo) {
         bench::Stopwatch timer;
         ChainRun run;
-        run.counts = memo.chain_hits(sub);
-        run.l3 = routing::chain_stats_from_counts(run.counts, sub);
-        run.l4 = memo.verify_chain_multiplicities(sub);
-        run.t2 = routing::full_routing_from_chain_counts(sub, run.counts);
+        run.counts = memo.chain_hits(*sub);
+        run.l3 = routing::chain_stats_from_counts(run.counts, *sub);
+        run.l4 = memo.verify_chain_multiplicities(*sub);
+        run.t2 = routing::full_routing_from_chain_counts(*sub, run.counts);
         run.secs = timer.seconds();
         memo_run.emplace(std::move(run));
       }
@@ -203,7 +237,8 @@ int main(int argc, char** argv) {
                         .set("t2_max_meta_hits", run.t2.max_meta_hits)
                         .set("t2_bound", run.t2.bound)
                         .set("ok", run.ok())
-                        .set("seconds", run.secs);
+                        .set("seconds", run.secs)
+                        .set("max_rss_bytes", obs::max_rss_bytes());
         std::string speed = "-";
         if (kind == routing::EngineKind::kMemo && brute.has_value()) {
           const bool identical =
@@ -234,6 +269,67 @@ int main(int argc, char** argv) {
       };
       if (brute) emit(*brute, routing::EngineKind::kBrute);
       if (memo_run) emit(*memo_run, routing::EngineKind::kMemo);
+
+      if (k <= c.kmax_implicit) {
+        bench::Stopwatch timer;
+        const cdag::ImplicitCdag iview(alg, k);
+        const routing::HitStats l3 = memo.verify_chain_routing(iview, k, 0);
+        const bool l4 = memo.verify_chain_multiplicities(iview, k, 0);
+        const routing::FullRoutingStats t2 =
+            memo.verify_full_routing(iview, k, 0);
+        const double secs = timer.seconds();
+        const bool run_ok = l3.ok() && l4 && t2.ok();
+        auto& rec = json.add_record()
+                        .set("experiment", "chain_routing")
+                        .set("algorithm", c.name)
+                        .set("k", k)
+                        .set("engine",
+                             routing::engine_name(
+                                 routing::EngineKind::kImplicit))
+                        .set("chains", l3.num_paths)
+                        .set("l3_max_hits", l3.max_hits)
+                        .set("l3_bound", l3.bound)
+                        .set("l4_exact", l4)
+                        .set("t2_max_vertex_hits", t2.max_vertex_hits)
+                        .set("t2_max_meta_hits", t2.max_meta_hits)
+                        .set("t2_bound", t2.bound)
+                        .set("ok", run_ok)
+                        .set("seconds", secs)
+                        .set("max_rss_bytes", obs::max_rss_bytes());
+        std::string speed = "-";
+        if (memo_run.has_value()) {
+          const bool identical =
+              l3.num_paths == memo_run->l3.num_paths &&
+              l3.max_hits == memo_run->l3.max_hits &&
+              l3.bound == memo_run->l3.bound &&
+              l3.argmax == memo_run->l3.argmax && l4 == memo_run->l4 &&
+              t2.num_paths == memo_run->t2.num_paths &&
+              t2.max_vertex_hits == memo_run->t2.max_vertex_hits &&
+              t2.argmax_vertex == memo_run->t2.argmax_vertex &&
+              t2.max_meta_hits == memo_run->t2.max_meta_hits &&
+              t2.bound == memo_run->t2.bound &&
+              t2.root_hit_property == memo_run->t2.root_hit_property;
+          const double speedup = secs > 0 ? memo_run->secs / secs : 0.0;
+          rec.set("counts_bit_identical", identical).set("speedup", speedup);
+          speed = fmt_fixed(speedup, 1) + "x";
+          if (!identical) {
+            std::fprintf(stderr,
+                         "DIVERGENCE: %s k=%d implicit chain stats differ "
+                         "from memo\n",
+                         c.name.c_str(), k);
+            failed = true;
+          }
+        }
+        if (!run_ok) failed = true;
+        table.add_row(
+            {c.name, std::to_string(k),
+             routing::engine_name(routing::EngineKind::kImplicit),
+             fmt_count(l3.num_paths), fmt_count(l3.max_hits),
+             fmt_count(l3.bound), l4 ? "yes" : "NO",
+             fmt_count(t2.max_vertex_hits), fmt_count(t2.max_meta_hits),
+             fmt_count(t2.bound), run_ok ? "OK" : "VIOLATED",
+             fmt_fixed(secs, 2), speed});
+      }
     }
   }
   table.print(std::cout);
@@ -253,14 +349,18 @@ int main(int argc, char** argv) {
   if (opt.full_catalog) add_catalog_cases(decode_cases, 3, true);
 
   for (const Case& raw : decode_cases) {
-    const Case c = capped(opt, raw);
+    const ActiveCase c = capped(opt, raw);
     const auto alg = bilinear::by_name(c.name);
     const routing::ChainRouter router(alg);
     const routing::DecodeRouter decoder(alg);
     const routing::MemoRoutingEngine memo(router, decoder);
-    for (int k = 1; k <= std::max(c.kmax_brute, c.kmax_memo); ++k) {
-      const cdag::Cdag graph(alg, k, {.with_coefficients = false});
-      const cdag::SubComputation sub(graph, k, 0);
+    for (int k = 1; k <= c.kmax(); ++k) {
+      std::optional<cdag::Cdag> graph;
+      std::optional<cdag::SubComputation> sub;
+      if (k <= c.kmax_brute || k <= c.kmax_memo) {
+        graph.emplace(alg, k, cdag::CdagOptions{.with_coefficients = false});
+        sub.emplace(*graph, k, 0);
+      }
 
       struct DecodeRun {
         std::vector<std::uint64_t> hits;
@@ -272,8 +372,8 @@ int main(int argc, char** argv) {
       if (k <= c.kmax_brute) {
         bench::Stopwatch timer;
         DecodeRun run;
-        run.hits = routing::count_decode_hits(decoder, sub);
-        const auto& layout = graph.layout();
+        run.hits = routing::count_decode_hits(decoder, *sub);
+        const auto& layout = graph->layout();
         run.stats.num_paths = layout.pow_b()(k) * layout.pow_a()(k);
         run.stats.bound =
             static_cast<std::uint64_t>(decoder.d1_size()) *
@@ -290,8 +390,8 @@ int main(int argc, char** argv) {
       if (k <= c.kmax_memo) {
         bench::Stopwatch timer;
         DecodeRun run;
-        run.hits = memo.decode_hits(sub);
-        run.stats = memo.verify_decode_routing(sub);
+        run.hits = memo.decode_hits(*sub);
+        run.stats = memo.verify_decode_routing(*sub);
         run.secs = timer.seconds();
         memo_run.emplace(std::move(run));
       }
@@ -307,7 +407,8 @@ int main(int argc, char** argv) {
                         .set("max_hits", run.stats.max_hits)
                         .set("bound", run.stats.bound)
                         .set("ok", run.stats.ok())
-                        .set("seconds", run.secs);
+                        .set("seconds", run.secs)
+                        .set("max_rss_bytes", obs::max_rss_bytes());
         std::string speed = "-";
         if (kind == routing::EngineKind::kMemo && brute.has_value()) {
           const bool identical = hits_equal(run.hits, brute->hits) &&
@@ -337,6 +438,55 @@ int main(int argc, char** argv) {
       };
       if (brute) emit(*brute, routing::EngineKind::kBrute);
       if (memo_run) emit(*memo_run, routing::EngineKind::kMemo);
+
+      if (k <= c.kmax_implicit) {
+        bench::Stopwatch timer;
+        const cdag::ImplicitCdag iview(alg, k);
+        const routing::HitStats stats =
+            memo.verify_decode_routing(iview, k, 0);
+        const double secs = timer.seconds();
+        auto& rec = json.add_record()
+                        .set("experiment", "decode_routing")
+                        .set("algorithm", c.name)
+                        .set("k", k)
+                        .set("engine",
+                             routing::engine_name(
+                                 routing::EngineKind::kImplicit))
+                        .set("paths", stats.num_paths)
+                        .set("max_hits", stats.max_hits)
+                        .set("bound", stats.bound)
+                        .set("ok", stats.ok())
+                        .set("seconds", secs)
+                        .set("max_rss_bytes", obs::max_rss_bytes());
+        std::string speed = "-";
+        if (memo_run.has_value()) {
+          const bool identical =
+              stats.num_paths == memo_run->stats.num_paths &&
+              stats.max_hits == memo_run->stats.max_hits &&
+              stats.bound == memo_run->stats.bound &&
+              stats.argmax == memo_run->stats.argmax;
+          const double speedup = secs > 0 ? memo_run->secs / secs : 0.0;
+          rec.set("counts_bit_identical", identical).set("speedup", speedup);
+          speed = fmt_fixed(speedup, 1) + "x";
+          if (!identical) {
+            std::fprintf(stderr,
+                         "DIVERGENCE: %s k=%d implicit decode stats differ "
+                         "from memo\n",
+                         c.name.c_str(), k);
+            failed = true;
+          }
+        }
+        if (!stats.ok()) failed = true;
+        claim1.add_row(
+            {c.name, std::to_string(k),
+             routing::engine_name(routing::EngineKind::kImplicit),
+             fmt_count(stats.num_paths), fmt_count(stats.max_hits),
+             fmt_count(stats.bound),
+             fmt_fixed(static_cast<double>(stats.bound) /
+                           static_cast<double>(stats.max_hits),
+                       1),
+             stats.ok() ? "OK" : "VIOLATED", fmt_fixed(secs, 2), speed});
+      }
     }
   }
   claim1.print(std::cout);

@@ -3,20 +3,27 @@
 //   ./routing_explorer --alg=strassen --k=3
 //   ./routing_explorer --alg=laderman --k=2 --show-chain
 //   ./routing_explorer --alg=strassen --k=2 --engine=brute
+//   ./routing_explorer --alg=strassen --k=10 --engine=implicit
 //   ./routing_explorer --alg=strassen --k=2 --dot=paths.dot
 //
 // Prints the Theorem-3 base matching, the Lemma-3 / Theorem-2 hit
 // statistics for G_k (via the memoized closed-form engine by default,
-// or --engine=brute for the enumerating oracle), and optionally walks
-// one concrete chain and one concatenated In->Out path, naming every
-// vertex it passes. --dot writes those two sample paths as a DOT edge
-// overlay for graphviz.
+// --engine=brute for the enumerating oracle, or --engine=implicit for
+// the constant-memory virtual-CDAG engine, which never materializes
+// G_k and so reaches k = 10+), and optionally walks one concrete chain
+// and one concatenated In->Out path, naming every vertex it passes.
+// --dot writes those two sample paths as a DOT edge overlay for
+// graphviz. --show-chain and --dot build the explicit CDAG even under
+// --engine=implicit (the sample paths live in a materialized graph),
+// so keep k small when combining them.
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "pathrouting/bilinear/catalog.hpp"
 #include "pathrouting/cdag/cdag.hpp"
+#include "pathrouting/cdag/implicit.hpp"
 #include "pathrouting/routing/concat_routing.hpp"
 #include "pathrouting/routing/memo_routing.hpp"
 #include "pathrouting/routing/path_store.hpp"
@@ -48,14 +55,18 @@ int main(int argc, char** argv) {
       cli.flag_bool("show-chain", false, "print a sample chain and path");
   const std::string engine =
       cli.flag_str("engine", "memo",
-                   "verification engine: memo (closed forms) or brute "
-                   "(path enumeration)");
+                   "verification engine: memo (closed forms), brute "
+                   "(path enumeration), or implicit (constant memory, "
+                   "no materialized CDAG)");
   const std::string dot_file =
       cli.flag_str("dot", "", "write the sample chain and Lemma-4 path "
                               "as a DOT overlay to this file");
   cli.finish("Explore the Theorem-2 routing of a Strassen-like CDAG.");
-  if (engine != "memo" && engine != "brute") {
-    std::fprintf(stderr, "--engine must be memo or brute\n");
+  if (engine != "memo" && engine != "brute" && engine != "implicit") {
+    std::fprintf(stderr,
+                 "unknown engine \"%s\" (valid engines: memo, brute, "
+                 "implicit)\n",
+                 engine.c_str());
     return 2;
   }
 
@@ -83,21 +94,35 @@ int main(int argc, char** argv) {
     }
   }
 
-  const cdag::Cdag graph(alg, k, {.with_coefficients = false});
-  const cdag::SubComputation sub(graph, k, 0);
+  // The implicit engine needs no materialized graph; only the sample
+  // paths (--show-chain / --dot) do.
+  const bool need_paths = show_chain || !dot_file.empty();
+  std::optional<cdag::Cdag> graph;
+  std::optional<cdag::SubComputation> sub;
+  if (engine != "implicit" || need_paths) {
+    graph.emplace(alg, k, cdag::CdagOptions{.with_coefficients = false});
+    sub.emplace(*graph, k, 0);
+  }
   const routing::MemoRoutingEngine memo(router);
-  const bool use_memo = engine == "memo";
-  const auto l3 = use_memo ? memo.verify_chain_routing(sub)
-                           : routing::verify_chain_routing(router, sub);
+  routing::HitStats l3;
+  routing::FullRoutingStats t2;
+  if (engine == "implicit") {
+    const cdag::ImplicitCdag view(alg, k);
+    l3 = memo.verify_chain_routing(view, k, 0);
+    t2 = memo.verify_full_routing(view, k, 0);
+  } else if (engine == "memo") {
+    l3 = memo.verify_chain_routing(*sub);
+    t2 = memo.verify_full_routing(*sub);
+  } else {
+    l3 = routing::verify_chain_routing(router, *sub);
+    t2 = routing::verify_full_routing_aggregated(router, *sub);
+  }
   std::printf("\nLemma 3 on G_%d (%s engine): %llu chains, busiest vertex "
               "hit %llu times (bound 2*n0^k = %llu) -> %s\n",
               k, engine.c_str(), static_cast<unsigned long long>(l3.num_paths),
               static_cast<unsigned long long>(l3.max_hits),
               static_cast<unsigned long long>(l3.bound),
               l3.ok() ? "holds" : "VIOLATED");
-  const auto t2 = use_memo
-                      ? memo.verify_full_routing(sub)
-                      : routing::verify_full_routing_aggregated(router, sub);
   std::printf("Theorem 2 on G_%d: %llu In x Out paths, busiest vertex %llu, "
               "busiest meta-vertex %llu (bound 6*a^k = %llu) -> %s\n",
               k, static_cast<unsigned long long>(t2.num_paths),
@@ -106,18 +131,18 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(t2.bound),
               t2.ok() ? "holds" : "VIOLATED");
 
-  if (show_chain || !dot_file.empty()) {
-    const auto& layout = graph.layout();
+  if (need_paths) {
+    const auto& layout = graph->layout();
     routing::PathStore store;
     store.add_path([&](std::vector<cdag::VertexId>& out) {
-      router.append_chain(sub, bilinear::Side::A, 0,
+      router.append_chain(*sub, bilinear::Side::A, 0,
                           routing::guaranteed_output(layout, k,
                                                      bilinear::Side::A, 0, 1),
                           out);
     });
     store.add_path([&](std::vector<cdag::VertexId>& out) {
-      routing::append_full_path(router, sub, bilinear::Side::A, 0,
-                                sub.inputs_per_side() - 1, out);
+      routing::append_full_path(router, *sub, bilinear::Side::A, 0,
+                                sub->inputs_per_side() - 1, out);
     });
     if (show_chain) {
       std::printf("\nChain for the guaranteed dependence (first A-input -> "

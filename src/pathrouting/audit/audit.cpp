@@ -8,6 +8,7 @@
 #include "pathrouting/audit/audit.hpp"
 #include "pathrouting/audit/internal.hpp"
 #include "pathrouting/bilinear/analysis.hpp"
+#include "pathrouting/cdag/implicit.hpp"
 #include "pathrouting/routing/concat_routing.hpp"
 #include "pathrouting/routing/hall.hpp"
 #include "pathrouting/schedule/schedules.hpp"
@@ -22,6 +23,13 @@ AuditReport run_all(const cdag::Cdag& cdag, const RunAllOptions& options) {
   const RuleSelection& selection = options.selection;
 
   AuditReport report = audit_cdag(cdag, selection);
+
+  if (!cdag.grouped_duplicates() && r >= 1) {
+    // The implicit view models the ungrouped Section-3 builder output;
+    // reconcile it against this very graph (cdag.view-consistency).
+    const cdag::ImplicitCdag implicit(alg, r);
+    report.merge(audit_view_consistency(implicit, cdag, selection));
+  }
 
   if (options.with_routing) {
     const std::optional<routing::BaseMatching> mu_a =
@@ -79,6 +87,7 @@ AuditReport run_all(const cdag::Cdag& cdag, const RunAllOptions& options) {
           engine.emplace(router);
         }
         report.merge(audit_memo_routing(*engine, sub, selection));
+        report.merge(audit_implicit_routing(*engine, sub, selection));
       }
       if (r >= 2 && bilinear::lemma1_precondition(alg)) {
         const int kf = std::min(r - 2, 1);

@@ -74,6 +74,24 @@ AuditReport audit_cdag(const CdagView& view,
 AuditReport audit_cdag(const cdag::Cdag& cdag,
                        const RuleSelection& selection = RuleSelection::all());
 
+/// Structural audit through the polymorphic cdag::CdagView (NOT the
+/// borrowed-span audit::CdagView above). Explicit-backed views delegate
+/// to the exhaustive suite; implicit views run the per-vertex subset of
+/// the cdag.* rules over a deterministic sample, and the clauses that
+/// need whole-graph arrays (the meta-root membership recount) are
+/// skipped with a kNote instead of silently passing.
+AuditReport audit_cdag_view(
+    const cdag::CdagView& view,
+    const RuleSelection& selection = RuleSelection::all());
+
+/// cdag.view-consistency: exhaustive per-vertex comparison of a view
+/// against an explicit reference Cdag of the same (algorithm, r) —
+/// degrees, neighbor lists (order-sensitive), copy parents, meta
+/// tables, and the edge count must be bit-identical.
+AuditReport audit_view_consistency(
+    const cdag::CdagView& view, const cdag::Cdag& reference,
+    const RuleSelection& selection = RuleSelection::all());
+
 /// The PathFamily view of an arena-backed store: the CSR shapes
 /// coincide, so no copying. Expectations (bounds, lengths, counts) stay
 /// zeroed; set them on the returned view before auditing.
@@ -109,6 +127,15 @@ AuditReport audit_memo_chain_counts(
 /// decoder — the Claim-1 totals and congestion of the memoized decode
 /// array.
 AuditReport audit_memo_routing(
+    const routing::MemoRoutingEngine& engine, const cdag::SubComputation& sub,
+    const RuleSelection& selection = RuleSelection::all());
+
+/// routing.implicit-match: the constant-memory implicit engine path
+/// (addressing G_k^prefix by (k, prefix) through a view) must reproduce
+/// the array-backed memoized certificates of `sub` field for field —
+/// chain stats, the Lemma-4 multiplicity verdict, Theorem-2 stats, and
+/// (when the engine has a decoder) decode stats.
+AuditReport audit_implicit_routing(
     const routing::MemoRoutingEngine& engine, const cdag::SubComputation& sub,
     const RuleSelection& selection = RuleSelection::all());
 

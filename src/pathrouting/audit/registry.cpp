@@ -42,6 +42,11 @@ constexpr RuleInfo kRules[] = {
      "every edge preserves the recursion-path prefix, so the middle "
      "2(k+1) ranks decompose into b^(r-k) vertex-disjoint G_k copies",
      "Fact 1"},
+    {"cdag.view-consistency",
+     "an implicit CdagView synthesizes degrees, neighbor lists, copy "
+     "parents, meta tables, and the edge count bit-identical to the "
+     "explicit CSR reference",
+     "Section 3, Fact 1 (implicit representation)"},
 
     // Rules over routed path families.
     {"routing.path-edges",
@@ -69,6 +74,11 @@ constexpr RuleInfo kRules[] = {
      "2*a^k*n0^k chains of 2k+2 vertices each, D_1 visit totals for the "
      "decode zig-zags, and recorded max/argmax matching the array",
      "Lemmas 3-4, Claim 1 (certificate totals)"},
+    {"routing.implicit-match",
+     "the constant-memory implicit engine reproduces the array-backed "
+     "memoized certificates field for field: chain, Lemma-4 "
+     "multiplicity, Theorem-2, and decode stats including max/argmax",
+     "Lemmas 3-4, Theorem 2, Claim 1"},
 
     // Fact-1 copy renamings (the memoized engine's translation maps).
     {"fact1.copy-blocks",

@@ -6,21 +6,29 @@
 
 namespace pathrouting::bounds {
 
-DisjointFamily build_disjoint_family(const Cdag& cdag, int k) {
-  const cdag::Layout& layout = cdag.layout();
+DisjointFamily build_disjoint_family(const cdag::CdagView& view, int k) {
+  const cdag::Layout& layout = view.layout();
   PR_REQUIRE(k >= 0 && k <= layout.r() - 2);
-  PR_REQUIRE_MSG(bilinear::lemma1_precondition(cdag.algorithm()),
+  PR_REQUIRE_MSG(bilinear::lemma1_precondition(view.algorithm()),
                  "Lemma 1 precondition fails: one encoding is all copies");
   DisjointFamily family;
   family.k = k;
   family.guaranteed = layout.pow_b()(layout.r() - k - 2);
   const std::uint64_t num_subs = layout.pow_b()(layout.r() - k);
+  const int in_rank = layout.r() - k;
+  const std::uint64_t inputs_per_side = layout.pow_a()(k);
   std::unordered_set<cdag::VertexId> used_roots;
   used_roots.reserve(1 << 20);
   std::vector<cdag::VertexId> roots;
   for (std::uint64_t i = 0; i < num_subs; ++i) {
-    const cdag::SubComputation sub(cdag, k, i);
-    roots = sub.input_meta_roots();
+    // SubComputation::input_meta_roots, addressed through the view: the
+    // copy's inputs are enc(side, r-k, prefix, p), A side then B.
+    roots.clear();
+    for (const cdag::Side side : {cdag::Side::A, cdag::Side::B}) {
+      for (std::uint64_t p = 0; p < inputs_per_side; ++p) {
+        roots.push_back(view.meta_root(layout.enc(side, in_rank, i, p)));
+      }
+    }
     bool clash = false;
     for (const cdag::VertexId root : roots) {
       if (used_roots.contains(root)) {
@@ -33,6 +41,10 @@ DisjointFamily build_disjoint_family(const Cdag& cdag, int k) {
     family.prefixes.push_back(i);
   }
   return family;
+}
+
+DisjointFamily build_disjoint_family(const Cdag& cdag, int k) {
+  return build_disjoint_family(cdag::ExplicitView(cdag), k);
 }
 
 }  // namespace pathrouting::bounds

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "pathrouting/cdag/subcomputation.hpp"
+#include "pathrouting/cdag/view.hpp"
 
 namespace pathrouting::bounds {
 
@@ -28,7 +29,10 @@ struct DisjointFamily {
 
 /// Greedy maximal family of mutually input-disjoint G_k^i (first-fit in
 /// prefix order). Requires 0 <= k <= r-2 (Lemma 1's hypothesis) and the
-/// Lemma 1 precondition on the base algorithm.
+/// Lemma 1 precondition on the base algorithm. The view form only needs
+/// meta_root on the copies' input addresses, so it runs on implicit
+/// graphs too; the Cdag form wraps it and is bit-identical.
+DisjointFamily build_disjoint_family(const cdag::CdagView& view, int k);
 DisjointFamily build_disjoint_family(const Cdag& cdag, int k);
 
 }  // namespace pathrouting::bounds

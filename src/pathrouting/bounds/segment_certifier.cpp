@@ -9,7 +9,8 @@ namespace pathrouting::bounds {
 namespace {
 
 using cdag::Cdag;
-using cdag::Graph;
+using cdag::CdagView;
+using cdag::ExplicitView;
 using cdag::Layout;
 using bilinear::Side;
 
@@ -19,43 +20,45 @@ struct MetaMembers {
   std::vector<VertexId> members;
 };
 
-MetaMembers group_by_root(const Cdag& cdag) {
-  const VertexId n = cdag.graph().num_vertices();
+MetaMembers group_by_root(const CdagView& view) {
+  const VertexId n = static_cast<VertexId>(view.num_vertices());
   MetaMembers groups;
   groups.off.assign(static_cast<std::size_t>(n) + 1, 0);
-  for (VertexId v = 0; v < n; ++v) ++groups.off[cdag.meta_root(v) + 1];
+  for (VertexId v = 0; v < n; ++v) ++groups.off[view.meta_root(v) + 1];
   for (VertexId v = 0; v < n; ++v) groups.off[v + 1] += groups.off[v];
   groups.members.resize(n);
   std::vector<std::uint32_t> cursor(groups.off.begin(), groups.off.end() - 1);
   for (VertexId v = 0; v < n; ++v) {
-    groups.members[cursor[cdag.meta_root(v)]++] = v;
+    groups.members[cursor[view.meta_root(v)]++] = v;
   }
   return groups;
 }
 
 /// Shared segment-walk driver. `counted[root]` is the number of counted
 /// vertices in each meta-vertex (0 or 1); `boundary_size(seg_roots,
-/// seg_id)` computes the boundary of the closed segment.
+/// seg_id)` computes the boundary of the closed segment. Adjacency goes
+/// through the view, so the walk needs no CSR arrays — only its own
+/// O(num_vertices) stamps (a schedule is that long regardless).
 template <typename BoundaryFn>
-CertifyResult walk_segments(const Cdag& cdag,
+CertifyResult walk_segments(const CdagView& view,
                             std::span<const VertexId> schedule,
                             std::uint64_t s_bar_target,
                             const std::vector<std::uint8_t>& counted,
                             const BoundaryFn& boundary_size) {
   CertifyResult result;
   result.s_bar_target = s_bar_target;
-  const Graph& graph = cdag.graph();
-  const VertexId n = graph.num_vertices();
+  const VertexId n = static_cast<VertexId>(view.num_vertices());
   std::vector<std::uint32_t> in_s_stamp(n, 0);
   std::vector<std::uint32_t> computed_stamp(n, 0);
   std::vector<std::uint32_t> rv_stamp(n, 0);
+  std::vector<VertexId> in_scratch, out_scratch;
   std::vector<VertexId> seg_roots;
   std::uint32_t seg_start = 0;
   std::uint32_t seg_id = 1;
   std::uint64_t s_bar = 0;
   for (std::uint32_t s = 0; s < schedule.size(); ++s) {
     computed_stamp[schedule[s]] = seg_id;
-    const VertexId root = cdag.meta_root(schedule[s]);
+    const VertexId root = view.meta_root(schedule[s]);
     if (in_s_stamp[root] != seg_id) {
       in_s_stamp[root] = seg_id;
       seg_roots.push_back(root);
@@ -74,14 +77,14 @@ CertifyResult walk_segments(const Cdag& cdag,
       std::uint64_t rv = 0, wv = 0;
       for (std::uint32_t t = seg_start; t <= s; ++t) {
         const VertexId v = schedule[t];
-        for (const VertexId p : graph.in(v)) {
+        for (const VertexId p : view.in(v, in_scratch)) {
           if (computed_stamp[p] != seg_id && rv_stamp[p] != seg_id) {
             rv_stamp[p] = seg_id;
             ++rv;
           }
         }
-        bool used_later = graph.out_degree(v) == 0;  // outputs persist
-        for (const VertexId q : graph.out(v)) {
+        bool used_later = view.out_degree(v) == 0;  // outputs persist
+        for (const VertexId q : view.out(v, out_scratch)) {
           if (computed_stamp[q] != seg_id) {
             used_later = true;
             break;
@@ -133,12 +136,11 @@ std::vector<std::uint32_t> CertifyResult::segment_ends(
   return ends;
 }
 
-CertifyResult certify_segments(const Cdag& cdag,
+CertifyResult certify_segments(const CdagView& view,
                                std::span<const VertexId> schedule,
                                const CertifyParams& params) {
   const obs::TraceSpan span("certify.segments");
-  const Layout& layout = cdag.layout();
-  const Graph& graph = cdag.graph();
+  const Layout& layout = view.layout();
   PR_REQUIRE(params.cache_size >= 1);
   const std::uint64_t target = params.s_bar_target != 0
                                    ? params.s_bar_target
@@ -151,32 +153,34 @@ CertifyResult certify_segments(const Cdag& cdag,
                  "need a^k >= 2 |S_bar| for the half-rank argument");
   PR_REQUIRE_MSG(k <= layout.r() - 2, "need k <= r-2 (Lemma 1)");
 
-  const DisjointFamily family = build_disjoint_family(cdag, k);
+  const DisjointFamily family = build_disjoint_family(view, k);
   // Counted vertices: inputs and outputs of the family's members. By
   // Lemma 2 their meta-vertices are all distinct — asserted below.
-  std::vector<std::uint8_t> counted(graph.num_vertices(), 0);
+  std::vector<std::uint8_t> counted(view.num_vertices(), 0);
   std::uint64_t counted_total = 0;
+  const int in_rank = layout.r() - k;
+  const std::uint64_t per_side = layout.pow_a()(k);
   for (const std::uint64_t prefix : family.prefixes) {
-    const cdag::SubComputation sub(cdag, k, prefix);
     const auto count_vertex = [&](VertexId v) {
-      const VertexId root = cdag.meta_root(v);
+      const VertexId root = view.meta_root(v);
       PR_ASSERT_MSG(!counted[root],
                     "two counted vertices share a meta-vertex (Lemma 2)");
       counted[root] = 1;
       ++counted_total;
     };
     for (const Side side : {Side::A, Side::B}) {
-      for (std::uint64_t p = 0; p < sub.inputs_per_side(); ++p) {
-        count_vertex(sub.input(side, p));
+      for (std::uint64_t p = 0; p < per_side; ++p) {
+        count_vertex(layout.enc(side, in_rank, prefix, p));
       }
     }
-    for (std::uint64_t p = 0; p < sub.inputs_per_side(); ++p) {
-      count_vertex(sub.output(p));
+    for (std::uint64_t p = 0; p < per_side; ++p) {
+      count_vertex(layout.dec(k, prefix, p));
     }
   }
 
-  const MetaMembers groups = group_by_root(cdag);
-  std::vector<std::uint32_t> boundary_stamp(graph.num_vertices(), 0);
+  const MetaMembers groups = group_by_root(view);
+  std::vector<std::uint32_t> boundary_stamp(view.num_vertices(), 0);
+  std::vector<VertexId> in_scratch, out_scratch;
   // Meta-level boundary in the Definition-1 style: R'(S') = meta-
   // vertices OUTSIDE S' feeding into it (each must be staged into cache
   // during the segment), plus W'(S') = meta-vertices INSIDE S' with a
@@ -193,8 +197,8 @@ CertifyResult certify_segments(const Cdag& cdag,
       bool writes_out = false;
       for (std::uint32_t i = groups.off[root]; i < groups.off[root + 1]; ++i) {
         const VertexId member = groups.members[i];
-        for (const VertexId p : graph.in(member)) {
-          const VertexId nb_root = cdag.meta_root(p);
+        for (const VertexId p : view.in(member, in_scratch)) {
+          const VertexId nb_root = view.meta_root(p);
           if (in_s_stamp[nb_root] != seg_id &&
               boundary_stamp[nb_root] != seg_id) {
             boundary_stamp[nb_root] = seg_id;
@@ -202,8 +206,8 @@ CertifyResult certify_segments(const Cdag& cdag,
           }
         }
         if (!writes_out) {
-          for (const VertexId q : graph.out(member)) {
-            if (in_s_stamp[cdag.meta_root(q)] != seg_id) {
+          for (const VertexId q : view.out(member, out_scratch)) {
+            if (in_s_stamp[view.meta_root(q)] != seg_id) {
               writes_out = true;
               break;
             }
@@ -216,7 +220,7 @@ CertifyResult certify_segments(const Cdag& cdag,
   };
 
   CertifyResult result =
-      walk_segments(cdag, schedule, target, counted, boundary);
+      walk_segments(view, schedule, target, counted, boundary);
   result.k = k;
   result.family_size = family.prefixes.size();
   result.family_guaranteed = family.guaranteed;
@@ -228,12 +232,17 @@ CertifyResult certify_segments(const Cdag& cdag,
   return result;
 }
 
-CertifyResult certify_segments_decode_only(const Cdag& cdag,
+CertifyResult certify_segments(const Cdag& cdag,
+                               std::span<const VertexId> schedule,
+                               const CertifyParams& params) {
+  return certify_segments(ExplicitView(cdag), schedule, params);
+}
+
+CertifyResult certify_segments_decode_only(const CdagView& view,
                                            std::span<const VertexId> schedule,
                                            const CertifyParams& params) {
   const obs::TraceSpan span("certify.segments_decode_only");
-  const Layout& layout = cdag.layout();
-  const Graph& graph = cdag.graph();
+  const Layout& layout = view.layout();
   PR_REQUIRE(params.cache_size >= 1);
   const std::uint64_t target = params.s_bar_target != 0
                                    ? params.s_bar_target
@@ -248,22 +257,23 @@ CertifyResult certify_segments_decode_only(const Cdag& cdag,
 
   // Counted: every vertex on decoding rank k. The decoding graph never
   // copies, so each sits alone in its meta-vertex.
-  std::vector<std::uint8_t> counted(graph.num_vertices(), 0);
+  std::vector<std::uint8_t> counted(view.num_vertices(), 0);
   std::uint64_t counted_total = 0;
   const std::uint64_t num_q = layout.pow_b()(layout.r() - k);
   const std::uint64_t num_p = layout.pow_a()(k);
   for (std::uint64_t q = 0; q < num_q; ++q) {
     for (std::uint64_t p = 0; p < num_p; ++p) {
       const VertexId v = layout.dec(k, q, p);
-      PR_ASSERT(cdag.meta_root(v) == v);
+      PR_ASSERT(view.meta_root(v) == v);
       counted[v] = 1;
       ++counted_total;
     }
   }
 
-  const MetaMembers groups = group_by_root(cdag);
-  std::vector<std::uint32_t> vertex_in_s(graph.num_vertices(), 0);
-  std::vector<std::uint32_t> boundary_stamp(graph.num_vertices(), 0);
+  const MetaMembers groups = group_by_root(view);
+  std::vector<std::uint32_t> vertex_in_s(view.num_vertices(), 0);
+  std::vector<std::uint32_t> boundary_stamp(view.num_vertices(), 0);
+  std::vector<VertexId> in_scratch, out_scratch;
   // Vertex-level boundary delta(S) = R(S) u W(S), where S is the
   // meta-closure of the segment's computed vertices.
   const auto boundary = [&](const std::vector<VertexId>& seg_roots,
@@ -279,14 +289,14 @@ CertifyResult certify_segments_decode_only(const Cdag& cdag,
       for (std::uint32_t i = groups.off[root]; i < groups.off[root + 1]; ++i) {
         const VertexId member = groups.members[i];
         // R(S): predecessors outside S.
-        for (const VertexId p : graph.in(member)) {
+        for (const VertexId p : view.in(member, in_scratch)) {
           if (vertex_in_s[p] != seg_id && boundary_stamp[p] != seg_id) {
             boundary_stamp[p] = seg_id;
             ++size;
           }
         }
         // W(S): members with a successor outside S.
-        for (const VertexId q : graph.out(member)) {
+        for (const VertexId q : view.out(member, out_scratch)) {
           if (vertex_in_s[q] != seg_id) {
             if (boundary_stamp[member] != seg_id) {
               boundary_stamp[member] = seg_id;
@@ -302,7 +312,7 @@ CertifyResult certify_segments_decode_only(const Cdag& cdag,
   };
 
   CertifyResult result =
-      walk_segments(cdag, schedule, target, counted, boundary);
+      walk_segments(view, schedule, target, counted, boundary);
   result.k = k;
   result.counted_total = counted_total;
   static obs::Counter obs_runs("certify.runs");
@@ -312,8 +322,14 @@ CertifyResult certify_segments_decode_only(const Cdag& cdag,
   return result;
 }
 
+CertifyResult certify_segments_decode_only(const Cdag& cdag,
+                                           std::span<const VertexId> schedule,
+                                           const CertifyParams& params) {
+  return certify_segments_decode_only(ExplicitView(cdag), schedule, params);
+}
+
 std::vector<CertifyResult> certify_segments_batch(
-    const cdag::Cdag& cdag, std::span<const CertifyJob> jobs) {
+    const CdagView& view, std::span<const CertifyJob> jobs) {
   std::vector<CertifyResult> results(jobs.size());
   // Each job re-derives its own family/grouping/stamps and writes only
   // its slot; grain 1 so long and short certifications interleave.
@@ -322,12 +338,17 @@ std::vector<CertifyResult> certify_segments_batch(
         for (std::uint64_t i = lo; i < hi; ++i) {
           const CertifyJob& job = jobs[i];
           results[i] = job.decode_only
-                           ? certify_segments_decode_only(cdag, job.schedule,
+                           ? certify_segments_decode_only(view, job.schedule,
                                                           job.params)
-                           : certify_segments(cdag, job.schedule, job.params);
+                           : certify_segments(view, job.schedule, job.params);
         }
       });
   return results;
+}
+
+std::vector<CertifyResult> certify_segments_batch(
+    const cdag::Cdag& cdag, std::span<const CertifyJob> jobs) {
+  return certify_segments_batch(ExplicitView(cdag), jobs);
 }
 
 }  // namespace pathrouting::bounds

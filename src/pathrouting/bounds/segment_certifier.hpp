@@ -27,6 +27,7 @@
 
 #include "pathrouting/bounds/disjoint_family.hpp"
 #include "pathrouting/cdag/cdag.hpp"
+#include "pathrouting/cdag/view.hpp"
 
 namespace pathrouting::bounds {
 
@@ -76,11 +77,21 @@ struct CertifyParams {
 };
 
 /// Section 6 certifier (meta-vertex boundary, input-disjoint family).
+/// The view form synthesizes every adjacency/meta query on demand, so
+/// it certifies schedules over implicit CDAGs without the O(num_edges)
+/// CSR arrays (stamp arrays stay O(num_vertices), which a schedule
+/// implies anyway); the Cdag form wraps it and is bit-identical.
+CertifyResult certify_segments(const cdag::CdagView& view,
+                               std::span<const VertexId> schedule,
+                               const CertifyParams& params);
 CertifyResult certify_segments(const cdag::Cdag& cdag,
                                std::span<const VertexId> schedule,
                                const CertifyParams& params);
 
 /// Section 5 certifier (vertex boundary, decoding-rank counting).
+CertifyResult certify_segments_decode_only(const cdag::CdagView& view,
+                                           std::span<const VertexId> schedule,
+                                           const CertifyParams& params);
 CertifyResult certify_segments_decode_only(const cdag::Cdag& cdag,
                                            std::span<const VertexId> schedule,
                                            const CertifyParams& params);
@@ -98,6 +109,8 @@ struct CertifyJob {
 /// certification walk already owns its stamp arrays and only reads the
 /// shared CDAG, so jobs run on the pool with results written to fixed
 /// slots — results[i] is bit-identical to running jobs[i] alone.
+std::vector<CertifyResult> certify_segments_batch(
+    const cdag::CdagView& view, std::span<const CertifyJob> jobs);
 std::vector<CertifyResult> certify_segments_batch(
     const cdag::Cdag& cdag, std::span<const CertifyJob> jobs);
 

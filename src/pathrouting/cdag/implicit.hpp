@@ -1,0 +1,105 @@
+// The Fact-1 virtual CDAG: every CdagView query of G_r synthesized on
+// demand from the base algorithm's sparse rows and mixed-radix index
+// arithmetic, with no O(b^r) allocation.
+//
+// The builder (builder.cpp) emits G_r from three local stencils — the
+// encoding rows of U/V, the product gates, and the decoding rows of W —
+// applied at every (recursion path, Morton position) pair. Those
+// stencils ARE the graph: for a vertex decoded to (layer, rank, q⃗, p⃗),
+// its neighbors, copy parent, and meta-subtree size are closed-form in
+// the digits of q⃗ and p⃗. ImplicitCdag precomputes only the O(a + b)
+// sparse row/column tables and answers every query in O(degree + r)
+// time, so the only size limit left is Layout's id space
+// (num_vertices < 2^32) — for Strassen that is r = 10 and ~2 * 10^9
+// vertices, where the explicit CSR build (num_edges < 2^32) aborted at
+// r = 8 and would need ~200 GiB at r = 10.
+//
+// Answers are bit-identical to ExplicitView over Cdag(alg, r,
+// {.with_coefficients = false}) — pinned by tests/test_implicit_cdag
+// for the whole catalog wherever the explicit build still fits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pathrouting/cdag/view.hpp"
+
+namespace pathrouting::cdag {
+
+class ImplicitCdag final : public CdagView {
+ public:
+  /// Virtual G_r. Enforces the same base-graph preconditions as the
+  /// explicit builder (no zero encoding rows, no trivial decoding
+  /// rows), so an ImplicitCdag exists exactly when Cdag would.
+  ImplicitCdag(BilinearAlgorithm alg, int r);
+
+  [[nodiscard]] const BilinearAlgorithm& algorithm() const override {
+    return alg_;
+  }
+  [[nodiscard]] const Layout& layout() const override { return layout_; }
+  [[nodiscard]] ViewCapabilities capabilities() const override {
+    return {};  // structure only: no CSR arrays, coefficients, grouping
+  }
+  [[nodiscard]] std::uint64_t num_edges() const override {
+    return num_edges_;
+  }
+
+  [[nodiscard]] std::uint32_t in_degree(VertexId v) const override;
+  [[nodiscard]] std::uint32_t out_degree(VertexId v) const override;
+  [[nodiscard]] std::span<const VertexId> in(
+      VertexId v, std::vector<VertexId>& scratch) const override;
+  [[nodiscard]] std::span<const VertexId> out(
+      VertexId v, std::vector<VertexId>& scratch) const override;
+  [[nodiscard]] bool has_edge(VertexId from, VertexId to) const override;
+  [[nodiscard]] VertexId copy_parent(VertexId v) const override;
+  [[nodiscard]] VertexId meta_root(VertexId v) const override;
+  [[nodiscard]] std::uint32_t meta_size(VertexId v) const override;
+
+  /// #trivial encoding rows of `side` selecting input entry d (the
+  /// fan-out of one copy step; drives meta_size and the implicit
+  /// Theorem-2 accounting in routing/memo_routing).
+  [[nodiscard]] std::span<const std::uint32_t> trivial_fanout(
+      Side side) const {
+    return side == Side::A ? fan_a_ : fan_b_;
+  }
+  /// True iff encoding row q of `side` is trivial (one coefficient, 1).
+  [[nodiscard]] bool trivial_row(Side side, int q) const {
+    return (side == Side::A ? triv_a_ : triv_b_)[static_cast<std::size_t>(q)] !=
+           0;
+  }
+
+ private:
+  struct SparseRows {
+    std::vector<std::uint32_t> off;      // |rows|+1 prefix offsets
+    std::vector<std::uint32_t> indices;  // nonzero positions, ascending
+    [[nodiscard]] std::span<const std::uint32_t> row(std::uint64_t i) const {
+      return {indices.data() + off[i], indices.data() + off[i + 1]};
+    }
+    [[nodiscard]] std::uint32_t nnz(std::uint64_t i) const {
+      return off[i + 1] - off[i];
+    }
+  };
+
+  [[nodiscard]] const SparseRows& enc_rows(Side side) const {
+    return side == Side::A ? u_rows_ : v_rows_;
+  }
+  [[nodiscard]] const SparseRows& enc_cols(Side side) const {
+    return side == Side::A ? u_cols_ : v_cols_;
+  }
+  /// copy_parent for an address known to be an encoding vertex at rank
+  /// t >= 1 (kInvalidVertex when row q mod b is nontrivial).
+  [[nodiscard]] VertexId enc_copy_parent(Side side, int t, std::uint64_t q,
+                                         std::uint64_t p) const;
+
+  BilinearAlgorithm alg_;
+  Layout layout_;
+  std::uint64_t num_edges_ = 0;
+  SparseRows u_rows_, v_rows_, w_rows_;  // by row: U/V over entries, W over products
+  SparseRows u_cols_, v_cols_, w_cols_;  // transposed: out-neighbor stencils
+  std::vector<std::uint8_t> triv_a_, triv_b_;    // row trivial? (size b)
+  std::vector<std::uint32_t> copy_src_a_, copy_src_b_;  // trivial row's entry
+  std::vector<std::uint32_t> fan_a_, fan_b_;     // T_side[d] (size a)
+};
+
+}  // namespace pathrouting::cdag

@@ -7,6 +7,10 @@
 #include <memory>
 #include <mutex>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace pathrouting::obs {
 
 namespace internal {
@@ -160,6 +164,20 @@ void clear_spans() {
   Registry& reg = registry();
   const std::lock_guard<std::mutex> lock(reg.mutex);
   for (const auto& log : reg.logs) log->spans.clear();
+}
+
+std::uint64_t max_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB
+#endif
+#else
+  return 0;
+#endif
 }
 
 }  // namespace pathrouting::obs

@@ -137,4 +137,13 @@ struct SpanRecord {
 /// Drops all completed spans (open spans are unaffected).
 void clear_spans();
 
+/// Peak resident set size of the process in bytes (getrusage
+/// ru_maxrss; 0 on platforms without it). Monotonic over the process
+/// lifetime, so a bench record that should bound a workload's memory
+/// must be stamped right after that workload and before any larger
+/// one. Benches store it as the standard record field
+/// "max_rss_bytes"; pr_bench_gate treats that field as run-dependent
+/// (never compared against a baseline).
+[[nodiscard]] std::uint64_t max_rss_bytes();
+
 }  // namespace pathrouting::obs

@@ -56,10 +56,114 @@ std::vector<std::vector<std::uint64_t>> prefix_products(
   return p;
 }
 
+/// One equivalence class of recursion-path words of a fixed length:
+/// all words sharing the (wrapped) prefix products of M_A and M_B have
+/// identical hit counts on every rank they index, so per class only the
+/// products and the smallest representative word (for smallest-id
+/// argmax tie-breaks) are needed. Keyed std::map for a deterministic
+/// iteration order.
+using DigitStates = std::map<std::pair<std::uint64_t, std::uint64_t>,
+                             std::uint64_t>;
+
+/// The class sets for word lengths 0..k. Multiplication composes per
+/// digit, so level t refines level t-1 by one ascending digit — exactly
+/// the left-fold the canonical prefix_products tables wrap under, which
+/// keeps every class product bit-identical to the table entries.
+std::vector<DigitStates> wrapped_state_levels(
+    const std::vector<std::uint64_t>& m_a,
+    const std::vector<std::uint64_t>& m_b, int b, int k) {
+  std::vector<DigitStates> levels(static_cast<std::size_t>(k) + 1);
+  levels[0].emplace(std::make_pair(std::uint64_t{1}, std::uint64_t{1}), 0);
+  for (int t = 1; t <= k; ++t) {
+    DigitStates& next = levels[static_cast<std::size_t>(t)];
+    for (const auto& [key, word] : levels[static_cast<std::size_t>(t) - 1]) {
+      for (int d = 0; d < b; ++d) {
+        const std::pair<std::uint64_t, std::uint64_t> nk{
+            key.first * m_a[static_cast<std::size_t>(d)],
+            key.second * m_b[static_cast<std::size_t>(d)]};
+        const std::uint64_t nw =
+            word * static_cast<std::uint64_t>(b) + static_cast<std::uint64_t>(d);
+        const auto [it, inserted] = next.emplace(nk, nw);
+        if (!inserted && nw < it->second) it->second = nw;
+      }
+    }
+    PR_REQUIRE_MSG(next.size() <= (std::size_t{1} << 20),
+                   "digit-state classes exploded; implicit engine assumes "
+                   "few distinct matched-pair products");
+  }
+  return levels;
+}
+
+/// The canonical-G_k chain-hit extremum (max and FIRST local vertex id
+/// attaining it), scaled by `mult`, without the array: ranks are walked
+/// in local id order (encA 0..k, encB 0..k, dec 0..k) and within a rank
+/// the count is constant in the position word, so per rank the winner
+/// is the best class (largest value, then smallest word) at position 0.
+/// Strict > across ranks keeps the earliest id, matching the explicit
+/// v = 0..n scan even when wraparound reorders values.
+struct LocalExtremum {
+  std::uint64_t max = 0;
+  VertexId argmax = 0;
+};
+
+LocalExtremum scan_copy_extremum(const Layout& local,
+                                 const std::vector<DigitStates>& levels,
+                                 const std::vector<std::uint64_t>& pow_n0,
+                                 std::uint64_t mult) {
+  const int k = local.r();
+  LocalExtremum ext;
+  const auto rank_best = [&](int len,
+                             const auto& value) -> std::pair<std::uint64_t,
+                                                             std::uint64_t> {
+    std::uint64_t best_val = 0, best_word = 0;
+    bool have = false;
+    for (const auto& [key, word] : levels[static_cast<std::size_t>(len)]) {
+      const std::uint64_t val = value(key);
+      if (!have || val > best_val || (val == best_val && word < best_word)) {
+        have = true;
+        best_val = val;
+        best_word = word;
+      }
+    }
+    return {best_val, best_word};
+  };
+  for (const Side side : {Side::A, Side::B}) {
+    for (int t = 0; t <= k; ++t) {
+      const auto [val, word] = rank_best(t, [&](const auto& key) {
+        const std::uint64_t p = side == Side::A ? key.first : key.second;
+        return mult * (p * pow_n0[static_cast<std::size_t>(k - t)]);
+      });
+      if (val > ext.max) {
+        ext.max = val;
+        ext.argmax = local.enc(side, t, word, 0);
+      }
+    }
+  }
+  for (int t = 0; t <= k; ++t) {
+    const auto [val, word] = rank_best(k - t, [&](const auto& key) {
+      return mult *
+             ((key.first + key.second) * pow_n0[static_cast<std::size_t>(t)]);
+    });
+    if (val > ext.max) {
+      ext.max = val;
+      ext.argmax = local.dec(t, word, 0);
+    }
+  }
+  return ext;
+}
+
 }  // namespace
 
 const char* engine_name(EngineKind kind) {
-  return kind == EngineKind::kMemo ? "memo" : "brute";
+  switch (kind) {
+    case EngineKind::kBrute:
+      return "brute";
+    case EngineKind::kMemo:
+      return "memo";
+    case EngineKind::kImplicit:
+      return "implicit";
+  }
+  PR_UNREACHABLE();
 }
 
 struct MemoRoutingEngine::CanonicalCounts {
@@ -80,7 +184,30 @@ MemoRoutingEngine::MemoRoutingEngine(const ChainRouter& router)
       mu_a_(router.matching(Side::A)),
       mu_b_(router.matching(Side::B)),
       m_a_(matched_pair_counts(alg_, Side::A, mu_a_)),
-      m_b_(matched_pair_counts(alg_, Side::B, mu_b_)) {}
+      m_b_(matched_pair_counts(alg_, Side::B, mu_b_)) {
+  // Trivial (single-coefficient-1) encoding rows, i.e. the builder's
+  // copy vertices: the implicit Theorem-2 accounting needs them for the
+  // root-hit and meta-root conditions.
+  triv_a_.assign(static_cast<std::size_t>(alg_.b()), 0);
+  triv_b_.assign(static_cast<std::size_t>(alg_.b()), 0);
+  for (int q = 0; q < alg_.b(); ++q) {
+    for (const Side side : {Side::A, Side::B}) {
+      int nnz = 0, entry = 0;
+      for (int d = 0; d < alg_.a(); ++d) {
+        const auto& c = side == Side::A ? alg_.u(q, d) : alg_.v(q, d);
+        if (!c.is_zero()) {
+          ++nnz;
+          entry = d;
+        }
+      }
+      const bool trivial =
+          nnz == 1 && (side == Side::A ? alg_.u(q, entry).is_one()
+                                       : alg_.v(q, entry).is_one());
+      auto& triv = side == Side::A ? triv_a_ : triv_b_;
+      triv[static_cast<std::size_t>(q)] = trivial ? 1 : 0;
+    }
+  }
+}
 
 MemoRoutingEngine::MemoRoutingEngine(const ChainRouter& router,
                                      const DecodeRouter& decoder)
@@ -238,6 +365,10 @@ HitStats MemoRoutingEngine::verify_chain_routing(
 bool MemoRoutingEngine::verify_chain_multiplicities(
     const SubComputation& sub) const {
   check_sub(sub);
+  return chain_multiplicities_ok();
+}
+
+bool MemoRoutingEngine::chain_multiplicities_ok() const {
   const int n0 = alg_.n0();
   const int a = alg_.a();
   // Role-resolved use counters of the 2*a*n0 guaranteed digit chains:
@@ -321,6 +452,180 @@ HitStats MemoRoutingEngine::verify_decode_routing(
                 std::max(global.pow_a()(k), global.pow_b()(k));
   stats.max_hits = cc.decode_max;
   stats.argmax = map.to_global(cc.decode_argmax);
+  return stats;
+}
+
+void MemoRoutingEngine::check_view(const cdag::CdagView& view, int k,
+                                   std::uint64_t prefix) const {
+  const Layout& layout = view.layout();
+  PR_REQUIRE_MSG(layout.n0() == alg_.n0() && layout.b() == alg_.b(),
+                 "view belongs to a different base algorithm");
+  PR_REQUIRE_MSG(k >= 1 && k <= layout.r(),
+                 "implicit engine routes G_k copies with 1 <= k <= r");
+  PR_REQUIRE_MSG(prefix < layout.pow_b()(layout.r() - k),
+                 "copy prefix out of range");
+}
+
+HitStats MemoRoutingEngine::verify_chain_routing(const cdag::CdagView& view,
+                                                 int k,
+                                                 std::uint64_t prefix) const {
+  check_view(view, k, prefix);
+  const obs::TraceSpan span("memo.implicit_chain");
+  const Layout& global = view.layout();
+  const Layout local(alg_.n0(), alg_.b(), k);
+  const auto levels = wrapped_state_levels(m_a_, m_b_, alg_.b(), k);
+  const auto pow_n0 = pow_n0_table(alg_.n0(), k);
+  const LocalExtremum ext = scan_copy_extremum(local, levels, pow_n0, 1);
+  HitStats stats;
+  stats.num_paths = 2 * global.pow_a()(k) * guaranteed_fanout(global, k);
+  stats.bound = 2 * guaranteed_fanout(global, k);
+  stats.max_hits = ext.max;
+  // Copy blocks are monotone in both id spaces and counts vanish
+  // outside the copy, so the local smallest-id argmax translates.
+  stats.argmax = CopyTranslation(global, k, prefix).to_global(ext.argmax);
+  return stats;
+}
+
+bool MemoRoutingEngine::verify_chain_multiplicities(
+    const cdag::CdagView& view, int k, std::uint64_t prefix) const {
+  check_view(view, k, prefix);
+  return chain_multiplicities_ok();
+}
+
+FullRoutingStats MemoRoutingEngine::verify_full_routing(
+    const cdag::CdagView& view, int k, std::uint64_t prefix) const {
+  check_view(view, k, prefix);
+  const obs::TraceSpan span("memo.implicit_full");
+  const Layout& global = view.layout();
+  const int r = global.r();
+  const std::uint64_t b = static_cast<std::uint64_t>(alg_.b());
+  const Layout local(alg_.n0(), alg_.b(), k);
+  const auto levels = wrapped_state_levels(m_a_, m_b_, alg_.b(), k);
+  const auto pow_n0 = pow_n0_table(alg_.n0(), k);
+  const std::uint64_t mult = 3 * guaranteed_fanout(global, k);  // 3 * n0^k
+
+  FullRoutingStats stats;
+  stats.bound = 6 * global.pow_a()(k);
+  stats.num_paths = 2 * global.pow_a()(k) * global.pow_a()(k);
+
+  const LocalExtremum ext = scan_copy_extremum(local, levels, pow_n0, mult);
+  stats.max_vertex_hits = ext.max;
+  // The explicit path scans the whole global hit array; counts are zero
+  // outside the copy, so a positive max is first attained at the
+  // translated local argmax (and a zero max leaves argmax at vertex 0).
+  stats.argmax_vertex =
+      ext.max == 0 ? 0
+                   : CopyTranslation(global, k, prefix).to_global(ext.argmax);
+
+  // Root-hit monotonicity along copy edges. Inside the copy, the edge
+  // enc(t, q_hi*b + q_c, p) -> enc(t-1, q_hi, ...) with trivial row q_c
+  // compares P_{t-1}*M[q_c]*n0^(k-t) against P_{t-1}*n0^(k-t+1) for
+  // every realizable prefix-product class. At the copy boundary
+  // (local rank 0, r > k), a trivial last prefix digit hangs the copy's
+  // inputs (n0^k hits) off a zero-hit parent outside the copy — a
+  // guaranteed violation the explicit global scan also reports.
+  if (r > k && (triv_a_[prefix % b] != 0 || triv_b_[prefix % b] != 0)) {
+    stats.root_hit_property = false;
+  }
+  for (const Side side : {Side::A, Side::B}) {
+    const auto& m = side == Side::A ? m_a_ : m_b_;
+    const auto& triv = side == Side::A ? triv_a_ : triv_b_;
+    for (int t = 1; t <= k; ++t) {
+      for (std::uint64_t q_c = 0; q_c < b; ++q_c) {
+        if (triv[q_c] == 0) continue;
+        for (const auto& entry : levels[static_cast<std::size_t>(t) - 1]) {
+          const auto& key = entry.first;
+          const std::uint64_t p = side == Side::A ? key.first : key.second;
+          const std::uint64_t child =
+              (p * m[q_c]) * pow_n0[static_cast<std::size_t>(k - t)];
+          const std::uint64_t parent =
+              p * pow_n0[static_cast<std::size_t>(k - t) + 1];
+          if (child > parent) stats.root_hit_property = false;
+        }
+      }
+    }
+  }
+
+  // Meta-vertex hits: the duplicated meta-roots with nonzero counts are
+  // encoding vertices of the copy whose last path digit is nontrivial
+  // (or local inputs, roots unless the copy boundary continues their
+  // row chain) and whose position word can pick up a fanned digit —
+  // possible iff the side has a trivial row and the word is nonempty
+  // (local rank < k). Counts are position-independent, so classes again
+  // suffice; everything outside the copy contributes zero, like in the
+  // explicit scan.
+  for (const Side side : {Side::A, Side::B}) {
+    const auto& m = side == Side::A ? m_a_ : m_b_;
+    const auto& triv = side == Side::A ? triv_a_ : triv_b_;
+    const bool has_trivial =
+        std::find(triv.begin(), triv.end(), std::uint8_t{1}) != triv.end();
+    if (!has_trivial) continue;
+    if (r == k || triv[prefix % b] == 0) {
+      stats.max_meta_hits =
+          std::max(stats.max_meta_hits,
+                   mult * pow_n0[static_cast<std::size_t>(k)]);
+    }
+    for (int t = 1; t < k; ++t) {
+      for (std::uint64_t q = 0; q < b; ++q) {
+        if (triv[q] != 0) continue;
+        for (const auto& entry : levels[static_cast<std::size_t>(t) - 1]) {
+          const auto& key = entry.first;
+          const std::uint64_t p = side == Side::A ? key.first : key.second;
+          stats.max_meta_hits = std::max(
+              stats.max_meta_hits,
+              mult * ((p * m[q]) * pow_n0[static_cast<std::size_t>(k - t)]));
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+HitStats MemoRoutingEngine::verify_decode_routing(const cdag::CdagView& view,
+                                                  int k,
+                                                  std::uint64_t prefix) const {
+  check_view(view, k, prefix);
+  PR_REQUIRE_MSG(has_decoder(),
+                 "engine was constructed without a DecodeRouter");
+  const obs::TraceSpan span("memo.implicit_decode");
+  const Layout& global = view.layout();
+  const Layout local(alg_.n0(), alg_.b(), k);
+  const auto& pa = local.pow_a();
+  const auto& pb = local.pow_b();
+  const std::uint64_t a = static_cast<std::uint64_t>(alg_.a());
+  const std::uint64_t b = static_cast<std::uint64_t>(alg_.b());
+  // Decode counts depend only on (rank, last path digit, leading
+  // position digit); scanning those residues in id order of their
+  // smallest representatives reproduces the canonical array scan.
+  std::uint64_t max = 0;
+  VertexId argmax = 0;
+  const auto consider = [&](std::uint64_t val, VertexId id) {
+    if (val > max) {
+      max = val;
+      argmax = id;
+    }
+  };
+  for (std::uint64_t x = 0; x < b; ++x) {
+    consider((a + cpint_[x]) * pa(k - 1), local.dec(0, x, 0));
+  }
+  for (int t = 1; t < k; ++t) {
+    for (std::uint64_t x = 0; x < b; ++x) {
+      const std::uint64_t down = cpint_[x] * pb(t) * pa(k - t - 1);
+      for (std::uint64_t y = 0; y < a; ++y) {
+        consider(down + co_[y] * pb(t - 1) * pa(k - t),
+                 local.dec(t, x, y * pa(t - 1)));
+      }
+    }
+  }
+  for (std::uint64_t y = 0; y < a; ++y) {
+    consider(co_[y] * pb(k - 1), local.dec(k, 0, y * pa(k - 1)));
+  }
+  HitStats stats;
+  stats.num_paths = global.pow_b()(k) * global.pow_a()(k);
+  stats.bound = static_cast<std::uint64_t>(decoder_->d1_size()) *
+                std::max(global.pow_a()(k), global.pow_b()(k));
+  stats.max_hits = max;
+  stats.argmax = CopyTranslation(global, k, prefix).to_global(argmax);
   return stats;
 }
 

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "pathrouting/cdag/layout.hpp"
+#include "pathrouting/cdag/view.hpp"
 #include "pathrouting/routing/chain_routing.hpp"
 #include "pathrouting/routing/concat_routing.hpp"
 #include "pathrouting/routing/decode_routing.hpp"
@@ -56,7 +57,7 @@ namespace pathrouting::routing {
 
 /// Which verification engine produced a result (benchmarks and audit
 /// reports tag their records with this).
-enum class EngineKind { kBrute, kMemo };
+enum class EngineKind { kBrute, kMemo, kImplicit };
 [[nodiscard]] const char* engine_name(EngineKind kind);
 
 class MemoRoutingEngine {
@@ -96,6 +97,31 @@ class MemoRoutingEngine {
   [[nodiscard]] HitStats verify_decode_routing(
       const cdag::SubComputation& sub) const;
 
+  /// Constant-memory (implicit-engine) counterparts of the verifiers
+  /// above. They address the copy G_k^prefix inside `view` directly by
+  /// (k, prefix) — a SubComputation needs a materialized Cdag, which is
+  /// exactly what this path avoids — and never allocate a per-vertex
+  /// array: within a rank the hit counts depend only on the wrapped
+  /// prefix products of the recursion-path digits, so one DP over
+  /// digit-state classes (pairs of wrapped products, with the smallest
+  /// representative word per class) reproduces the canonical scans —
+  /// max, smallest-id argmax, Theorem-2 root/meta accounting — in
+  /// O(k * b * #states) time and memory. Results are bit-identical to
+  /// the array-backed overloads for every k where both run, including
+  /// uint64 wraparound and argmax tie-breaking (enforced by the audit
+  /// rule routing.implicit-match and tests/test_implicit_cdag).
+  [[nodiscard]] HitStats verify_chain_routing(const cdag::CdagView& view,
+                                              int k,
+                                              std::uint64_t prefix) const;
+  [[nodiscard]] bool verify_chain_multiplicities(const cdag::CdagView& view,
+                                                 int k,
+                                                 std::uint64_t prefix) const;
+  [[nodiscard]] FullRoutingStats verify_full_routing(
+      const cdag::CdagView& view, int k, std::uint64_t prefix) const;
+  [[nodiscard]] HitStats verify_decode_routing(const cdag::CdagView& view,
+                                               int k,
+                                               std::uint64_t prefix) const;
+
   /// Closed-form certificate totals (audit rule routing.memo-totals):
   /// 2 * a^k * n0^k chains of 2k+2 vertices each, and b^k * a^k
   /// zig-zags whose total length follows from the D_1 path lengths.
@@ -110,11 +136,16 @@ class MemoRoutingEngine {
   struct CanonicalCounts;
   [[nodiscard]] const CanonicalCounts& canonical(int k) const;
   void check_sub(const cdag::SubComputation& sub) const;
+  void check_view(const cdag::CdagView& view, int k,
+                  std::uint64_t prefix) const;
+  /// Lemma 4's digit-level accounting, shared by both overloads.
+  [[nodiscard]] bool chain_multiplicities_ok() const;
 
   BilinearAlgorithm alg_;
   BaseMatching mu_a_;
   BaseMatching mu_b_;
   std::vector<std::uint64_t> m_a_, m_b_;   // M_side[q], size b
+  std::vector<std::uint8_t> triv_a_, triv_b_;  // trivial encoding rows
   std::optional<DecodeRouter> decoder_;
   std::vector<std::uint64_t> cpint_, co_;  // decode D_1 visit tables
   std::uint64_t cpint_sum_ = 0, co_sum_ = 0;

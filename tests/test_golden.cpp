@@ -27,6 +27,7 @@
 
 #include "pathrouting/bilinear/analysis.hpp"
 #include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/cdag/implicit.hpp"
 #include "pathrouting/routing/concat_routing.hpp"
 #include "pathrouting/routing/decode_routing.hpp"
 #include "pathrouting/routing/memo_routing.hpp"
@@ -64,6 +65,50 @@ void append_matching(std::ostringstream& os, const char* label,
   os << '\n';
 }
 
+/// Implicit-engine certificate lines for k = 1..kmax_implicit. The
+/// constant-memory verifiers pin their stats (argmax vertex ids
+/// included) well past the explicit vertex budget; equality with the
+/// array-backed engine below that budget is enforced by
+/// tests/test_implicit_cdag and the routing.implicit-match audit rule,
+/// so these lines freeze the deep-k values no other engine reaches.
+void append_implicit(std::ostringstream& os,
+                     const routing::MemoRoutingEngine& memo,
+                     const bilinear::BilinearAlgorithm& alg,
+                     int kmax_implicit) {
+  // Layout's own limit, computed without constructing one (the ctor
+  // aborts past 32-bit vertex ids): sum_t 2 b^t a^(r-t) + b^(r-t) a^t.
+  const auto fits_vertex_ids = [&](int r) {
+    unsigned __int128 total = 0;
+    for (int t = 0; t <= r; ++t) {
+      unsigned __int128 enc = 2, dec = 1;
+      for (int i = 0; i < t; ++i) enc *= alg.b(), dec *= alg.a();
+      for (int i = t; i < r; ++i) enc *= alg.a(), dec *= alg.b();
+      total += enc + dec;
+      if (total >= cdag::kInvalidVertex) return false;
+    }
+    return true;
+  };
+  for (int k = 1; k <= kmax_implicit; ++k) {
+    if (!fits_vertex_ids(k)) break;
+    const cdag::ImplicitCdag view(alg, k);
+    const routing::HitStats l3 = memo.verify_chain_routing(view, k, 0);
+    const routing::FullRoutingStats t2 =
+        memo.verify_full_routing(view, k, 0);
+    os << "implicit k " << k << " chains " << l3.num_paths << " l3_max "
+       << l3.max_hits << " l3_argmax " << l3.argmax << " l4 "
+       << memo.verify_chain_multiplicities(view, k, 0) << " t2_max "
+       << t2.max_vertex_hits << " t2_argmax " << t2.argmax_vertex
+       << " t2_meta " << t2.max_meta_hits << " root "
+       << t2.root_hit_property;
+    if (memo.has_decoder()) {
+      const routing::HitStats d = memo.verify_decode_routing(view, k, 0);
+      os << " decode_paths " << d.num_paths << " decode_max " << d.max_hits
+         << " decode_argmax " << d.argmax;
+    }
+    os << "\n";
+  }
+}
+
 /// The full golden text for one algorithm — the generator the corpus
 /// was created with, and the reference every run is diffed against.
 std::string golden_text(const std::string& name, int kmax) {
@@ -95,6 +140,7 @@ std::string golden_text(const std::string& name, int kmax) {
          << " t2_bound " << t2.bound << " chain_fnv " << fnv1a(counts.hits)
          << "\n";
     }
+    append_implicit(os, memo, alg, kmax + 6);
     return os.str();
   }
   const routing::DecodeRouter decoder(alg);
@@ -119,6 +165,7 @@ std::string golden_text(const std::string& name, int kmax) {
        << stats.max_hits << " decode_bound " << stats.bound << " decode_fnv "
        << fnv1a(hits) << "\n";
   }
+  append_implicit(os, memo, alg, kmax + 6);
   return os.str();
 }
 
