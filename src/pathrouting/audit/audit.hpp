@@ -199,6 +199,29 @@ AuditReport audit_schedule(
     const cdag::Graph& graph, std::span<const VertexId> order,
     const RuleSelection& selection = RuleSelection::all());
 
+/// What the certificate service is about to hand out: the payload
+/// words plus the digests they are supposed to re-digest to. Spans
+/// only — the audit layer does not link the service, so the service
+/// can link the audit layer and run this on every response.
+struct ServedCertificateView {
+  std::span<const std::uint64_t> payload;
+  /// Digest recorded in the certificate's own header at build/load.
+  std::uint64_t recorded_digest = 0;
+  /// Digest the store indexed under the content address (0 = the key
+  /// is not in the store, e.g. a memory-only compute; the clause is
+  /// skipped).
+  std::uint64_t store_digest = 0;
+};
+
+/// service.cert-digest-match: re-digests the payload with the shared
+/// FNV-1a definition (support/digest.hpp) and requires it to equal the
+/// header digest and — when present — the store's indexed digest. A
+/// certificate whose counts drifted from its content address must
+/// never be served.
+AuditReport audit_served_certificate(
+    const ServedCertificateView& served,
+    const RuleSelection& selection = RuleSelection::all());
+
 /// One-stop audit used by pr_lint and the debug hooks: the CDAG
 /// structural suite plus, where applicable, Hall matchings (both
 /// sides), chain/concatenation routing at a small k, decode routing

@@ -151,6 +151,13 @@ constexpr RuleInfo kRules[] = {
     {"schedule.coverage",
      "the schedule computes every non-input vertex",
      "machine model (Section 2)"},
+
+    // Serving layer (certificate store integrity).
+    {"service.cert-digest-match",
+     "a served certificate's payload words re-digest (FNV-1a) to the "
+     "digest recorded in its header and to the digest the store indexed "
+     "under its content address",
+     "Lemmas 3-4, Theorem 2, Claim 1 (served certificate integrity)"},
 };
 
 bool matches(std::string_view id_or_prefix, std::string_view rule_id) {

@@ -1,0 +1,39 @@
+// The serving-layer rule: a certificate leaving the service must still
+// digest to its content address. The counts in a certificate ARE the
+// paper's verification outcomes (Lemmas 3-4, Theorem 2, Claim 1), so a
+// payload that no longer matches the digest it was stored under is a
+// corrupted claim, not a stale cache entry.
+#include <sstream>
+
+#include "pathrouting/audit/audit.hpp"
+#include "pathrouting/audit/internal.hpp"
+#include "pathrouting/support/digest.hpp"
+
+namespace pathrouting::audit {
+
+AuditReport audit_served_certificate(const ServedCertificateView& served,
+                                     const RuleSelection& selection) {
+  constexpr std::string_view kRule = "service.cert-digest-match";
+  AuditReport report;
+  internal::Findings findings;
+  const std::uint64_t fresh = support::fnv1a_words(served.payload);
+  if (fresh != served.recorded_digest) {
+    std::ostringstream os;
+    os << "payload re-digests to " << fresh
+       << " but the certificate header records " << served.recorded_digest;
+    findings.add(internal::error_counts(kRule, os.str(),
+                                        served.recorded_digest, fresh));
+  }
+  if (served.store_digest != 0 && fresh != served.store_digest) {
+    std::ostringstream os;
+    os << "payload re-digests to " << fresh
+       << " but the store indexed digest " << served.store_digest
+       << " under this content address";
+    findings.add(
+        internal::error_counts(kRule, os.str(), served.store_digest, fresh));
+  }
+  internal::flush(report, selection, kRule, std::move(findings));
+  return report;
+}
+
+}  // namespace pathrouting::audit

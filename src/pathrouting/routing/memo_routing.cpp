@@ -1,6 +1,7 @@
 #include "pathrouting/routing/memo_routing.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "pathrouting/obs/obs.hpp"
 
@@ -246,11 +247,13 @@ const MemoRoutingEngine::CanonicalCounts& MemoRoutingEngine::canonical(
     int k) const {
   static obs::Counter obs_hits("memo.canonical_cache_hits");
   static obs::Counter obs_misses("memo.canonical_cache_misses");
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = cache_.find(k);
-  if (it != cache_.end()) {
-    obs_hits.add();
-    return *it->second;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto it = cache_.find(k);
+    if (it != cache_.end()) {
+      obs_hits.add();
+      return *it->second;
+    }
   }
   obs_misses.add();
   const obs::TraceSpan span("memo.canonical_fill");
@@ -330,7 +333,26 @@ const MemoRoutingEngine::CanonicalCounts& MemoRoutingEngine::canonical(
     }
   }
 
+  // The fill above ran outside the lock so concurrent readers of other
+  // ranks were never blocked; a racing thread may have inserted the
+  // same k first, in which case its (bit-identical) entry wins and this
+  // candidate is dropped.
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   return *cache_.emplace(k, std::move(cc)).first->second;
+}
+
+std::span<const std::uint64_t> MemoRoutingEngine::canonical_chain_hit_array(
+    int k) const {
+  PR_REQUIRE_MSG(k >= 1, "canonical arrays exist for k >= 1");
+  return canonical(k).chain_hits;
+}
+
+std::span<const std::uint64_t> MemoRoutingEngine::canonical_decode_hit_array(
+    int k) const {
+  PR_REQUIRE_MSG(k >= 1, "canonical arrays exist for k >= 1");
+  PR_REQUIRE_MSG(has_decoder(),
+                 "engine was constructed without a DecodeRouter");
+  return canonical(k).decode_hits;
 }
 
 ChainHitCounts MemoRoutingEngine::chain_hits(const SubComputation& sub) const {

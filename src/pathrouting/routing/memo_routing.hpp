@@ -43,8 +43,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
+#include <shared_mutex>
+#include <span>
 #include <vector>
 
 #include "pathrouting/cdag/layout.hpp"
@@ -130,9 +131,29 @@ class MemoRoutingEngine {
   [[nodiscard]] std::uint64_t expected_num_decode_paths(int k) const;
   [[nodiscard]] std::uint64_t expected_decode_total_hits(int k) const;
 
+  /// The canonical G_k per-vertex hit arrays themselves (local ids of
+  /// the standalone canonical layout). For the whole-graph
+  /// subcomputation sub(G_k, k, 0) the Fact-1 translation is the
+  /// identity, so these are bit-identical to chain_hits(sub).hits /
+  /// decode_hits(sub) — the certificate service digests them without
+  /// ever materializing a CDAG. The spans stay valid for the engine's
+  /// lifetime (cache entries are never evicted).
+  [[nodiscard]] std::span<const std::uint64_t> canonical_chain_hit_array(
+      int k) const;
+  /// Requires has_decoder().
+  [[nodiscard]] std::span<const std::uint64_t> canonical_decode_hit_array(
+      int k) const;
+
  private:
-  /// Per-k canonical G_k hit arrays, computed once under a lock and
-  /// cached for the engine's lifetime.
+  /// Per-k canonical G_k hit arrays, computed once and cached for the
+  /// engine's lifetime. Concurrent-reader-safe: lookups take a shared
+  /// lock, a miss fills a candidate OUTSIDE any lock (two racing
+  /// threads may both compute — the fill is deterministic, so the
+  /// loser's identical candidate is discarded) and inserts under the
+  /// exclusive lock. Entries are heap-allocated and never evicted, so
+  /// returned references remain stable without holding the lock — the
+  /// property the certificate service relies on to serve concurrent
+  /// requests from one shared engine arena.
   struct CanonicalCounts;
   [[nodiscard]] const CanonicalCounts& canonical(int k) const;
   void check_sub(const cdag::SubComputation& sub) const;
@@ -149,7 +170,7 @@ class MemoRoutingEngine {
   std::optional<DecodeRouter> decoder_;
   std::vector<std::uint64_t> cpint_, co_;  // decode D_1 visit tables
   std::uint64_t cpint_sum_ = 0, co_sum_ = 0;
-  mutable std::mutex mutex_;
+  mutable std::shared_mutex mutex_;
   mutable std::map<int, std::unique_ptr<CanonicalCounts>> cache_;
 };
 

@@ -1,0 +1,99 @@
+#include "pathrouting/service/protocol.hpp"
+
+#include <sstream>
+
+#include "pathrouting/support/check.hpp"
+
+namespace pathrouting::service {
+
+Command parse_command(const std::string& line) {
+  std::istringstream is(line);
+  std::string word;
+  if (!(is >> word) || word[0] == '#') {
+    return Command{CommandType::kEmpty, {}, {}};
+  }
+  const auto bad = [](std::string msg) {
+    return Command{CommandType::kBad, {}, std::move(msg)};
+  };
+  if (word == "batch") return Command{CommandType::kBatch, {}, {}};
+  if (word == "end") return Command{CommandType::kBatchEnd, {}, {}};
+  if (word == "stats") return Command{CommandType::kStats, {}, {}};
+  if (word == "quit") return Command{CommandType::kQuit, {}, {}};
+  if (word != "get") {
+    return bad("unknown command '" + word + "' (expected get/batch/end/"
+               "stats/quit)");
+  }
+  Command cmd;
+  cmd.type = CommandType::kGet;
+  std::string kind_word;
+  if (!(is >> cmd.request.algorithm >> cmd.request.k >> kind_word)) {
+    return bad("usage: get <algorithm> <k> <kind>");
+  }
+  const std::optional<CertKind> kind = kind_from_name(kind_word);
+  if (!kind.has_value()) {
+    return bad("unknown certificate kind '" + kind_word +
+               "' (expected chain/decode/full/segment)");
+  }
+  cmd.request.kind = *kind;
+  std::string extra;
+  if (is >> extra) return bad("trailing input after get request");
+  return cmd;
+}
+
+std::string format_response(const Request& request, const Response& response) {
+  if (!response.ok) return "error " + response.error;
+  const Certificate& cert = response.certificate;
+  PR_ASSERT(cert.words.size() == payload_word_count(cert.kind));
+  std::ostringstream os;
+  os << "cert alg=" << request.algorithm << " k=" << cert.k
+     << " kind=" << kind_name(cert.kind)
+     << " cached=" << (response.from_cache ? 1 : 0)
+     << " engine=" << cert.engine_version << " digest=" << cert.payload_digest;
+  const auto& w = cert.words;
+  switch (cert.kind) {
+    case CertKind::kChain:
+      os << " chains=" << w[kChainNumChains] << " l3_max=" << w[kChainL3MaxHits]
+         << " l3_bound=" << w[kChainL3Bound]
+         << " l3_argmax=" << w[kChainL3Argmax] << " l4=" << w[kChainL4Exact]
+         << " hit_fnv=" << w[kChainHitDigest]
+         << " has_fnv=" << w[kChainHasHitDigest];
+      break;
+    case CertKind::kDecode:
+      os << " decode_paths=" << w[kDecodeNumPaths]
+         << " decode_max=" << w[kDecodeMaxHits]
+         << " decode_bound=" << w[kDecodeBound]
+         << " decode_argmax=" << w[kDecodeArgmax]
+         << " hit_fnv=" << w[kDecodeHitDigest]
+         << " has_fnv=" << w[kDecodeHasHitDigest];
+      break;
+    case CertKind::kFull:
+      os << " t2_paths=" << w[kFullNumPaths]
+         << " t2_max=" << w[kFullMaxVertexHits]
+         << " t2_argmax=" << w[kFullArgmaxVertex]
+         << " t2_meta=" << w[kFullMaxMetaHits] << " t2_bound=" << w[kFullBound]
+         << " root=" << w[kFullRootHitProperty]
+         << " hit_fnv=" << w[kFullHitDigest]
+         << " has_fnv=" << w[kFullHasHitDigest];
+      break;
+    case CertKind::kSegment:
+      os << " cert_k=" << w[kSegmentCertK]
+         << " s_bar=" << w[kSegmentSBarTarget]
+         << " counted=" << w[kSegmentCountedTotal]
+         << " complete=" << w[kSegmentCompleteSegments]
+         << " m=" << w[kSegmentCacheSize] << " eq=" << w[kSegmentEqHolds]
+         << " schedule=" << w[kSegmentScheduleSize];
+      break;
+  }
+  return os.str();
+}
+
+std::string format_stats(const ServiceMetrics& m) {
+  std::ostringstream os;
+  os << "stats requests=" << m.requests << " store_hits=" << m.store_hits
+     << " computed=" << m.computed << " inflight_waits=" << m.inflight_waits
+     << " batches=" << m.batches << " batched_requests=" << m.batched_requests
+     << " errors=" << m.errors << " inflight_peak=" << m.inflight_peak;
+  return os.str();
+}
+
+}  // namespace pathrouting::service

@@ -1,0 +1,56 @@
+// The line protocol pathrouting_serverd speaks on stdin/stdout.
+//
+// Requests (one per line, whitespace separated):
+//
+//   get <algorithm> <k> <kind>     kind in {chain, decode, full, segment}
+//   batch                          collect following "get" lines ...
+//   end                            ... serve them as one batch
+//   stats                          one line of service metrics
+//   quit                           exit
+//
+// Responses are single lines, machine-parseable "key=value" fields in
+// a fixed order:
+//
+//   cert alg=strassen k=3 kind=chain cached=1 engine=1 digest=...
+//     chains=... l3_max=... l3_bound=... l3_argmax=... l4=1
+//     hit_fnv=... has_fnv=1      (one line in the actual protocol)
+//   error <message>
+//
+// Parsing and formatting live here (not in the tool) so the bench, the
+// CI smoke test, and the daemon agree on one grammar.
+#pragma once
+
+#include <string>
+
+#include "pathrouting/service/service.hpp"
+
+namespace pathrouting::service {
+
+enum class CommandType {
+  kGet,       // request carries the parsed Request
+  kBatch,     // open a batch
+  kBatchEnd,  // close and serve the batch
+  kStats,
+  kQuit,
+  kEmpty,  // blank or comment line — ignore
+  kBad,    // error carries the diagnostic
+};
+
+struct Command {
+  CommandType type = CommandType::kEmpty;
+  Request request;    // valid for kGet
+  std::string error;  // valid for kBad
+};
+
+/// Parses one request line ('#' starts a comment).
+[[nodiscard]] Command parse_command(const std::string& line);
+
+/// The response line for one request (either the "cert ..." line with
+/// the kind's payload fields, or "error <message>").
+[[nodiscard]] std::string format_response(const Request& request,
+                                          const Response& response);
+
+/// The "stats ..." line.
+[[nodiscard]] std::string format_stats(const ServiceMetrics& metrics);
+
+}  // namespace pathrouting::service

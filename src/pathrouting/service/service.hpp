@@ -1,0 +1,153 @@
+// CertificateService: batched, concurrent serving of routing
+// certificates out of the content-addressed store.
+//
+// Request path:
+//
+//   serve(request)
+//     -> store lookup (shared lock + mmap; a hit never touches an
+//        engine and is the latency the service is optimized for)
+//     -> in-flight admission: concurrent requests for the SAME key
+//        coalesce onto one computation (a shared_future); only the
+//        first requester computes
+//     -> compute on the shared engine arena of the algorithm, insert
+//        into the store, publish.
+//
+//   serve_batch(requests)
+//     -> dedupes keys inside the batch, serves hits, and runs the
+//        distinct misses as fixed chunks on the deterministic parallel
+//        substrate (support/parallel). Responses land in fixed slots,
+//        so a batch is bit-identical to serving its requests serially
+//        — the property tests/test_service.cpp pins under TSan.
+//
+// One EngineArena per algorithm holds the ChainRouter / DecodeRouter /
+// MemoRoutingEngine. Arenas are immutable after construction and the
+// memo engine's canonical cache is concurrent-reader-safe
+// (routing/memo_routing.hpp), so any number of serving threads share
+// one arena without copying CDAGs or tables.
+//
+// What gets computed per kind (all through the constant-memory
+// implicit view, so cold misses never materialize a CDAG):
+//   chain   — Lemma-3 stats + Lemma-4 multiplicity verdict
+//   full    — Theorem-2 stats
+//   decode  — Claim-1 stats (connected decoding graphs only)
+//   segment — Sections-5 certifier summary over a DFS schedule (this
+//             one builds an explicit CDAG, hence config.segment_max_k)
+// plus, for chain/decode/full below config.digest_max_vertices, the
+// FNV-1a digest of the canonical per-vertex hit array — bit-identical
+// to the golden corpus digests, because for sub(G_k, k, 0) the Fact-1
+// translation is the identity.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pathrouting/service/certificate.hpp"
+#include "pathrouting/service/store.hpp"
+
+namespace pathrouting::service {
+
+struct ServiceConfig {
+  /// Store directory; empty = memory-only (tests).
+  std::string store_dir;
+  /// Materialize + digest canonical hit arrays only while the G_k
+  /// layout stays within this many vertices (two permanent u64 arrays
+  /// per (algorithm, k) are the cost). Above it certificates carry
+  /// has_hit_digest = 0 — the same explicit/implicit cutoff as the
+  /// golden corpus. The default covers the whole golden corpus
+  /// (strassen/winograd k <= 6, laderman k <= 4).
+  std::uint64_t digest_max_vertices = 1u << 20;
+  /// Segment certificates build an explicit CDAG + DFS schedule; cap
+  /// the rank so a request cannot ask for a 100 GiB build.
+  int segment_max_k = 5;
+  /// Run the service.cert-digest-match audit rule on every served
+  /// certificate and refuse to serve on a finding.
+  bool audit_served = false;
+};
+
+struct Request {
+  std::string algorithm;  // catalog name (bilinear::by_name)
+  int k = 0;
+  CertKind kind = CertKind::kChain;
+
+  bool operator==(const Request&) const = default;
+};
+
+struct Response {
+  bool ok = false;
+  std::string error;        // set when !ok
+  bool from_cache = false;  // served from the store (no engine work)
+  Certificate certificate;  // valid when ok
+};
+
+/// Monotonic totals since construction (also exported as obs counters
+/// under service.*).
+struct ServiceMetrics {
+  std::uint64_t requests = 0;
+  std::uint64_t store_hits = 0;
+  std::uint64_t computed = 0;
+  std::uint64_t inflight_waits = 0;  // coalesced onto another request
+  std::uint64_t batches = 0;
+  std::uint64_t batched_requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t inflight_peak = 0;  // admission queue depth high-water
+};
+
+class CertificateService {
+ public:
+  explicit CertificateService(ServiceConfig config);
+  ~CertificateService();
+  CertificateService(const CertificateService&) = delete;
+  CertificateService& operator=(const CertificateService&) = delete;
+
+  /// Serves one request. Thread-safe; concurrent calls with the same
+  /// key coalesce onto one computation.
+  [[nodiscard]] Response serve(const Request& request);
+
+  /// Serves a batch: responses[i] answers requests[i] and is
+  /// bit-identical to serve(requests[i]) in isolation. Distinct
+  /// missing keys are computed concurrently (PR_THREADS).
+  [[nodiscard]] std::vector<Response> serve_batch(
+      std::span<const Request> requests);
+
+  [[nodiscard]] ServiceMetrics metrics() const;
+  [[nodiscard]] CertificateStore& store() { return store_; }
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct EngineArena;
+  struct Inflight;
+
+  /// Resolves (and lazily builds) the shared arena for a catalog
+  /// algorithm; nullptr + error message for unknown names.
+  std::shared_ptr<const EngineArena> arena_for(const std::string& name,
+                                               std::string* error);
+  /// Validates the request against the arena (k range, kind support)
+  /// without computing; empty string = valid.
+  std::string validate(const EngineArena& arena, const Request& request) const;
+  /// Computes the certificate (store untouched). Requires validate()
+  /// passed.
+  Certificate compute(const EngineArena& arena, const Request& request) const;
+  /// Hit path + digest-match audit; increments error metrics on audit
+  /// refusal.
+  Response finish(const StoreKey& key, Certificate cert, bool from_cache);
+
+  ServiceConfig config_;
+  CertificateStore store_;
+
+  mutable std::mutex arenas_mutex_;
+  std::map<std::string, std::shared_ptr<const EngineArena>> arenas_;
+
+  mutable std::mutex inflight_mutex_;
+  std::map<StoreKey, std::shared_ptr<Inflight>> inflight_;
+
+  mutable std::mutex metrics_mutex_;
+  ServiceMetrics metrics_;
+};
+
+}  // namespace pathrouting::service

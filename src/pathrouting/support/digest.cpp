@@ -1,0 +1,32 @@
+#include "pathrouting/support/digest.hpp"
+
+namespace pathrouting::support {
+
+std::uint64_t fnv1a_bytes(const void* data, std::size_t size,
+                          std::uint64_t state) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state ^= bytes[i];
+    state *= kFnv1aPrime;
+  }
+  return state;
+}
+
+std::uint64_t fnv1a_words(std::span<const std::uint64_t> values,
+                          std::uint64_t state) {
+  // Little-endian byte feed regardless of host order: the digest is
+  // part of the golden corpus and the certificate format.
+  for (const std::uint64_t v : values) {
+    for (int byte = 0; byte < 8; ++byte) {
+      state ^= (v >> (8 * byte)) & 0xffu;
+      state *= kFnv1aPrime;
+    }
+  }
+  return state;
+}
+
+std::uint64_t fnv1a_text(std::string_view text) {
+  return fnv1a_bytes(text.data(), text.size());
+}
+
+}  // namespace pathrouting::support

@@ -1,0 +1,46 @@
+// FNV-1a digests — the one hashing primitive of the repository.
+//
+// The golden corpus pins entire per-vertex hit arrays behind a single
+// 64-bit FNV-1a digest, and the certificate service addresses its
+// content store by the digest of the serialized algorithm. Both uses
+// require the SAME definition: a digest stored by the corpus must be
+// reproducible by the service and vice versa, so the helper that
+// historically lived inside tests/test_golden.cpp is promoted here and
+// both sides include it. The constants are pinned by
+// test_support.cpp (DigestTest) — changing them silently invalidates
+// every committed golden file and every on-disk certificate, which is
+// exactly the drift the pin exists to catch.
+//
+// Byte order is fixed, not host-dependent: u64 values are fed as 8
+// little-endian bytes, so digests are identical on every platform the
+// binary certificate format supports (the format itself rejects
+// foreign-endian files; see service/certificate.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace pathrouting::support {
+
+/// FNV-1a 64-bit offset basis and prime (the standard parameters).
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
+
+/// FNV-1a over raw bytes, continuing from `state` (chain calls to
+/// digest discontiguous regions as one stream).
+[[nodiscard]] std::uint64_t fnv1a_bytes(
+    const void* data, std::size_t size,
+    std::uint64_t state = kFnv1aOffsetBasis);
+
+/// FNV-1a over u64 values, each fed as 8 little-endian bytes — the
+/// golden-corpus hit-array digest.
+[[nodiscard]] std::uint64_t fnv1a_words(
+    std::span<const std::uint64_t> values,
+    std::uint64_t state = kFnv1aOffsetBasis);
+
+/// FNV-1a over the bytes of a string (serialized algorithms).
+[[nodiscard]] std::uint64_t fnv1a_text(std::string_view text);
+
+}  // namespace pathrouting::support

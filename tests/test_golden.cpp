@@ -31,6 +31,7 @@
 #include "pathrouting/routing/concat_routing.hpp"
 #include "pathrouting/routing/decode_routing.hpp"
 #include "pathrouting/routing/memo_routing.hpp"
+#include "pathrouting/support/digest.hpp"
 
 #ifndef PR_GOLDEN_DIR
 #error "PR_GOLDEN_DIR must point at the checked-in corpus"
@@ -40,17 +41,11 @@ namespace {
 
 using namespace pathrouting;  // NOLINT
 
-/// FNV-1a over the hit array (values fed as 8 little-endian bytes), so
-/// the corpus pins the entire per-vertex array without storing it.
+/// The corpus pins the entire per-vertex hit array behind one digest.
+/// Same definition as the certificate store key (support/digest.hpp);
+/// its constants are pinned by test_support.cpp.
 std::uint64_t fnv1a(const std::vector<std::uint64_t>& values) {
-  std::uint64_t h = 14695981039346656037ull;
-  for (const std::uint64_t v : values) {
-    for (int byte = 0; byte < 8; ++byte) {
-      h ^= (v >> (8 * byte)) & 0xffu;
-      h *= 1099511628211ull;
-    }
-  }
-  return h;
+  return support::fnv1a_words(values);
 }
 
 void append_matching(std::ostringstream& os, const char* label,

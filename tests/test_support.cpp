@@ -3,12 +3,15 @@
 #include <set>
 #include <sstream>
 
+#include "pathrouting/support/digest.hpp"
 #include "pathrouting/support/mixed_radix.hpp"
 #include "pathrouting/support/prng.hpp"
 #include "pathrouting/support/rational.hpp"
 #include "pathrouting/support/table.hpp"
 
 namespace {
+
+namespace support = pathrouting::support;
 
 using pathrouting::support::digit_at;
 using pathrouting::support::from_digits;
@@ -69,6 +72,37 @@ TEST(Rational, Streaming) {
   std::ostringstream os;
   os << Rational(-7, 2) << " " << Rational(5);
   EXPECT_EQ(os.str(), "-7/2 5");
+}
+
+// The FNV-1a definition is load-bearing across the whole repository:
+// the golden corpus stores hit-array digests computed with it, and the
+// certificate store addresses content by it. These values pin the
+// parameters and the little-endian word feed — if any of them change,
+// every committed golden file and on-disk certificate is invalidated.
+TEST(DigestTest, Fnv1aConstantsArePinned) {
+  EXPECT_EQ(support::kFnv1aOffsetBasis, 14695981039346656037ull);
+  EXPECT_EQ(support::kFnv1aPrime, 1099511628211ull);
+  // Empty input returns the offset basis untouched.
+  EXPECT_EQ(support::fnv1a_bytes(nullptr, 0), support::kFnv1aOffsetBasis);
+  EXPECT_EQ(support::fnv1a_words({}), support::kFnv1aOffsetBasis);
+  // Reference vectors of the standard 64-bit FNV-1a.
+  EXPECT_EQ(support::fnv1a_text(""), 14695981039346656037ull);
+  EXPECT_EQ(support::fnv1a_text("a"), 12638187200555641996ull);
+  EXPECT_EQ(support::fnv1a_text("foobar"), 9625390261332436968ull);
+}
+
+TEST(DigestTest, WordsFeedAsLittleEndianBytes) {
+  // One u64 word digests exactly like its 8 LE bytes.
+  const std::uint64_t word = 0x0807060504030201ull;
+  const unsigned char bytes[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<std::uint64_t> words = {word};
+  EXPECT_EQ(support::fnv1a_words(words),
+            support::fnv1a_bytes(bytes, sizeof(bytes)));
+  // Chaining through `state` equals digesting the concatenation.
+  const std::vector<std::uint64_t> two = {word, ~word};
+  EXPECT_EQ(support::fnv1a_words(two),
+            support::fnv1a_words({&two[1], 1},
+                                 support::fnv1a_words({&two[0], 1})));
 }
 
 TEST(PowTableTest, PowersAndDigits) {

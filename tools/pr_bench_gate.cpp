@@ -1,9 +1,12 @@
 // pr_bench_gate — regression gate over committed BENCH_*.json files.
 //
-// Loads a baseline (BENCH_routing_memo.json in CI), re-runs every
-// memoized perfsmoke workload it records (experiment chain_routing /
-// decode_routing, engine memo, k <= --kmax) through the observability
-// layer, and fails when the fresh run regresses:
+// Loads a baseline (BENCH_routing_memo.json or BENCH_service.json in
+// CI), re-runs every workload it records — memoized perfsmoke
+// (experiment chain_routing / decode_routing, engine memo, k <=
+// --kmax) and certificate-service workloads (service_cold_miss /
+// service_trace / service_warm, replayed with the recorded trace seed
+// against a throwaway store) — through the observability layer, and
+// fails when the fresh run regresses:
 //
 //   * count fields must match the baseline EXACTLY — the determinism
 //     contract says hit counts, bounds, and verdicts are functions of
@@ -30,10 +33,13 @@
 // timing-only regression (soft: CI reports but does not fail — shared
 // runners make wall clocks noisy, counts are not). A run with both
 // kinds of failure exits 1: the hard failure dominates.
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <optional>
 #include <string>
@@ -47,6 +53,8 @@
 #include "pathrouting/routing/concat_routing.hpp"
 #include "pathrouting/routing/decode_routing.hpp"
 #include "pathrouting/routing/memo_routing.hpp"
+#include "pathrouting/service/replay.hpp"
+#include "pathrouting/service/service.hpp"
 #include "pathrouting/support/parallel.hpp"
 
 namespace {
@@ -151,10 +159,22 @@ double seconds_of(const obs::BenchRecord& rec) {
 }
 
 /// Fields that are run-dependent or derived, never compared exactly.
+/// Latency percentiles ("*_us") and throughput ("rps") are timing like
+/// "seconds" — the service bench enforces its own budgets on them.
 bool ignored_field(const std::string& key) {
+  if (key.size() > 3 && key.compare(key.size() - 3, 3, "_us") == 0) {
+    return true;
+  }
   return key == "seconds" || key == "speedup" ||
          key == "counts_bit_identical" || key == "threads" ||
-         key == "commit" || key == "max_rss_bytes";
+         key == "commit" || key == "max_rss_bytes" || key == "rps";
+}
+
+/// The certificate-service workloads the gate re-runs. The throughput
+/// sweep (service_throughput) is timing-only and is not collected.
+bool service_experiment(const std::string& experiment) {
+  return experiment == "service_cold_miss" ||
+         experiment == "service_trace" || experiment == "service_warm";
 }
 
 struct FreshRun {
@@ -223,6 +243,86 @@ FreshRun run_decode(const bilinear::BilinearAlgorithm& alg,
   return run;
 }
 
+/// A throwaway store directory for the service replays, removed when
+/// the gate exits.
+std::string gate_store_dir() {
+  return (std::filesystem::temp_directory_path() /
+          ("pr_bench_gate_service." + std::to_string(::getpid())))
+      .string();
+}
+
+/// Re-derives a service_cold_miss record: a fresh memory-only service
+/// answers the recorded (algorithm, k, chain) request from nothing.
+FreshRun run_service_cold(const obs::BenchRecord& ref) {
+  const std::string algorithm = ref.text_or("algorithm", "");
+  const int k = static_cast<int>(ref.int_or("k", 0));
+  service::CertificateService svc(service::ServiceConfig{});
+  const service::Request req{algorithm, k, service::CertKind::kChain};
+  const auto t0 = std::chrono::steady_clock::now();
+  const service::Response resp = svc.serve(req);
+  FreshRun run;
+  run.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  run.rec.set("experiment", "service_cold_miss")
+      .set("engine", "service")
+      .set("algorithm", algorithm)
+      .set("k", k)
+      .set("kind", service::kind_name(service::CertKind::kChain))
+      .set("ok", resp.ok)
+      .set("cached", resp.from_cache)
+      .set("seconds", run.seconds);
+  if (resp.ok) {
+    const auto& w = resp.certificate.words;
+    run.rec.set("chains", w[service::kChainNumChains])
+        .set("l3_max", w[service::kChainL3MaxHits])
+        .set("l3_bound", w[service::kChainL3Bound])
+        .set("l4", w[service::kChainL4Exact])
+        .set("has_fnv", w[service::kChainHasHitDigest])
+        .set("digest", resp.certificate.payload_digest);
+  }
+  return run;
+}
+
+/// Re-derives a service_trace / service_warm record: rebuilds the
+/// recorded Zipf trace from its seed and replays it against a fresh
+/// on-disk store (service_warm reopens the populated directory with a
+/// second service instance first, so every answer comes off mmap).
+FreshRun run_service_trace(const std::string& experiment,
+                           const obs::BenchRecord& ref) {
+  service::TraceSpec spec;
+  spec.seed = static_cast<std::uint64_t>(ref.int_or("seed", 0));
+  spec.num_requests = static_cast<std::uint64_t>(ref.int_or("requests", 0));
+  const std::vector<service::Request> trace = service::zipf_trace(spec);
+  service::ServiceConfig config;
+  config.store_dir = gate_store_dir() + "/" + experiment;
+  std::error_code ec;
+  std::filesystem::remove_all(config.store_dir, ec);
+  service::ReplayResult r;
+  {
+    service::CertificateService svc(config);
+    r = service::replay_trace(svc, trace, 1);
+  }
+  if (experiment == "service_warm") {
+    service::CertificateService reopened(config);
+    r = service::replay_trace(reopened, trace, 1);
+  }
+  FreshRun run;
+  run.seconds = r.seconds;
+  run.rec.set("experiment", experiment)
+      .set("engine", "service")
+      .set("seed", spec.seed)
+      .set("client_threads", 1)
+      .set("requests", r.requests)
+      .set("unique_keys", r.unique_keys)
+      .set("ok", r.ok)
+      .set("errors", r.errors)
+      .set("cache_hits", r.cache_hits)
+      .set("computed", r.computed)
+      .set("seconds", r.seconds);
+  return run;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -242,15 +342,23 @@ int main(int argc, char** argv) {
   int skipped_k = 0;
   for (const obs::BenchRecord& rec : baseline.records) {
     const std::string experiment = rec.text_or("experiment", "");
-    if (experiment != "chain_routing" && experiment != "decode_routing") {
-      continue;
-    }
-    if (rec.text_or("engine", "") != "memo") continue;
-    const int k = static_cast<int>(rec.int_or("k", 0));
-    if (k < 1) continue;
-    if (k > opt.kmax) {
-      ++skipped_k;
-      continue;
+    int k = 0;
+    if (service_experiment(experiment)) {
+      // Service workloads are re-run at their recorded size; --kmax
+      // does not apply (the cold-miss k is the point of the workload).
+      if (rec.text_or("engine", "") != "service") continue;
+      k = static_cast<int>(rec.int_or("k", 0));
+    } else {
+      if (experiment != "chain_routing" && experiment != "decode_routing") {
+        continue;
+      }
+      if (rec.text_or("engine", "") != "memo") continue;
+      k = static_cast<int>(rec.int_or("k", 0));
+      if (k < 1) continue;
+      if (k > opt.kmax) {
+        ++skipped_k;
+        continue;
+      }
     }
     const std::string algorithm = rec.text_or("algorithm", "");
     std::string key = experiment;
@@ -283,7 +391,8 @@ int main(int argc, char** argv) {
   if (workloads.empty()) {
     std::fprintf(stderr,
                  "pr_bench_gate: baseline %s has no memoized "
-                 "chain_routing/decode_routing records with k <= %d\n",
+                 "chain_routing/decode_routing records with k <= %d and "
+                 "no service workloads\n",
                  opt.baseline.c_str(), opt.kmax);
     return 2;
   }
@@ -321,30 +430,40 @@ int main(int argc, char** argv) {
   int count_failures = 0;
   int slow_failures = 0;
   for (const Workload& wl : workloads) {
-    const auto alg = bilinear::by_name(wl.algorithm);
-    if (wl.experiment == "decode_routing" &&
-        bilinear::decoding_components(alg) != 1) {
-      // Claim 1 needs a connected decoding graph; a baseline recording
-      // such a workload predates that check — flag, don't crash.
-      std::printf("SKIP %s %s k=%d: decoding graph is disconnected\n",
-                  wl.experiment.c_str(), wl.algorithm.c_str(), wl.k);
-      report.records.emplace_back();
-      report.records.back()
-          .set("experiment", wl.experiment)
-          .set("algorithm", wl.algorithm)
-          .set("k", wl.k)
-          .set("status", "skipped");
-      continue;
+    FreshRun fresh;
+    if (wl.experiment == "service_cold_miss") {
+      fresh = run_service_cold(*wl.reference);
+    } else if (service_experiment(wl.experiment)) {
+      fresh = run_service_trace(wl.experiment, *wl.reference);
+    } else {
+      const auto alg = bilinear::by_name(wl.algorithm);
+      if (wl.experiment == "decode_routing" &&
+          bilinear::decoding_components(alg) != 1) {
+        // Claim 1 needs a connected decoding graph; a baseline recording
+        // such a workload predates that check — flag, don't crash.
+        std::printf("SKIP %s %s k=%d: decoding graph is disconnected\n",
+                    wl.experiment.c_str(), wl.algorithm.c_str(), wl.k);
+        report.records.emplace_back();
+        report.records.back()
+            .set("experiment", wl.experiment)
+            .set("algorithm", wl.algorithm)
+            .set("k", wl.k)
+            .set("status", "skipped");
+        continue;
+      }
+      fresh = wl.experiment == "chain_routing"
+                  ? run_chain(alg, wl.algorithm, wl.k)
+                  : run_decode(alg, wl.algorithm, wl.k);
     }
-    FreshRun fresh = wl.experiment == "chain_routing"
-                         ? run_chain(alg, wl.algorithm, wl.k)
-                         : run_decode(alg, wl.algorithm, wl.k);
     if (opt.pessimize) {
       // Corrupt the record (never the engines): prove the diff fires.
       fresh.seconds *= 100.0;
       fresh.rec.set("seconds", fresh.seconds);
-      const char* hit_key =
-          wl.experiment == "chain_routing" ? "l3_max_hits" : "max_hits";
+      const char* hit_key = wl.experiment == "chain_routing" ? "l3_max_hits"
+                            : wl.experiment == "decode_routing" ? "max_hits"
+                            : wl.experiment == "service_cold_miss"
+                                ? "chains"
+                                : "cache_hits";
       const obs::BenchValue* v = fresh.rec.find(hit_key);
       fresh.rec.set(hit_key,
                     static_cast<std::uint64_t>(v->int_value) + 1);
@@ -416,6 +535,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   obs::write_env_outputs("gate_metrics", git_commit());
+  std::error_code cleanup_ec;
+  std::filesystem::remove_all(gate_store_dir(), cleanup_ec);
 
   const char* verdict = count_failures > 0  ? "FAILED"
                         : slow_failures > 0 ? "SLOW"
