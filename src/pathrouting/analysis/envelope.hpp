@@ -1,0 +1,154 @@
+// Symbolic overflow envelopes for the certificate bound formulas.
+//
+// Every engine in the repo evaluates the Lemma-3 / Theorem-2
+// prefix-product formulas and the Claim-1 decode formulas in wrap-exact
+// uint64 arithmetic ("exact incl. wraparound"): at small k the counts
+// are the paper's true integers, and past some rank each quantity
+// silently wraps 2^64 while staying bit-identical across engines. This
+// analyzer derives, per catalog algorithm and per certificate quantity,
+// the EXACT first rank k at which that happens — without running any
+// engine — by re-evaluating the same formula DAGs in a two-track
+// arithmetic:
+//
+//   * Wrapped  — the value mod 2^64 (what the engines report) plus a
+//     saturation flag meaning "the exact integer is >= 2^64". The flag
+//     composes exactly under + and * (a product wraps iff a factor had
+//     wrapped and the other is nonzero, or the 128-bit product of the
+//     residues overflows), so the low word stays bit-identical to the
+//     engines while wrap detection stays exact.
+//   * a saturating 128-bit maximum track for the max-hit quantities,
+//     whose candidate sets (prefix-product classes of Fact-1 recursion
+//     words) the engines scan: the largest EXACT candidate at word
+//     length t factorizes to (max_d M[d])^t per side, and the decoding
+//     candidates (P_A + P_B) keep a small Pareto frontier of exact
+//     (P_A, P_B) pairs. Some candidate wraps iff the exact maximum
+//     does, so the first-wrap rank of a max quantity is exact even far
+//     beyond the rank where materializing the class sets is feasible.
+//
+// The derived envelopes are machine-checkable facts (audit rule
+// analysis.k-envelope): check_envelopes() replays the engines' own
+// closed-form accessors at the boundary ranks and the constant-memory
+// implicit verifier at small ranks and reports any divergence as
+// audit::Diagnostics. CertificateService annotates every served
+// certificate with its kind's envelope (wrap_k / exact fields of the
+// line protocol).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pathrouting/audit/diagnostic.hpp"
+#include "pathrouting/bilinear/bilinear.hpp"
+
+namespace pathrouting::routing {
+class MemoRoutingEngine;
+}  // namespace pathrouting::routing
+
+namespace pathrouting::analysis {
+
+/// An exact nonnegative integer tracked as (value mod 2^64, did it
+/// reach 2^64). `low` is bit-identical to the engines' uint64
+/// arithmetic; `wrapped` is exact under wrap_add / wrap_mul.
+struct Wrapped {
+  std::uint64_t low = 0;
+  bool wrapped = false;
+
+  friend bool operator==(const Wrapped&, const Wrapped&) = default;
+  /// Deterministic ordering for class-set keys (low, then wrapped) —
+  /// NOT a numeric order once wrapped.
+  friend auto operator<=>(const Wrapped&, const Wrapped&) = default;
+};
+
+[[nodiscard]] Wrapped wrap_add(Wrapped x, Wrapped y);
+[[nodiscard]] Wrapped wrap_mul(Wrapped x, Wrapped y);
+[[nodiscard]] Wrapped wrap_pow(std::uint64_t base, int exp);
+
+/// The envelope of one certificate quantity: its engine-identical
+/// values per rank plus the exact first rank where the underlying
+/// exact integer reaches 2^64.
+struct QuantityEnvelope {
+  std::string name;  // e.g. "chain.num_chains" (kind prefix + field)
+
+  /// Smallest k with an exact value >= 2^64; 0 = no wrap found for any
+  /// k <= wrap_scan_kmax. All modeled quantities grow monotonically in
+  /// k, so the quantity is exact for k < first_wrap_k and wrapped (the
+  /// engines report only the low 64 bits) from first_wrap_k on.
+  int first_wrap_k = 0;
+  int wrap_scan_kmax = 0;
+
+  /// low[k-1] = the engines' uint64 value at rank k, for
+  /// k = 1..value_kmax (max-hit quantities materialize prefix-product
+  /// class sets, so their value depth may stop short of the wrap scan).
+  int value_kmax = 0;
+  std::vector<std::uint64_t> low;
+
+  [[nodiscard]] std::uint64_t low_at(int k) const;
+  [[nodiscard]] bool wrapped_at(int k) const {
+    return first_wrap_k > 0 && k >= first_wrap_k;
+  }
+};
+
+struct EnvelopeOptions {
+  /// Depth of the exact first-wrap scan (cheap: closed forms and the
+  /// Pareto maximum track only). Every catalog quantity wraps by
+  /// k <= 64 (the slowest grower, the Lemma-3 bound 2*n0^k with
+  /// n0 = 2, wraps at k = 63), so the default finds every boundary.
+  int wrap_scan_kmax = 72;
+  /// Depth of the engine-identical value track for the closed-form
+  /// ("scalar") quantities.
+  int value_kmax = 72;
+  /// Depth of the value track for the max-hit quantities, which walk
+  /// the Fact-1 digit-state class sets like the implicit engine does.
+  int stats_value_kmax = 12;
+  /// Class-set ceiling for the max-hit value track; when a level
+  /// exceeds it the value depth stops there (the wrap scan is
+  /// unaffected — it never materializes classes).
+  std::size_t max_classes = std::size_t{1} << 16;
+};
+
+/// Per-algorithm envelopes. Quantity names are "<kind>.<field>":
+///   chain.num_chains  chain.total_hits  chain.l3_bound  chain.l3_max
+///   full.t2_paths     full.t2_bound     full.t2_max     full.t2_meta
+///   decode.num_paths  decode.total_hits decode.bound    decode.max
+/// (decode.* only when the base decoding graph is connected). The
+/// max-hit quantities model the whole-graph view (r = k, prefix 0) —
+/// exactly what the certificate service and the golden corpus compute.
+struct AlgorithmEnvelopes {
+  std::string algorithm;
+  bool has_decode = false;
+  std::vector<QuantityEnvelope> quantities;
+
+  [[nodiscard]] const QuantityEnvelope* find(std::string_view name) const;
+  /// Smallest positive first_wrap_k over quantities whose name starts
+  /// with `kind_prefix` ("chain." / "full." / "decode."); 0 = none of
+  /// them wraps within its scan depth.
+  [[nodiscard]] int first_wrap_for_kind(std::string_view kind_prefix) const;
+};
+
+[[nodiscard]] AlgorithmEnvelopes compute_envelopes(
+    const bilinear::BilinearAlgorithm& alg, const EnvelopeOptions& options = {});
+
+struct EnvelopeCheckOptions {
+  /// Compare the closed-form quantities against the engine's
+  /// expected_* accessors for k = 1..scalar_kmax and around each
+  /// first-wrap boundary (the accessors are pure arithmetic, so any
+  /// rank is cheap).
+  int scalar_kmax = 24;
+  int boundary_window = 2;
+  /// Compare every quantity (max-hit ones included) against the
+  /// constant-memory implicit verifier at k = 1..stats_kmax.
+  int stats_kmax = 3;
+};
+
+/// Cross-checks `envelopes` against the memo/implicit engines of the
+/// same algorithm, reporting divergences under the audit rule
+/// analysis.k-envelope. The engine must be built from the algorithm
+/// the envelopes were computed for.
+[[nodiscard]] audit::AuditReport check_envelopes(
+    const AlgorithmEnvelopes& envelopes,
+    const routing::MemoRoutingEngine& engine,
+    const EnvelopeCheckOptions& options = {});
+
+}  // namespace pathrouting::analysis

@@ -1,0 +1,578 @@
+#include "pathrouting/analysis/static_lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <iomanip>
+#include <set>
+#include <sstream>
+
+#include "pathrouting/support/digest.hpp"
+
+namespace pathrouting::analysis {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+struct Token {
+  enum class Kind : std::uint8_t { kIdent, kNumber, kPunct, kLiteral };
+  Kind kind = Kind::kPunct;
+  std::string text;  // empty for string/char literals
+  int line = 1;
+};
+
+struct Lexed {
+  std::vector<Token> tokens;
+  /// line -> rules allowed by a `pr-static: allow(...)` comment there.
+  std::map<int, std::set<std::string>> allows;
+  std::vector<std::string> lines;  // lines[i] = source line i+1
+};
+
+/// Registers every `pr-static: allow(r1, r2, ...)` occurrence inside a
+/// comment, at the line the directive starts on.
+void record_allows(std::string_view comment, int first_line,
+                   std::map<int, std::set<std::string>>& allows) {
+  constexpr std::string_view kDirective = "pr-static: allow(";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kDirective, pos)) != std::string_view::npos) {
+    const int line =
+        first_line +
+        static_cast<int>(std::count(comment.begin(),
+                                    comment.begin() + static_cast<std::ptrdiff_t>(pos), '\n'));
+    pos += kDirective.size();
+    const std::size_t close = comment.find(')', pos);
+    if (close == std::string_view::npos) break;
+    std::string_view list = comment.substr(pos, close - pos);
+    while (!list.empty()) {
+      const std::size_t comma = list.find(',');
+      const std::string_view rule = trim(list.substr(0, comma));
+      if (!rule.empty()) allows[line].emplace(rule);
+      if (comma == std::string_view::npos) break;
+      list.remove_prefix(comma + 1);
+    }
+    pos = close + 1;
+  }
+}
+
+/// Purely lexical scan: strips comments (recording allow directives),
+/// string/char/raw-string literals, and preprocessor lines; emits
+/// identifier / number / punctuation tokens with their line numbers.
+Lexed lex(std::string_view text) {
+  Lexed out;
+  {
+    std::size_t start = 0;
+    while (start <= text.size()) {
+      const std::size_t nl = text.find('\n', start);
+      if (nl == std::string_view::npos) {
+        out.lines.emplace_back(text.substr(start));
+        break;
+      }
+      out.lines.emplace_back(text.substr(start, nl - start));
+      start = nl + 1;
+    }
+  }
+
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;
+  const auto advance = [&](std::size_t n) {
+    for (std::size_t j = 0; j < n && i < text.size(); ++j, ++i) {
+      if (text[i] == '\n') {
+        ++line;
+        at_line_start = true;
+      }
+    }
+  };
+
+  while (i < text.size()) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      advance(1);
+      continue;
+    }
+    if (c == '#' && at_line_start) {
+      // Preprocessor line (with backslash continuations).
+      while (i < text.size()) {
+        const std::size_t nl = text.find('\n', i);
+        if (nl == std::string_view::npos) {
+          i = text.size();
+          break;
+        }
+        std::size_t back = nl;
+        while (back > i && (text[back - 1] == '\r' || text[back - 1] == ' ' ||
+                            text[back - 1] == '\t')) {
+          --back;
+        }
+        const bool continued = back > i && text[back - 1] == '\\';
+        advance(nl + 1 - i);
+        if (!continued) break;
+      }
+      continue;
+    }
+    at_line_start = false;
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      const std::size_t nl = text.find('\n', i);
+      const std::size_t end = nl == std::string_view::npos ? text.size() : nl;
+      record_allows(text.substr(i, end - i), line, out.allows);
+      advance(end - i);
+      continue;
+    }
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+      const std::size_t close = text.find("*/", i + 2);
+      const std::size_t end =
+          close == std::string_view::npos ? text.size() : close + 2;
+      record_allows(text.substr(i, end - i), line, out.allows);
+      advance(end - i);
+      continue;
+    }
+    if (c == '"') {
+      // Raw string? The just-lexed token must be an adjacent encoding
+      // prefix ending in R.
+      const bool raw = !out.tokens.empty() &&
+                       out.tokens.back().kind == Token::Kind::kIdent &&
+                       out.tokens.back().text.size() <= 3 &&
+                       out.tokens.back().text.back() == 'R' &&
+                       i > 0 && is_ident_char(text[i - 1]);
+      if (raw) {
+        out.tokens.pop_back();
+        const std::size_t paren = text.find('(', i + 1);
+        if (paren == std::string_view::npos) {
+          advance(text.size() - i);
+          continue;
+        }
+        const std::string closer =
+            ")" + std::string(text.substr(i + 1, paren - i - 1)) + "\"";
+        const std::size_t close = text.find(closer, paren + 1);
+        const std::size_t end = close == std::string_view::npos
+                                    ? text.size()
+                                    : close + closer.size();
+        out.tokens.push_back({Token::Kind::kLiteral, "", line});
+        advance(end - i);
+        continue;
+      }
+      out.tokens.push_back({Token::Kind::kLiteral, "", line});
+      advance(1);
+      while (i < text.size() && text[i] != '"') {
+        advance(text[i] == '\\' && i + 1 < text.size() ? 2 : 1);
+      }
+      advance(1);
+      continue;
+    }
+    if (c == '\'') {
+      out.tokens.push_back({Token::Kind::kLiteral, "", line});
+      advance(1);
+      while (i < text.size() && text[i] != '\'') {
+        advance(text[i] == '\\' && i + 1 < text.size() ? 2 : 1);
+      }
+      advance(1);
+      continue;
+    }
+    if (is_ident_char(c) && std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      std::size_t end = i;
+      while (end < text.size() && is_ident_char(text[end])) ++end;
+      out.tokens.push_back(
+          {Token::Kind::kIdent, std::string(text.substr(i, end - i)), line});
+      advance(end - i);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t end = i;
+      while (end < text.size() &&
+             (is_ident_char(text[end]) || text[end] == '.' ||
+              text[end] == '\'' ||
+              ((text[end] == '+' || text[end] == '-') && end > i &&
+               (text[end - 1] == 'e' || text[end - 1] == 'E' ||
+                text[end - 1] == 'p' || text[end - 1] == 'P')))) {
+        ++end;
+      }
+      out.tokens.push_back(
+          {Token::Kind::kNumber, std::string(text.substr(i, end - i)), line});
+      advance(end - i);
+      continue;
+    }
+    // Punctuation; a few two-char tokens the rules key on stay fused.
+    static constexpr std::array<std::string_view, 6> kTwoChar = {
+        "::", "->", "+=", "-=", "*=", "/="};
+    std::string tok(1, c);
+    if (i + 1 < text.size()) {
+      const std::string_view two = text.substr(i, 2);
+      for (const std::string_view cand : kTwoChar) {
+        if (two == cand) {
+          tok = std::string(two);
+          break;
+        }
+      }
+    }
+    out.tokens.push_back({Token::Kind::kPunct, tok, line});
+    advance(tok.size());
+  }
+  return out;
+}
+
+const std::set<std::string, std::less<>> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+const std::set<std::string, std::less<>> kOrderedTypes = {"map", "set",
+                                                          "multimap",
+                                                          "multiset"};
+const std::set<std::string, std::less<>> kIterFns = {"begin", "cbegin",
+                                                     "rbegin", "end",
+                                                     "cend",  "rend"};
+const std::set<std::string, std::less<>> kDeclSkip = {"const", "&", "*", "&&"};
+
+bool token_is(const std::vector<Token>& toks, std::size_t i,
+              std::string_view text) {
+  return i < toks.size() && toks[i].text == text;
+}
+
+/// True when the identifier at `i` is a plain or std:: reference — not a
+/// member access (x.rand) and not another namespace's (mylib::rand).
+bool plain_or_std(const std::vector<Token>& toks, std::size_t i) {
+  if (i == 0) return true;
+  const std::string& prev = toks[i - 1].text;
+  if (prev == "." || prev == "->") return false;
+  if (prev == "::") return i >= 2 && toks[i - 2].text == "std";
+  return true;
+}
+
+/// Index just past a balanced <...> starting at `open` (toks[open] must
+/// be "<"); toks.size() when unbalanced.
+std::size_t skip_template_args(const std::vector<Token>& toks,
+                               std::size_t open) {
+  int depth = 0;
+  for (std::size_t j = open; j < toks.size(); ++j) {
+    if (toks[j].text == "<") ++depth;
+    if (toks[j].text == ">") {
+      --depth;
+      if (depth == 0) return j + 1;
+    }
+    if (toks[j].text == ";") break;  // statement end: not template args
+  }
+  return toks.size();
+}
+
+/// Names declared with a type in `type_names` (declarations, members,
+/// parameters): `type<args...>? [const&*]* name`.
+std::set<std::string, std::less<>> declared_names(
+    const std::vector<Token>& toks,
+    const std::set<std::string, std::less<>>& type_names,
+    bool has_template_args) {
+  std::set<std::string, std::less<>> names;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent || !type_names.contains(toks[i].text)) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (has_template_args) {
+      if (!token_is(toks, j, "<")) continue;
+      j = skip_template_args(toks, j);
+    }
+    while (j < toks.size() && kDeclSkip.contains(toks[j].text)) ++j;
+    if (j < toks.size() && toks[j].kind == Token::Kind::kIdent) {
+      names.insert(toks[j].text);
+    }
+  }
+  return names;
+}
+
+void add_finding(std::vector<LintFinding>& out, const Lexed& lexed,
+                 std::string rule, int line, std::string message) {
+  LintFinding f;
+  f.rule = std::move(rule);
+  f.file = "";  // filled by scan_source
+  f.line = line;
+  f.message = std::move(message);
+  if (line >= 1 && line <= static_cast<int>(lexed.lines.size())) {
+    f.source_line = lexed.lines[static_cast<std::size_t>(line) - 1];
+  }
+  out.push_back(std::move(f));
+}
+
+void rule_unordered_iteration(const Lexed& lexed,
+                              std::vector<LintFinding>& out) {
+  const auto& toks = lexed.tokens;
+  const auto tracked = declared_names(toks, kUnorderedTypes, true);
+  if (tracked.empty()) return;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].text != "for" || toks[i].kind != Token::Kind::kIdent ||
+        !token_is(toks, i + 1, "(")) {
+      continue;
+    }
+    // Walk the for header.
+    int depth = 0;
+    std::size_t colon = 0;
+    std::size_t close = toks.size();
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")") {
+        --depth;
+        if (depth == 0) {
+          close = j;
+          break;
+        }
+      }
+      if (depth == 1 && toks[j].text == ":" && colon == 0) colon = j;
+    }
+    for (std::size_t j = i + 2; j < close; ++j) {
+      if (toks[j].kind != Token::Kind::kIdent || !tracked.contains(toks[j].text)) {
+        continue;
+      }
+      const bool ranged = colon != 0 && j > colon;
+      const bool iter_call = j + 2 < close &&
+                             (toks[j + 1].text == "." || toks[j + 1].text == "->") &&
+                             kIterFns.contains(toks[j + 2].text);
+      if (ranged || iter_call) {
+        add_finding(out, lexed, "static.unordered-iteration", toks[j].line,
+                    "iteration over unordered container '" + toks[j].text +
+                        "' — visit order is implementation-defined and can "
+                        "leak into results");
+      }
+    }
+  }
+}
+
+void rule_float_accumulation(const Lexed& lexed, std::vector<LintFinding>& out) {
+  const auto& toks = lexed.tokens;
+  const auto tracked =
+      declared_names(toks, {"float", "double"}, /*has_template_args=*/false);
+  if (tracked.empty()) return;
+  static const std::set<std::string, std::less<>> kCompound = {"+=", "-=", "*=",
+                                                               "/="};
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind == Token::Kind::kIdent && tracked.contains(toks[i].text) &&
+        kCompound.contains(toks[i + 1].text)) {
+      add_finding(out, lexed, "static.float-accumulation", toks[i].line,
+                  "floating-point accumulation into '" + toks[i].text +
+                      "' — FP reduction order changes the result; counted "
+                      "paths must stay integral");
+    }
+  }
+}
+
+void rule_nondeterminism_source(const Lexed& lexed,
+                                std::vector<LintFinding>& out) {
+  const auto& toks = lexed.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent || !plain_or_std(toks, i)) continue;
+    const std::string& name = toks[i].text;
+    const bool call = token_is(toks, i + 1, "(");
+    std::string what;
+    if ((name == "rand" || name == "srand" || name == "drand48" ||
+         name == "lrand48") &&
+        call) {
+      what = name + "()";
+    } else if (name == "random_device" || name == "system_clock") {
+      what = "std::" + name;
+    } else if (name == "time" && call && i + 3 < toks.size() &&
+               (toks[i + 2].text == "nullptr" || toks[i + 2].text == "NULL" ||
+                toks[i + 2].text == "0") &&
+               toks[i + 3].text == ")") {
+      what = "time(" + toks[i + 2].text + ")";
+    }
+    if (!what.empty()) {
+      add_finding(out, lexed, "static.nondeterminism-source", toks[i].line,
+                  "ambient entropy source " + what +
+                      " — results must be reproducible run-to-run");
+    }
+  }
+}
+
+void rule_pointer_keyed_order(const Lexed& lexed,
+                              std::vector<LintFinding>& out) {
+  const auto& toks = lexed.tokens;
+  for (std::size_t i = 2; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent ||
+        !kOrderedTypes.contains(toks[i].text) || toks[i - 1].text != "::" ||
+        toks[i - 2].text != "std" || !token_is(toks, i + 1, "<")) {
+      continue;
+    }
+    // Last token of the first template argument.
+    int depth = 0;
+    std::size_t last = 0;
+    bool first_arg = true;
+    for (std::size_t j = i + 1; j < toks.size() && first_arg; ++j) {
+      if (toks[j].text == "<") {
+        ++depth;
+        continue;
+      }
+      if (toks[j].text == ">") {
+        --depth;
+        if (depth == 0) first_arg = false;
+        continue;
+      }
+      if (depth == 1 && toks[j].text == ",") {
+        first_arg = false;
+        continue;
+      }
+      if (toks[j].text == ";") break;
+      last = j;
+    }
+    if (last != 0 && toks[last].text == "*") {
+      add_finding(out, lexed, "static.pointer-keyed-order", toks[i].line,
+                  "std::" + toks[i].text +
+                      " keyed by a raw pointer — address order varies per "
+                      "run (ASLR, allocator)");
+    }
+  }
+}
+
+void rule_raw_thread(const Lexed& lexed, std::vector<LintFinding>& out) {
+  const auto& toks = lexed.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent) continue;
+    const std::string& name = toks[i].text;
+    if (name == "pthread_create" && plain_or_std(toks, i)) {
+      add_finding(out, lexed, "static.raw-thread", toks[i].line,
+                  "pthread_create bypasses support/parallel — work outside "
+                  "the pool escapes the ordered-reduction contract");
+      continue;
+    }
+    if ((name == "thread" || name == "jthread" || name == "async") &&
+        i >= 2 && toks[i - 1].text == "::" && toks[i - 2].text == "std" &&
+        !token_is(toks, i + 1, "::")) {
+      add_finding(out, lexed, "static.raw-thread", toks[i].line,
+                  "raw std::" + name +
+                      " bypasses support/parallel — spawn work through the "
+                      "deterministic pool instead");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<LintFinding> scan_source(std::string_view file_label,
+                                     std::string_view text) {
+  const Lexed lexed = lex(text);
+  std::vector<LintFinding> findings;
+  rule_unordered_iteration(lexed, findings);
+  rule_float_accumulation(lexed, findings);
+  rule_nondeterminism_source(lexed, findings);
+  rule_pointer_keyed_order(lexed, findings);
+  rule_raw_thread(lexed, findings);
+
+  const auto allowed = [&](const LintFinding& f) {
+    for (const int line : {f.line, f.line - 1}) {
+      const auto it = lexed.allows.find(line);
+      if (it != lexed.allows.end() && it->second.contains(f.rule)) return true;
+    }
+    return false;
+  };
+  std::erase_if(findings, allowed);
+
+  for (LintFinding& f : findings) f.file = std::string(file_label);
+  std::sort(findings.begin(), findings.end(),
+            [](const LintFinding& x, const LintFinding& y) {
+              return std::tie(x.line, x.rule, x.message) <
+                     std::tie(y.line, y.rule, y.message);
+            });
+  findings.erase(std::unique(findings.begin(), findings.end()),
+                 findings.end());
+  return findings;
+}
+
+std::string SuppressionBaseline::key(const LintFinding& finding) {
+  std::ostringstream os;
+  os << finding.rule << '|' << finding.file << '|' << std::hex
+     << std::setfill('0') << std::setw(16)
+     << support::fnv1a_text(trim(finding.source_line));
+  return os.str();
+}
+
+SuppressionBaseline SuppressionBaseline::parse(
+    std::string_view text, std::vector<std::string>* errors) {
+  SuppressionBaseline baseline;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string_view stripped = trim(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    std::istringstream fields{std::string(stripped)};
+    int count = 0;
+    std::string key;
+    if (!(fields >> count >> key) || count <= 0 ||
+        std::count(key.begin(), key.end(), '|') != 2) {
+      if (errors != nullptr) {
+        errors->push_back("baseline line " + std::to_string(lineno) +
+                          ": expected '<count> <rule|file|hash>', got '" +
+                          std::string(stripped) + "'");
+      }
+      continue;
+    }
+    baseline.entries_[key] += count;
+  }
+  return baseline;
+}
+
+SuppressionBaseline SuppressionBaseline::from_findings(
+    const std::vector<LintFinding>& findings) {
+  SuppressionBaseline baseline;
+  for (const LintFinding& f : findings) ++baseline.entries_[key(f)];
+  return baseline;
+}
+
+std::string SuppressionBaseline::serialize() const {
+  std::ostringstream os;
+  os << "# pr_static suppression baseline: '<count> <rule|file|hash>' per "
+        "line.\n"
+     << "# Regenerate with: pr_static --write-baseline <this file>\n";
+  for (const auto& [key, count] : entries_) {
+    os << count << ' ' << key << '\n';
+  }
+  return os.str();
+}
+
+SuppressionBaseline::FilterResult SuppressionBaseline::apply(
+    const std::vector<LintFinding>& findings) const {
+  FilterResult result;
+  std::map<std::string, int> budget = entries_;
+  for (const LintFinding& f : findings) {
+    const auto it = budget.find(key(f));
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+    } else {
+      result.unsuppressed.push_back(f);
+    }
+  }
+  for (const auto& [key, remaining] : budget) {
+    if (remaining > 0) result.stale_keys.push_back(key);
+  }
+  return result;
+}
+
+const std::vector<std::string>& lint_rule_ids() {
+  static const std::vector<std::string> kIds = {
+      "static.unordered-iteration", "static.float-accumulation",
+      "static.nondeterminism-source", "static.pointer-keyed-order",
+      "static.raw-thread"};
+  return kIds;
+}
+
+audit::AuditReport lint_report(const std::vector<LintFinding>& findings) {
+  audit::AuditReport report;
+  for (const std::string& rule : lint_rule_ids()) report.mark_rule_run(rule);
+  for (const LintFinding& f : findings) {
+    audit::Diagnostic diag;
+    diag.rule = f.rule;
+    diag.message = f.file + ":" + std::to_string(f.line) + ": " + f.message;
+    diag.vertex = static_cast<std::uint64_t>(f.line);
+    report.add(diag);
+  }
+  return report;
+}
+
+}  // namespace pathrouting::analysis

@@ -1,0 +1,113 @@
+// Determinism-hazard linter: a deterministic token-level scanner over
+// the repo's own C++ sources that flags constructs able to break the
+// bit-identity guarantees (counts identical at any PR_THREADS,
+// byte-stable certificates, wrap-exact u64 formula arithmetic) — the
+// invariants the dynamic layers (TSan job, golden corpus, bench gate)
+// can only catch when a run happens to expose them.
+//
+// Rules (registered in the audit catalog under static.*):
+//   static.unordered-iteration   iterating an unordered_{map,set,...}
+//                                (range-for or .begin()/.end() in a for
+//                                header) — iteration order is
+//                                implementation-defined, so anything
+//                                folded from it can differ run-to-run.
+//                                Pure lookups (find/at/count) are fine.
+//   static.float-accumulation    compound accumulation (+= -= *= /=)
+//                                into a float/double — FP addition is
+//                                non-associative, so chunked/reordered
+//                                reductions drift. Counted paths must
+//                                stay integral.
+//   static.nondeterminism-source rand()/srand()/drand48()/lrand48(),
+//                                std::random_device, time(nullptr),
+//                                system_clock — ambient entropy in a
+//                                result path.
+//   static.pointer-keyed-order   std::map/std::set keyed by a raw
+//                                pointer type — ordered by address,
+//                                which varies per run (ASLR, allocator).
+//   static.raw-thread            std::thread/std::jthread/std::async/
+//                                pthread_create outside support/parallel
+//                                — work not in the pool escapes the
+//                                fixed-chunk ordered-reduction contract.
+//
+// Suppression: an inline `// pr-static: allow(<rule>)` comment on the
+// flagged line or the line directly above, or an entry in the committed
+// baseline file (tools/pr_static_baseline.txt), keyed by
+// rule|file|hash-of-trimmed-source-line so entries survive reflows but
+// new hazards hard-fail.
+//
+// The scanner is purely lexical (comments, string/char/raw-string
+// literals and preprocessor lines are stripped; no macro expansion or
+// type resolution), so it is fast, dependency-free and fully
+// deterministic — and, like any linter at this level, it names
+// declared-type hazards, not aliased ones.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pathrouting/audit/diagnostic.hpp"
+
+namespace pathrouting::analysis {
+
+struct LintFinding {
+  std::string rule;         // registry id, e.g. "static.raw-thread"
+  std::string file;         // label passed to scan_source (repo-relative)
+  int line = 0;             // 1-based
+  std::string message;      // one line, human-oriented
+  std::string source_line;  // the offending source line, untrimmed
+
+  bool operator==(const LintFinding&) const = default;
+};
+
+/// Scans one translation unit (already in memory; `file_label` is only
+/// recorded into findings). Inline `pr-static: allow(...)` suppressions
+/// are applied here; baseline suppression is a separate pass. Findings
+/// come back sorted by (line, rule) and deduplicated.
+[[nodiscard]] std::vector<LintFinding> scan_source(std::string_view file_label,
+                                                   std::string_view text);
+
+/// The committed suppression baseline: counts of accepted findings per
+/// key rule|file|fnv1a(trimmed source line). Hazards beyond their
+/// baselined count (or with no entry) are "new" and hard-fail.
+class SuppressionBaseline {
+ public:
+  [[nodiscard]] static std::string key(const LintFinding& finding);
+
+  /// One entry per line: "<count> <key>"; '#' comments and blank lines
+  /// ignored. Malformed lines are themselves reported as findings under
+  /// rule static.baseline by the caller-facing tool, so parse collects
+  /// them instead of throwing.
+  [[nodiscard]] static SuppressionBaseline parse(std::string_view text,
+                                                 std::vector<std::string>* errors = nullptr);
+  [[nodiscard]] static SuppressionBaseline from_findings(
+      const std::vector<LintFinding>& findings);
+  /// Deterministic rendering (sorted by key), parse-round-trip stable.
+  [[nodiscard]] std::string serialize() const;
+
+  [[nodiscard]] const std::map<std::string, int>& entries() const {
+    return entries_;
+  }
+
+  struct FilterResult {
+    std::vector<LintFinding> unsuppressed;  // beyond the baselined counts
+    std::vector<std::string> stale_keys;    // baselined but no longer found
+  };
+  /// Consumes baseline budget per finding key, in finding order.
+  [[nodiscard]] FilterResult apply(const std::vector<LintFinding>& findings) const;
+
+ private:
+  std::map<std::string, int> entries_;
+};
+
+/// All static.* rule ids, in registry (= report) order.
+[[nodiscard]] const std::vector<std::string>& lint_rule_ids();
+
+/// Renders findings as an audit report: every static.* rule is marked
+/// run, each finding becomes an error Diagnostic with the line number in
+/// the vertex slot.
+[[nodiscard]] audit::AuditReport lint_report(
+    const std::vector<LintFinding>& findings);
+
+}  // namespace pathrouting::analysis

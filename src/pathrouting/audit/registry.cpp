@@ -158,6 +158,37 @@ constexpr RuleInfo kRules[] = {
      "digest recorded in its header and to the digest the store indexed "
      "under its content address",
      "Lemmas 3-4, Theorem 2, Claim 1 (served certificate integrity)"},
+
+    // Static analysis (pr_static determinism-hazard linter): source
+    // constructs that can break the bit-identity contract the dynamic
+    // checks (TSan, golden corpus, bench gate) rely on.
+    {"static.unordered-iteration",
+     "no iteration over unordered_map/unordered_set feeds results — "
+     "visit order is implementation-defined",
+     "determinism contract (bit-identical counts at any PR_THREADS)"},
+    {"static.float-accumulation",
+     "no floating-point compound accumulation in counted paths — FP "
+     "reduction order changes the result",
+     "wrap-exact u64 arithmetic of Lemmas 3-4, Theorem 2, Claim 1"},
+    {"static.nondeterminism-source",
+     "no ambient entropy (rand/time(nullptr)/random_device/system_clock) "
+     "in result paths",
+     "determinism contract (reproducible certificates)"},
+    {"static.pointer-keyed-order",
+     "no std::map/std::set keyed by raw pointers — address order varies "
+     "per run",
+     "determinism contract (byte-stable certificates)"},
+    {"static.raw-thread",
+     "no raw std::thread/std::async/pthread_create outside "
+     "support/parallel — all work goes through the deterministic pool",
+     "determinism contract (fixed chunks, ordered reductions)"},
+
+    // Static analysis (pr_static overflow-envelope analyzer).
+    {"analysis.k-envelope",
+     "the statically derived first-wrap rank and low-word envelope of "
+     "each certificate quantity match the engines' closed forms and the "
+     "implicit verifier",
+     "Lemma 3, Theorem 2, Claim 1 (prefix-product and decode formulas)"},
 };
 
 bool matches(std::string_view id_or_prefix, std::string_view rule_id) {

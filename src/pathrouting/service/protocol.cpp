@@ -7,6 +7,12 @@
 namespace pathrouting::service {
 
 Command parse_command(const std::string& line) {
+  if (line.size() > kMaxLineLength) {
+    std::ostringstream os;
+    os << "request line too long (" << line.size() << " > " << kMaxLineLength
+       << " bytes)";
+    return Command{CommandType::kBad, {}, os.str()};
+  }
   std::istringstream is(line);
   std::string word;
   if (!(is >> word) || word[0] == '#') {
@@ -48,7 +54,9 @@ std::string format_response(const Request& request, const Response& response) {
   os << "cert alg=" << request.algorithm << " k=" << cert.k
      << " kind=" << kind_name(cert.kind)
      << " cached=" << (response.from_cache ? 1 : 0)
-     << " engine=" << cert.engine_version << " digest=" << cert.payload_digest;
+     << " engine=" << cert.engine_version << " digest=" << cert.payload_digest
+     << " wrap_k=" << response.envelope_wrap_k
+     << " exact=" << (response.envelope_exact ? 1 : 0);
   const auto& w = cert.words;
   switch (cert.kind) {
     case CertKind::kChain:

@@ -12,9 +12,16 @@
 // a fixed order:
 //
 //   cert alg=strassen k=3 kind=chain cached=1 engine=1 digest=...
+//     wrap_k=... exact=1
 //     chains=... l3_max=... l3_bound=... l3_argmax=... l4=1
 //     hit_fnv=... has_fnv=1      (one line in the actual protocol)
 //   error <message>
+//
+// wrap_k/exact carry the kind's statically derived overflow envelope
+// (analysis/envelope.hpp): the smallest rank at which some quantity of
+// the kind wraps u64 (0 = none within the scan depth) and whether this
+// certificate's counts are exact integers rather than mod-2^64
+// residues. Request lines longer than kMaxLineLength are rejected.
 //
 // Parsing and formatting live here (not in the tool) so the bench, the
 // CI smoke test, and the daemon agree on one grammar.
@@ -41,6 +48,11 @@ struct Command {
   Request request;    // valid for kGet
   std::string error;  // valid for kBad
 };
+
+/// Longest accepted request line; anything longer is rejected as kBad
+/// before parsing (a stuck or hostile client cannot make the daemon
+/// buffer unbounded tokens).
+inline constexpr std::size_t kMaxLineLength = 4096;
 
 /// Parses one request line ('#' starts a comment).
 [[nodiscard]] Command parse_command(const std::string& line);

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "pathrouting/analysis/envelope.hpp"
 #include "pathrouting/audit/audit.hpp"
 #include "pathrouting/bilinear/analysis.hpp"
 #include "pathrouting/bilinear/catalog.hpp"
@@ -64,6 +65,11 @@ struct CertificateService::EngineArena {
   int max_rank = 0;          // id-space ceiling for requests
   bool has_decode = false;   // decoding graph connected (Claim 1 applies)
   std::optional<routing::MemoRoutingEngine> engine;
+  /// Per-kind overflow envelopes for response annotation. Only the
+  /// first-wrap ranks are consumed here, so the value tracks are kept
+  /// at minimal depth — the wrap scan itself is closed-form arithmetic
+  /// and does not move the cold-miss latency budget (bench_service).
+  analysis::AlgorithmEnvelopes envelopes;
 
   explicit EngineArena(bilinear::BilinearAlgorithm algorithm)
       : alg(std::move(algorithm)),
@@ -77,6 +83,21 @@ struct CertificateService::EngineArena {
     } else {
       engine.emplace(router);
     }
+    analysis::EnvelopeOptions envelope_options;
+    envelope_options.value_kmax = 1;
+    envelope_options.stats_value_kmax = 1;
+    envelopes = analysis::compute_envelopes(alg, envelope_options);
+  }
+
+  /// Stamps the kind's envelope onto a successful response.
+  void annotate(const Request& request, Response& response) const {
+    if (!response.ok || request.kind == CertKind::kSegment) return;
+    const char* prefix = request.kind == CertKind::kChain ? "chain."
+                         : request.kind == CertKind::kFull ? "full."
+                                                           : "decode.";
+    const int wrap = envelopes.first_wrap_for_kind(prefix);
+    response.envelope_wrap_k = static_cast<std::uint32_t>(wrap);
+    response.envelope_exact = wrap == 0 || request.k < wrap;
   }
 };
 
@@ -292,7 +313,9 @@ Response CertificateService::serve(const Request& request) {
       std::lock_guard<std::mutex> lock(metrics_mutex_);
       ++metrics_.store_hits;
     }
-    return finish(key, std::move(*hit), true);
+    Response resp = finish(key, std::move(*hit), true);
+    arena->annotate(request, resp);
+    return resp;
   }
 
   // Admission: the first requester of a missing key computes; everyone
@@ -327,6 +350,7 @@ Response CertificateService::serve(const Request& request) {
     ++metrics_.computed;
   }
   Response resp = finish(key, std::move(cert), false);
+  arena->annotate(request, resp);
   owned->promise.set_value(resp);
   {
     std::lock_guard<std::mutex> lock(inflight_mutex_);
@@ -412,6 +436,7 @@ std::vector<Response> CertificateService::serve_batch(
       ++metrics_.store_hits;
     }
     responses[i] = finish(slots[i].key, std::move(*cert), !computed_here);
+    slots[i].arena->annotate(requests[i], responses[i]);
   }
   return responses;
 }

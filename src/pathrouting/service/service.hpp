@@ -82,6 +82,14 @@ struct Response {
   bool ok = false;
   std::string error;        // set when !ok
   bool from_cache = false;  // served from the store (no engine work)
+  /// Overflow envelope of the served kind (analysis::compute_envelopes):
+  /// the smallest rank at which some quantity of this kind wraps u64
+  /// (0 = none within the analyzer's scan depth) and whether this
+  /// certificate's counts are therefore exact integers (k below that
+  /// rank) rather than wrap-exact residues. Segment certificates are
+  /// not formula-modeled: wrap_k = 0, exact = true.
+  std::uint32_t envelope_wrap_k = 0;
+  bool envelope_exact = true;
   Certificate certificate;  // valid when ok
 };
 

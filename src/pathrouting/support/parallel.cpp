@@ -128,7 +128,8 @@ class Pool {
   std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable done_cv_;
-  std::vector<std::thread> workers_;
+  // The pool itself is the one sanctioned owner of raw threads.
+  std::vector<std::thread> workers_;  // pr-static: allow(static.raw-thread)
 
   const std::function<void(std::uint64_t, std::uint64_t, int)>* job_fn_ =
       nullptr;

@@ -1,0 +1,614 @@
+// The pr_static analysis layer, both passes.
+//
+// Linter: every seeded-hazard mutation must be caught (the self-test
+// the issue tracker calls "plant a hazard, watch it fail"), clean
+// idioms must stay silent, and both suppression mechanisms (inline
+// allow + committed baseline) must round-trip. TreeIsClean re-runs the
+// scanner over the real sources with the committed baseline, so a new
+// hazard fails here as well as in the pr_static ctest entry.
+//
+// Envelopes: the two-track arithmetic is pinned against hand values,
+// every catalog algorithm's envelope is cross-checked against its own
+// engines, the scalar first-wrap ranks are re-derived with independent
+// saturating 128-bit arithmetic, and the value track is diffed against
+// the golden-certificate corpus (including the implicit deep-k rows).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pathrouting/analysis/envelope.hpp"
+#include "pathrouting/analysis/static_lint.hpp"
+#include "pathrouting/bilinear/analysis.hpp"
+#include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/routing/chain_routing.hpp"
+#include "pathrouting/routing/decode_routing.hpp"
+#include "pathrouting/routing/memo_routing.hpp"
+
+#ifndef PR_GOLDEN_DIR
+#error "PR_GOLDEN_DIR must point at the checked-in corpus"
+#endif
+#ifndef PR_SOURCE_DIR
+#error "PR_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace {
+
+using namespace pathrouting;            // NOLINT
+using namespace pathrouting::analysis;  // NOLINT
+using u128 = unsigned __int128;
+
+// --- Wrapped arithmetic. ---
+
+TEST(WrappedTest, AddDetectsCarryExactly) {
+  const Wrapped max{~std::uint64_t{0}, false};
+  EXPECT_EQ(wrap_add(max, Wrapped{0, false}), (Wrapped{~std::uint64_t{0}, false}));
+  // 2^64 - 1 + 1 = 2^64 exactly: low 0, wrapped.
+  EXPECT_EQ(wrap_add(max, Wrapped{1, false}), (Wrapped{0, true}));
+  // Wrap is sticky through further additions.
+  EXPECT_EQ(wrap_add(Wrapped{0, true}, Wrapped{5, false}), (Wrapped{5, true}));
+}
+
+TEST(WrappedTest, MulDetectsOverflowExactly) {
+  const std::uint64_t two32 = std::uint64_t{1} << 32;
+  // 2^32 * 2^32 = 2^64: low word 0, wrapped set.
+  EXPECT_EQ(wrap_mul(Wrapped{two32, false}, Wrapped{two32, false}),
+            (Wrapped{0, true}));
+  // One below the boundary stays exact.
+  EXPECT_EQ(wrap_mul(Wrapped{two32, false}, Wrapped{two32 - 1, false}),
+            (Wrapped{(two32 - 1) << 32, false}));
+  // An exact zero annihilates a wrapped factor: 0 * huge = 0 exactly.
+  EXPECT_EQ(wrap_mul(Wrapped{0, false}, Wrapped{123, true}),
+            (Wrapped{0, false}));
+  EXPECT_EQ(wrap_mul(Wrapped{123, true}, Wrapped{0, false}),
+            (Wrapped{0, false}));
+}
+
+TEST(WrappedTest, PowMatchesEngineResidue) {
+  // 3^41 > 2^64: the low word must be the plain uint64 wraparound
+  // residue the engines would compute.
+  std::uint64_t residue = 1;
+  for (int i = 0; i < 41; ++i) residue *= 3;
+  const Wrapped p = wrap_pow(3, 41);
+  EXPECT_EQ(p.low, residue);
+  EXPECT_TRUE(p.wrapped);
+  EXPECT_FALSE(wrap_pow(3, 40).wrapped);  // 3^40 < 2^64
+}
+
+// --- Linter: seeded hazards (mutation self-test). ---
+
+std::vector<std::string> rules_of(const std::vector<LintFinding>& findings) {
+  std::vector<std::string> rules;
+  for (const LintFinding& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+TEST(StaticLintTest, CatchesUnorderedIterationBothForms) {
+  const auto findings = scan_source("seed.cpp",
+                                    "#include <unordered_map>\n"
+                                    "int sum(const std::unordered_map<int, int>& m) {\n"
+                                    "  int total = 0;\n"
+                                    "  for (const auto& [key, value] : m) total += value;\n"
+                                    "  for (auto it = m.begin(); it != m.end(); ++it) {}\n"
+                                    "  return total;\n"
+                                    "}\n");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "static.unordered-iteration");
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_EQ(findings[1].rule, "static.unordered-iteration");
+  EXPECT_EQ(findings[1].line, 5);
+}
+
+TEST(StaticLintTest, CatchesFloatAccumulation) {
+  const auto findings = scan_source("seed.cpp",
+                                    "double mean(int n) {\n"
+                                    "  double acc = 0;\n"
+                                    "  for (int i = 0; i < n; ++i) acc += 1.0 / (i + 1);\n"
+                                    "  return acc / n;\n"
+                                    "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "static.float-accumulation");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(StaticLintTest, CatchesNondeterminismSources) {
+  const auto findings = scan_source("seed.cpp",
+                                    "#include <random>\n"
+                                    "unsigned seed() {\n"
+                                    "  unsigned s = rand();\n"
+                                    "  std::random_device dev;\n"
+                                    "  s += static_cast<unsigned>(time(nullptr));\n"
+                                    "  return s + dev();\n"
+                                    "}\n");
+  const std::vector<std::string> rules = rules_of(findings);
+  EXPECT_EQ(rules, (std::vector<std::string>{"static.nondeterminism-source",
+                                             "static.nondeterminism-source",
+                                             "static.nondeterminism-source"}));
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_EQ(findings[1].line, 4);
+  EXPECT_EQ(findings[2].line, 5);
+}
+
+TEST(StaticLintTest, CatchesPointerKeyedContainers) {
+  const auto findings = scan_source("seed.cpp",
+                                    "#include <map>\n"
+                                    "#include <set>\n"
+                                    "struct Node;\n"
+                                    "std::map<const Node*, int> ranks;\n"
+                                    "std::set<Node*> visited;\n");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "static.pointer-keyed-order");
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_EQ(findings[1].rule, "static.pointer-keyed-order");
+  EXPECT_EQ(findings[1].line, 5);
+}
+
+TEST(StaticLintTest, CatchesRawThreadsAndAsync) {
+  const auto findings = scan_source("seed.cpp",
+                                    "#include <future>\n"
+                                    "#include <thread>\n"
+                                    "void spawn() {\n"
+                                    "  std::thread worker([] {});\n"
+                                    "  auto f = std::async([] { return 1; });\n"
+                                    "  worker.join();\n"
+                                    "}\n");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "static.raw-thread");
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_EQ(findings[1].rule, "static.raw-thread");
+  EXPECT_EQ(findings[1].line, 5);
+}
+
+// --- Linter: clean idioms must stay silent. ---
+
+TEST(StaticLintTest, IgnoresUnorderedLookupsAndOrderedIteration) {
+  EXPECT_TRUE(scan_source("clean.cpp",
+                          "#include <map>\n"
+                          "#include <unordered_map>\n"
+                          "int f(const std::unordered_map<int, int>& cache,\n"
+                          "      const std::map<int, int>& ordered) {\n"
+                          "  int total = cache.count(7) != 0 ? cache.at(7) : 0;\n"
+                          "  auto it = cache.find(9);\n"
+                          "  if (it != cache.end()) total += it->second;\n"
+                          "  for (const auto& [k, v] : ordered) total += v;\n"
+                          "  return total;\n"
+                          "}\n")
+                  .empty());
+}
+
+TEST(StaticLintTest, IgnoresHazardsInCommentsAndStrings) {
+  EXPECT_TRUE(scan_source("clean.cpp",
+                          "// std::thread worker; rand(); acc += 1.0;\n"
+                          "/* for (auto& x : unordered) {} */\n"
+                          "const char* doc = \"std::async(rand())\";\n"
+                          "const char* raw = R\"(time(nullptr))\";\n")
+                  .empty());
+}
+
+TEST(StaticLintTest, IgnoresPoolUtilitiesAndIntegerAccumulation) {
+  EXPECT_TRUE(scan_source("clean.cpp",
+                          "#include <thread>\n"
+                          "unsigned width() {\n"
+                          "  std::uint64_t hits = 0;\n"
+                          "  hits += 3;\n"
+                          "  return std::thread::hardware_concurrency();\n"
+                          "}\n")
+                  .empty());
+}
+
+// --- Linter: inline allow, both placements. ---
+
+TEST(StaticLintTest, InlineAllowSuppressesSameAndNextLine) {
+  const auto findings = scan_source(
+      "allowed.cpp",
+      "#include <thread>\n"
+      "std::thread a;  // pr-static: allow(static.raw-thread)\n"
+      "// pr-static: allow(static.raw-thread)\n"
+      "std::thread b;\n"
+      "std::thread c;\n");
+  ASSERT_EQ(findings.size(), 1u);  // only the unannotated declaration
+  EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(StaticLintTest, InlineAllowIsRuleSpecific) {
+  // An allow for a different rule must not silence the finding.
+  const auto findings = scan_source(
+      "allowed.cpp",
+      "#include <thread>\n"
+      "std::thread a;  // pr-static: allow(static.float-accumulation)\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "static.raw-thread");
+}
+
+// --- Suppression baseline. ---
+
+TEST(SuppressionBaselineTest, SerializeParsesBackToItself) {
+  const auto findings = scan_source("seed.cpp",
+                                    "#include <thread>\n"
+                                    "std::thread a;\n"
+                                    "std::thread a;\n"
+                                    "double acc = 0; void f() { acc += 1.0; }\n");
+  ASSERT_EQ(findings.size(), 3u);
+  const SuppressionBaseline baseline =
+      SuppressionBaseline::from_findings(findings);
+  // The two identical thread lines share one key with count 2.
+  ASSERT_EQ(baseline.entries().size(), 2u);
+  std::vector<std::string> errors;
+  const SuppressionBaseline reparsed =
+      SuppressionBaseline::parse(baseline.serialize(), &errors);
+  EXPECT_TRUE(errors.empty());
+  EXPECT_EQ(reparsed.entries(), baseline.entries());
+  // A fully baselined scan suppresses everything and goes stale nowhere.
+  const SuppressionBaseline::FilterResult result = baseline.apply(findings);
+  EXPECT_TRUE(result.unsuppressed.empty());
+  EXPECT_TRUE(result.stale_keys.empty());
+}
+
+TEST(SuppressionBaselineTest, NewHazardsExceedTheBudget) {
+  const auto one = scan_source("seed.cpp",
+                               "#include <thread>\n"
+                               "std::thread a;\n");
+  const auto two = scan_source("seed.cpp",
+                               "#include <thread>\n"
+                               "std::thread a;\n"
+                               "std::thread a;\n");
+  const SuppressionBaseline baseline = SuppressionBaseline::from_findings(one);
+  const SuppressionBaseline::FilterResult result = baseline.apply(two);
+  ASSERT_EQ(result.unsuppressed.size(), 1u);  // second copy is new
+  EXPECT_EQ(result.unsuppressed[0].rule, "static.raw-thread");
+  EXPECT_TRUE(result.stale_keys.empty());
+}
+
+TEST(SuppressionBaselineTest, FixedHazardsGoStale) {
+  const auto findings = scan_source("seed.cpp",
+                                    "#include <thread>\n"
+                                    "std::thread a;\n");
+  const SuppressionBaseline baseline =
+      SuppressionBaseline::from_findings(findings);
+  const SuppressionBaseline::FilterResult result = baseline.apply({});
+  EXPECT_TRUE(result.unsuppressed.empty());
+  ASSERT_EQ(result.stale_keys.size(), 1u);
+  EXPECT_EQ(result.stale_keys[0], SuppressionBaseline::key(findings[0]));
+}
+
+TEST(SuppressionBaselineTest, MalformedLinesAreCollected) {
+  std::vector<std::string> errors;
+  const SuppressionBaseline baseline = SuppressionBaseline::parse(
+      "# comment\n"
+      "\n"
+      "1 static.raw-thread|a.cpp|0011223344556677\n"
+      "zero static.raw-thread|a.cpp|0011223344556677\n"
+      "1 missing-separators\n",
+      &errors);
+  EXPECT_EQ(baseline.entries().size(), 1u);
+  EXPECT_EQ(errors.size(), 2u);
+}
+
+// --- Linter over the real tree. ---
+
+TEST(StaticLintTest, TreeIsCleanAgainstCommittedBaseline) {
+  namespace fs = std::filesystem;
+  const fs::path root(PR_SOURCE_DIR);
+  std::vector<std::string> files;
+  for (const char* subdir : {"src", "tools", "bench"}) {
+    for (const auto& entry : fs::recursive_directory_iterator(root / subdir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
+      files.push_back(fs::relative(entry.path(), root).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_GT(files.size(), 100u) << "tree walk found too few sources";
+
+  std::vector<LintFinding> findings;
+  for (const std::string& rel : files) {
+    std::ifstream in(root / rel, std::ios::binary);
+    ASSERT_TRUE(in.good()) << rel;
+    std::ostringstream text;
+    text << in.rdbuf();
+    const auto file_findings = scan_source(rel, text.str());
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+
+  std::ifstream in(root / "tools" / "pr_static_baseline.txt",
+                   std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing committed baseline";
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::vector<std::string> errors;
+  const SuppressionBaseline baseline =
+      SuppressionBaseline::parse(text.str(), &errors);
+  EXPECT_TRUE(errors.empty());
+  EXPECT_FALSE(baseline.entries().empty())
+      << "baseline should carry the accepted float-model findings";
+
+  const SuppressionBaseline::FilterResult result = baseline.apply(findings);
+  for (const LintFinding& f : result.unsuppressed) {
+    ADD_FAILURE() << "new determinism hazard: " << f.file << ":" << f.line
+                  << " [" << f.rule << "] " << f.message;
+  }
+  for (const std::string& key : result.stale_keys) {
+    ADD_FAILURE() << "stale baseline entry (hazard fixed — ratchet the "
+                     "baseline): "
+                  << key;
+  }
+}
+
+TEST(StaticLintTest, ReportMarksEveryRuleRun) {
+  const audit::AuditReport report = lint_report({});
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.rules_run(), lint_rule_ids());
+  ASSERT_EQ(lint_rule_ids().size(), 5u);
+}
+
+// --- Envelopes: every catalog algorithm against its own engines. ---
+
+TEST(EnvelopeTest, CatalogEnvelopesMatchEngines) {
+  for (const std::string& name : bilinear::catalog_names()) {
+    const bilinear::BilinearAlgorithm alg = bilinear::by_name(name);
+    const AlgorithmEnvelopes env = compute_envelopes(alg);
+    const routing::ChainRouter router(alg);
+    if (env.has_decode) {
+      const routing::DecodeRouter decoder(alg);
+      const routing::MemoRoutingEngine engine(router, decoder);
+      const audit::AuditReport report = check_envelopes(env, engine);
+      EXPECT_TRUE(report.ok()) << name << ": " << report.to_json();
+    } else {
+      const routing::MemoRoutingEngine engine(router);
+      const audit::AuditReport report = check_envelopes(env, engine);
+      EXPECT_TRUE(report.ok()) << name << ": " << report.to_json();
+    }
+  }
+}
+
+TEST(EnvelopeTest, MismatchedEngineIsDiagnosed) {
+  const AlgorithmEnvelopes env =
+      compute_envelopes(bilinear::by_name("strassen"));
+  const routing::ChainRouter router(bilinear::by_name("winograd"));
+  const routing::MemoRoutingEngine engine(router);
+  const audit::AuditReport report = check_envelopes(env, engine);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has_finding("analysis.k-envelope"));
+}
+
+// --- Envelopes: independent 128-bit confirmation of the scalar
+// first-wrap ranks (the "statically derived k matches runtime boundary
+// behaviour" acceptance check). ---
+
+constexpr u128 kCap = u128{1} << 126;
+
+u128 sat_mul(u128 x, u128 y) {
+  if (x == 0 || y == 0) return 0;
+  return x > kCap / y ? kCap : x * y;
+}
+
+u128 sat_pow(std::uint64_t base, int exp) {
+  u128 r = 1;
+  for (int i = 0; i < exp; ++i) r = sat_mul(r, base);
+  return r;
+}
+
+struct ScalarTruth {
+  const char* name;
+  std::uint64_t (routing::MemoRoutingEngine::*accessor)(int) const;  // or null
+  u128 (*value)(const bilinear::BilinearAlgorithm&, std::uint64_t extra, int k);
+};
+
+TEST(EnvelopeTest, ScalarFirstWrapMatchesIndependentArithmetic) {
+  const auto truths = std::vector<ScalarTruth>{
+      {"chain.num_chains", &routing::MemoRoutingEngine::expected_num_chains,
+       [](const bilinear::BilinearAlgorithm& alg, std::uint64_t, int k) {
+         return sat_mul(2, sat_pow(static_cast<std::uint64_t>(alg.a()) *
+                                       static_cast<std::uint64_t>(alg.n0()),
+                                   k));
+       }},
+      {"chain.total_hits",
+       &routing::MemoRoutingEngine::expected_chain_total_hits,
+       [](const bilinear::BilinearAlgorithm& alg, std::uint64_t, int k) {
+         return sat_mul(sat_mul(2, sat_pow(static_cast<std::uint64_t>(alg.a()) *
+                                               static_cast<std::uint64_t>(
+                                                   alg.n0()),
+                                           k)),
+                        static_cast<std::uint64_t>(2 * k + 2));
+       }},
+      {"chain.l3_bound", nullptr,
+       [](const bilinear::BilinearAlgorithm& alg, std::uint64_t, int k) {
+         return sat_mul(2, sat_pow(static_cast<std::uint64_t>(alg.n0()), k));
+       }},
+      {"full.t2_paths", nullptr,
+       [](const bilinear::BilinearAlgorithm& alg, std::uint64_t, int k) {
+         return sat_mul(2, sat_pow(static_cast<std::uint64_t>(alg.a()), 2 * k));
+       }},
+      {"full.t2_bound", nullptr,
+       [](const bilinear::BilinearAlgorithm& alg, std::uint64_t, int k) {
+         return sat_mul(6, sat_pow(static_cast<std::uint64_t>(alg.a()), k));
+       }},
+      {"decode.num_paths",
+       &routing::MemoRoutingEngine::expected_num_decode_paths,
+       [](const bilinear::BilinearAlgorithm& alg, std::uint64_t, int k) {
+         return sat_pow(static_cast<std::uint64_t>(alg.a()) *
+                            static_cast<std::uint64_t>(alg.b()),
+                        k);
+       }},
+      {"decode.total_hits",
+       &routing::MemoRoutingEngine::expected_decode_total_hits,
+       [](const bilinear::BilinearAlgorithm& alg, std::uint64_t visits, int k) {
+         const std::uint64_t ab = static_cast<std::uint64_t>(alg.a()) *
+                                  static_cast<std::uint64_t>(alg.b());
+         return sat_pow(ab, k) +
+                sat_mul(sat_mul(static_cast<std::uint64_t>(k),
+                                sat_pow(ab, k - 1)),
+                        visits);
+       }},
+      {"decode.bound", nullptr,
+       [](const bilinear::BilinearAlgorithm& alg, std::uint64_t d1, int k) {
+         return sat_mul(d1, sat_pow(std::max(static_cast<std::uint64_t>(alg.a()),
+                                             static_cast<std::uint64_t>(alg.b())),
+                                    k));
+       }},
+  };
+
+  for (const std::string& name : bilinear::catalog_names()) {
+    const bilinear::BilinearAlgorithm alg = bilinear::by_name(name);
+    const AlgorithmEnvelopes env = compute_envelopes(alg);
+    const routing::ChainRouter router(alg);
+    const bool decode = env.has_decode;
+    std::optional<routing::DecodeRouter> decoder;
+    if (decode) decoder.emplace(alg);
+    std::optional<routing::MemoRoutingEngine> engine_storage;
+    if (decode) {
+      engine_storage.emplace(router, *decoder);
+    } else {
+      engine_storage.emplace(router);
+    }
+    const routing::MemoRoutingEngine& engine = *engine_storage;
+
+    for (const ScalarTruth& truth : truths) {
+      const QuantityEnvelope* q = env.find(truth.name);
+      if (std::string_view(truth.name).starts_with("decode.") && !decode) {
+        EXPECT_EQ(q, nullptr) << name << " " << truth.name;
+        continue;
+      }
+      ASSERT_NE(q, nullptr) << name << " " << truth.name;
+
+      // Per-D1-vertex visit total, recovered from the engine itself at
+      // k = 1 (total_hits(1) = ab + visits); d1_size for the bound.
+      std::uint64_t extra = 0;
+      if (decode) {
+        extra = std::string(truth.name) == "decode.total_hits"
+                    ? engine.expected_decode_total_hits(1) -
+                          static_cast<std::uint64_t>(alg.a()) *
+                              static_cast<std::uint64_t>(alg.b())
+                    : static_cast<std::uint64_t>(decoder->d1_size());
+      }
+
+      // Independent first-wrap rank.
+      int expected_wrap = 0;
+      for (int k = 1; k <= q->wrap_scan_kmax; ++k) {
+        if ((truth.value(alg, extra, k) >> 64) != 0) {
+          expected_wrap = k;
+          break;
+        }
+      }
+      EXPECT_EQ(q->first_wrap_k, expected_wrap) << name << " " << truth.name;
+      ASSERT_GT(expected_wrap, 0)
+          << name << " " << truth.name
+          << ": every catalog scalar wraps within the default scan";
+
+      // Around the boundary the envelope low word, the exact 128-bit
+      // value mod 2^64 and (where one exists) the engine's wrap-exact
+      // accessor must all agree bit for bit — and the exact value must
+      // cross 2^64 at precisely the derived rank.
+      const int lo = std::max(1, expected_wrap - 2);
+      const int hi = std::min(q->value_kmax, expected_wrap + 2);
+      for (int k = lo; k <= hi; ++k) {
+        const u128 exact = truth.value(alg, extra, k);
+        ASSERT_LT(exact, kCap) << name << " " << truth.name << " k=" << k;
+        EXPECT_EQ(q->low_at(k), static_cast<std::uint64_t>(exact))
+            << name << " " << truth.name << " k=" << k;
+        EXPECT_EQ((exact >> 64) != 0, k >= expected_wrap)
+            << name << " " << truth.name << " k=" << k;
+        if (truth.accessor != nullptr) {
+          EXPECT_EQ(q->low_at(k), (engine.*truth.accessor)(k))
+              << name << " " << truth.name << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(EnvelopeTest, StrassenHeadlineBoundaries) {
+  // The headline algorithm's envelope, pinned as literals (n0 = 2,
+  // a = 4, b = 7): any change here is a behavioural change in either
+  // the engines' formulas or the analyzer.
+  const AlgorithmEnvelopes env =
+      compute_envelopes(bilinear::by_name("strassen"));
+  const auto wrap_of = [&](const char* name) {
+    const QuantityEnvelope* q = env.find(name);
+    return q == nullptr ? -1 : q->first_wrap_k;
+  };
+  EXPECT_EQ(wrap_of("chain.num_chains"), 21);   // 2 * 8^k
+  EXPECT_EQ(wrap_of("chain.total_hits"), 20);   // 2 * 8^k * (2k + 2)
+  EXPECT_EQ(wrap_of("chain.l3_bound"), 63);     // 2 * 2^k
+  EXPECT_EQ(wrap_of("chain.l3_max"), 63);
+  EXPECT_EQ(wrap_of("full.t2_paths"), 16);      // 2 * 16^k
+  EXPECT_EQ(wrap_of("full.t2_bound"), 31);      // 6 * 4^k
+  EXPECT_EQ(wrap_of("full.t2_max"), 31);        // 3 * 2^(2k+1)
+  EXPECT_EQ(wrap_of("full.t2_meta"), 32);       // 3 * 4^k
+  EXPECT_EQ(wrap_of("decode.num_paths"), 14);   // 28^k
+  EXPECT_EQ(wrap_of("decode.total_hits"), 13);
+  EXPECT_EQ(wrap_of("decode.bound"), 22);       // 11 * 7^k
+  EXPECT_EQ(wrap_of("decode.max"), 23);
+  // The service annotates a chain certificate with the kind minimum.
+  EXPECT_EQ(env.first_wrap_for_kind("chain."), 20);
+  EXPECT_EQ(env.first_wrap_for_kind("full."), 16);
+  EXPECT_EQ(env.first_wrap_for_kind("decode."), 13);
+}
+
+// --- Envelopes: value track against the golden-certificate corpus. ---
+
+// Key/value token stream of one golden line ("k 4 chains 8192 ...").
+std::map<std::string, std::uint64_t> parse_kv(std::istringstream& line) {
+  std::map<std::string, std::uint64_t> kv;
+  std::string key;
+  std::uint64_t value = 0;
+  while (line >> key >> value) kv[key] = value;
+  return kv;
+}
+
+TEST(EnvelopeTest, ValuesMatchGoldenCorpus) {
+  // Golden keys -> envelope quantity names. Bounds appear only on the
+  // explicit "k" lines; the implicit lines add the deep-k stats.
+  const std::vector<std::pair<std::string, std::string>> kMap = {
+      {"chains", "chain.num_chains"},   {"l3_max", "chain.l3_max"},
+      {"l3_bound", "chain.l3_bound"},   {"t2_max", "full.t2_max"},
+      {"t2_meta", "full.t2_meta"},      {"t2_bound", "full.t2_bound"},
+      {"decode_paths", "decode.num_paths"},
+      {"decode_max", "decode.max"},     {"decode_bound", "decode.bound"},
+  };
+  int compared = 0;
+  for (const char* name : {"strassen", "winograd", "laderman"}) {
+    const AlgorithmEnvelopes env = compute_envelopes(bilinear::by_name(name));
+    const std::string path =
+        std::string(PR_GOLDEN_DIR) + "/" + name + ".golden";
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "missing golden file " << path;
+    std::string line;
+    while (std::getline(in, line)) {
+      std::istringstream ls(line);
+      std::string head;
+      ls >> head;
+      if (head == "implicit") ls >> head;  // fall through to the k grammar
+      if (head != "k") continue;
+      int k = 0;
+      ls >> k;
+      ASSERT_GE(k, 1) << name << ": " << line;
+      for (const auto& [key, value] : parse_kv(ls)) {
+        const auto mapped =
+            std::find_if(kMap.begin(), kMap.end(),
+                         [&](const auto& p) { return p.first == key; });
+        if (mapped == kMap.end()) continue;  // argmax / fnv / l4 / root
+        const QuantityEnvelope* q = env.find(mapped->second);
+        ASSERT_NE(q, nullptr) << name << " " << mapped->second;
+        if (k > q->value_kmax) continue;  // beyond the class-walk depth
+        EXPECT_EQ(q->low_at(k), value)
+            << name << " k=" << k << " " << mapped->second;
+        ++compared;
+      }
+    }
+  }
+  // The corpus pins explicit k-lines and implicit rows to k = 10; the
+  // cross-check must actually have bitten.
+  EXPECT_GT(compared, 150);
+}
+
+}  // namespace

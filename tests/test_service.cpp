@@ -696,3 +696,105 @@ TEST(ServiceAudit, AuditingServiceServesCleanly) {
 }
 
 }  // namespace
+
+TEST(Protocol, RejectsOverlongLinesAtTheExactBoundary) {
+  // One byte past kMaxLineLength is rejected before tokenizing ...
+  const std::string overlong(service::kMaxLineLength + 1, 'a');
+  const service::Command bad = service::parse_command(overlong);
+  EXPECT_EQ(bad.type, service::CommandType::kBad);
+  EXPECT_NE(bad.error.find("too long"), std::string::npos) << bad.error;
+  // ... even when the prefix would have parsed as a valid get.
+  std::string padded_get = "get strassen 3 chain";
+  padded_get.resize(service::kMaxLineLength + 1, ' ');
+  EXPECT_EQ(service::parse_command(padded_get).type,
+            service::CommandType::kBad);
+  // Exactly at the limit the normal grammar applies.
+  std::string comment = "# ";
+  comment.resize(service::kMaxLineLength, 'x');
+  EXPECT_EQ(service::parse_command(comment).type,
+            service::CommandType::kEmpty);
+  std::string get_at_limit = "get strassen 3 chain";
+  get_at_limit.resize(service::kMaxLineLength, ' ');
+  EXPECT_EQ(service::parse_command(get_at_limit).type,
+            service::CommandType::kGet);
+}
+
+TEST(Protocol, TruncatedAndMalformedGetFieldsCarryDiagnostics) {
+  const service::Command no_fields = service::parse_command("get");
+  EXPECT_EQ(no_fields.type, service::CommandType::kBad);
+  EXPECT_NE(no_fields.error.find("usage"), std::string::npos);
+
+  const service::Command no_kind = service::parse_command("get strassen 3");
+  EXPECT_EQ(no_kind.type, service::CommandType::kBad);
+  EXPECT_NE(no_kind.error.find("usage"), std::string::npos);
+
+  const service::Command bad_k = service::parse_command("get strassen three chain");
+  EXPECT_EQ(bad_k.type, service::CommandType::kBad);
+
+  const service::Command bad_kind =
+      service::parse_command("get strassen 3 chains");
+  EXPECT_EQ(bad_kind.type, service::CommandType::kBad);
+  EXPECT_NE(bad_kind.error.find("unknown certificate kind"), std::string::npos);
+
+  const service::Command verb = service::parse_command("Get strassen 3 chain");
+  EXPECT_EQ(verb.type, service::CommandType::kBad);  // verbs are case-exact
+  EXPECT_NE(verb.error.find("unknown command"), std::string::npos);
+
+  const service::Command trailing =
+      service::parse_command("get strassen 3 chain 7");
+  EXPECT_EQ(trailing.type, service::CommandType::kBad);
+  EXPECT_NE(trailing.error.find("trailing"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Overflow-envelope annotation
+
+TEST(CertificateService, AnnotatesServedCertificatesWithEnvelope) {
+  // Strassen's statically derived kind envelopes (pinned against the
+  // analyzer by test_analysis): chain wraps first at k = 20
+  // (chain.total_hits), full at 16 (t2_paths), decode at 13
+  // (decode.total_hits). Everything served at small k is exact.
+  service::CertificateService svc(service::ServiceConfig{});
+
+  const service::Response chain = svc.serve({"strassen", 3, CertKind::kChain});
+  ASSERT_TRUE(chain.ok) << chain.error;
+  EXPECT_EQ(chain.envelope_wrap_k, 20u);
+  EXPECT_TRUE(chain.envelope_exact);
+
+  const service::Response full = svc.serve({"strassen", 2, CertKind::kFull});
+  ASSERT_TRUE(full.ok) << full.error;
+  EXPECT_EQ(full.envelope_wrap_k, 16u);
+  EXPECT_TRUE(full.envelope_exact);
+
+  const service::Response decode =
+      svc.serve({"strassen", 3, CertKind::kDecode});
+  ASSERT_TRUE(decode.ok) << decode.error;
+  EXPECT_EQ(decode.envelope_wrap_k, 13u);
+  EXPECT_TRUE(decode.envelope_exact);
+
+  // Segment certificates carry no wrap-scanned formula quantities.
+  const service::Response segment =
+      svc.serve({"strassen", 2, CertKind::kSegment});
+  ASSERT_TRUE(segment.ok) << segment.error;
+  EXPECT_EQ(segment.envelope_wrap_k, 0u);
+  EXPECT_TRUE(segment.envelope_exact);
+
+  // Store hits and batch responses carry the same annotation.
+  const service::Response again = svc.serve({"strassen", 3, CertKind::kChain});
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_TRUE(again.from_cache);
+  EXPECT_EQ(again.envelope_wrap_k, 20u);
+  EXPECT_TRUE(again.envelope_exact);
+
+  const std::vector<service::Request> batch{
+      {"strassen", 3, CertKind::kChain}, {"strassen", 2, CertKind::kFull}};
+  const std::vector<service::Response> responses = svc.serve_batch(batch);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].envelope_wrap_k, 20u);
+  EXPECT_EQ(responses[1].envelope_wrap_k, 16u);
+
+  // The protocol line exposes both fields between digest and payload.
+  const std::string line =
+      service::format_response({"strassen", 3, CertKind::kChain}, chain);
+  EXPECT_NE(line.find(" wrap_k=20 exact=1 "), std::string::npos) << line;
+}

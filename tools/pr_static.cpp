@@ -1,0 +1,328 @@
+// pr_static: the determinism-hazard linter and the symbolic
+// overflow-envelope analyzer as one command-line tool.
+//
+// Lint mode (default) scans the repo's own C++ sources for bit-identity
+// hazards (see analysis/static_lint.hpp for the rule set). Findings are
+// suppressed by inline `// pr-static: allow(<rule>)` comments or by the
+// committed baseline; anything beyond that — including stale baseline
+// entries — fails. Typical CI invocation, from the repo root:
+//
+//   pr_static                                   # src,tools,bench; baseline
+//   pr_static --paths src --json
+//   pr_static --write-baseline tools/pr_static_baseline.txt
+//
+// Envelope mode (--envelopes) derives, per catalog algorithm, the exact
+// rank k at which each certificate quantity of the Lemma-3/Theorem-2
+// chain formulas and the Claim-1 decode formulas first wraps u64, and
+// with --check replays the memo/implicit engines against the derived
+// envelope (audit rule analysis.k-envelope):
+//
+//   pr_static --envelopes --alg all --check     # hard-fail CI step
+//   pr_static --envelopes --alg strassen --json
+//
+// Exit status: 0 = clean, 1 = findings, 2 = usage error.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pathrouting/analysis/envelope.hpp"
+#include "pathrouting/analysis/static_lint.hpp"
+#include "pathrouting/audit/registry.hpp"
+#include "pathrouting/bilinear/analysis.hpp"
+#include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/routing/chain_routing.hpp"
+#include "pathrouting/routing/decode_routing.hpp"
+#include "pathrouting/routing/memo_routing.hpp"
+#include "pathrouting/support/cli.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using pathrouting::analysis::AlgorithmEnvelopes;
+using pathrouting::analysis::LintFinding;
+using pathrouting::analysis::QuantityEnvelope;
+using pathrouting::analysis::SuppressionBaseline;
+
+bool has_source_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h";
+}
+
+/// All source files under root/<subdir> for each comma-separated subdir,
+/// as sorted root-relative generic paths (deterministic scan order).
+std::vector<std::string> list_sources(const fs::path& root,
+                                      const std::string& paths_spec,
+                                      std::string& error) {
+  std::vector<std::string> files;
+  std::size_t start = 0;
+  while (start <= paths_spec.size()) {
+    const std::size_t comma = paths_spec.find(',', start);
+    const std::size_t end =
+        comma == std::string::npos ? paths_spec.size() : comma;
+    const std::string sub = paths_spec.substr(start, end - start);
+    if (!sub.empty()) {
+      const fs::path dir = root / sub;
+      std::error_code ec;
+      if (!fs::is_directory(dir, ec)) {
+        error = "not a directory: " + dir.string();
+        return {};
+      }
+      for (fs::recursive_directory_iterator it(dir, ec), last; it != last;
+           it.increment(ec)) {
+        if (ec) {
+          error = "walking " + dir.string() + ": " + ec.message();
+          return {};
+        }
+        if (it->is_regular_file() && has_source_extension(it->path())) {
+          files.push_back(
+              it->path().lexically_relative(root).generic_string());
+        }
+      }
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+int run_lint(const std::string& root_spec, const std::string& paths,
+             const std::string& baseline_path,
+             const std::string& write_baseline, bool json) {
+  const fs::path root(root_spec);
+  std::string error;
+  const std::vector<std::string> files = list_sources(root, paths, error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "pr_static: %s\n", error.c_str());
+    return 2;
+  }
+
+  std::vector<LintFinding> findings;
+  for (const std::string& file : files) {
+    std::ifstream is(root / file, std::ios::binary);
+    if (!is) {
+      std::fprintf(stderr, "pr_static: cannot open '%s'\n", file.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << is.rdbuf();
+    for (LintFinding& f : pathrouting::analysis::scan_source(file, text.str())) {
+      findings.push_back(std::move(f));
+    }
+  }
+
+  if (!write_baseline.empty()) {
+    // Same resolution rule as --baseline, so the write/read round trip
+    // names one file regardless of the invocation directory.
+    const fs::path out = root / write_baseline;
+    std::ofstream os(out, std::ios::binary);
+    if (!os) {
+      std::fprintf(stderr, "pr_static: cannot write '%s'\n",
+                   out.string().c_str());
+      return 2;
+    }
+    os << SuppressionBaseline::from_findings(findings).serialize();
+    std::fprintf(stderr,
+                 "pr_static: wrote %zu finding(s) over %zu file(s) to %s\n",
+                 findings.size(), files.size(), out.string().c_str());
+    return 0;
+  }
+
+  SuppressionBaseline baseline;
+  std::vector<std::string> baseline_errors;
+  if (!baseline_path.empty()) {
+    std::ifstream is(root / baseline_path, std::ios::binary);
+    if (is) {
+      std::ostringstream text;
+      text << is.rdbuf();
+      baseline = SuppressionBaseline::parse(text.str(), &baseline_errors);
+    } else {
+      std::fprintf(stderr,
+                   "pr_static: note: baseline '%s' not found; treating as "
+                   "empty\n",
+                   (root / baseline_path).string().c_str());
+    }
+  }
+  const SuppressionBaseline::FilterResult filtered = baseline.apply(findings);
+
+  bool failed = !filtered.unsuppressed.empty() || !baseline_errors.empty() ||
+                !filtered.stale_keys.empty();
+  if (json) {
+    std::fputs(
+        pathrouting::analysis::lint_report(filtered.unsuppressed).to_json().c_str(),
+        stdout);
+    std::fputc('\n', stdout);
+  } else {
+    for (const LintFinding& f : filtered.unsuppressed) {
+      std::printf("%s:%d: [%s] %s\n    %s\n", f.file.c_str(), f.line,
+                  f.rule.c_str(), f.message.c_str(), f.source_line.c_str());
+    }
+    for (const std::string& err : baseline_errors) {
+      std::printf("pr_static: %s\n", err.c_str());
+    }
+    for (const std::string& key : filtered.stale_keys) {
+      std::printf(
+          "pr_static: stale baseline entry (hazard no longer present): %s\n",
+          key.c_str());
+    }
+    std::printf(
+        "pr_static: %zu file(s), %zu finding(s), %zu beyond "
+        "suppressions%s\n",
+        files.size(), findings.size(), filtered.unsuppressed.size(),
+        filtered.stale_keys.empty()
+            ? ""
+            : " (stale baseline entries: regenerate with --write-baseline)");
+  }
+  return failed ? 1 : 0;
+}
+
+void print_envelopes_text(const AlgorithmEnvelopes& env) {
+  std::printf("== %s ==%s\n", env.algorithm.c_str(),
+              env.has_decode ? "" : " (decoding graph disconnected: no "
+                                    "decode quantities)");
+  for (const QuantityEnvelope& q : env.quantities) {
+    if (q.first_wrap_k == 0) {
+      std::printf("  %-18s exact for all k <= %d\n", q.name.c_str(),
+                  q.wrap_scan_kmax);
+      continue;
+    }
+    std::printf("  %-18s wraps u64 at k=%-3d", q.name.c_str(), q.first_wrap_k);
+    if (q.first_wrap_k > 1 && q.first_wrap_k - 1 <= q.value_kmax) {
+      std::printf(" last exact value %llu at k=%d",
+                  static_cast<unsigned long long>(q.low_at(q.first_wrap_k - 1)),
+                  q.first_wrap_k - 1);
+    }
+    std::printf("\n");
+  }
+}
+
+std::string envelopes_json(const AlgorithmEnvelopes& env) {
+  std::ostringstream os;
+  os << "{\"algorithm\":\"" << env.algorithm << "\",\"has_decode\":"
+     << (env.has_decode ? "true" : "false") << ",\"quantities\":[";
+  for (std::size_t i = 0; i < env.quantities.size(); ++i) {
+    const QuantityEnvelope& q = env.quantities[i];
+    if (i > 0) os << ',';
+    os << "{\"name\":\"" << q.name << "\",\"first_wrap_k\":" << q.first_wrap_k
+       << ",\"wrap_scan_kmax\":" << q.wrap_scan_kmax
+       << ",\"value_kmax\":" << q.value_kmax << ",\"low\":[";
+    for (std::size_t j = 0; j < q.low.size(); ++j) {
+      if (j > 0) os << ',';
+      os << q.low[j];
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+int run_envelopes(const std::string& alg_name, bool check, bool json) {
+  std::vector<std::string> names;
+  if (alg_name == "all") {
+    names = pathrouting::bilinear::catalog_names();
+  } else {
+    const std::vector<std::string> all = pathrouting::bilinear::catalog_names();
+    if (std::find(all.begin(), all.end(), alg_name) == all.end()) {
+      std::fprintf(stderr, "pr_static: unknown catalog algorithm '%s'\n",
+                   alg_name.c_str());
+      return 2;
+    }
+    names.push_back(alg_name);
+  }
+
+  std::uint64_t total_errors = 0;
+  std::string json_out = "[";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const pathrouting::bilinear::BilinearAlgorithm alg =
+        pathrouting::bilinear::by_name(names[i]);
+    const AlgorithmEnvelopes env =
+        pathrouting::analysis::compute_envelopes(alg);
+    std::string check_json;
+    if (check) {
+      const pathrouting::routing::ChainRouter router(alg);
+      pathrouting::audit::AuditReport report;
+      if (env.has_decode) {
+        const pathrouting::routing::DecodeRouter decoder(alg);
+        const pathrouting::routing::MemoRoutingEngine engine(router, decoder);
+        report = pathrouting::analysis::check_envelopes(env, engine);
+      } else {
+        const pathrouting::routing::MemoRoutingEngine engine(router);
+        report = pathrouting::analysis::check_envelopes(env, engine);
+      }
+      total_errors += report.num_errors();
+      if (json) {
+        check_json = ",\"report\":" + report.to_json();
+      } else if (!report.ok()) {
+        std::printf("%s", report.to_text().c_str());
+      }
+    }
+    if (json) {
+      if (i > 0) json_out += ',';
+      json_out += "{\"envelopes\":" + envelopes_json(env) + check_json + '}';
+    } else {
+      print_envelopes_text(env);
+      if (check) {
+        std::printf("  analysis.k-envelope: %s\n",
+                    total_errors == 0 ? "ok" : "FAILED");
+      }
+    }
+  }
+  if (json) {
+    json_out += "]\n";
+    std::fputs(json_out.c_str(), stdout);
+  }
+  return total_errors > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pathrouting::support::Cli cli(argc, argv);
+  const std::string root = cli.flag_str("root", ".", "repo root to scan");
+  const std::string paths = cli.flag_str(
+      "paths", "src,tools,bench", "comma-separated subdirs to lint");
+  const std::string baseline = cli.flag_str(
+      "baseline", "tools/pr_static_baseline.txt",
+      "suppression baseline (relative to --root; '' = none)");
+  const std::string write_baseline = cli.flag_str(
+      "write-baseline", "",
+      "regenerate the baseline file (relative to --root) and exit");
+  const bool envelopes = cli.flag_bool(
+      "envelopes", false, "overflow-envelope mode instead of linting");
+  const std::string alg =
+      cli.flag_str("alg", "all", "catalog algorithm for --envelopes");
+  const bool check = cli.flag_bool(
+      "check", false,
+      "with --envelopes: replay the memo/implicit engines against the "
+      "derived envelopes (audit rule analysis.k-envelope)");
+  const bool json = cli.flag_bool("json", false, "JSON output");
+  const bool list_rules =
+      cli.flag_bool("list-rules", false, "print the static.* and analysis.* "
+                                         "rule registry entries and exit");
+  cli.finish(
+      "Static analysis for the determinism contract: lints the sources for "
+      "bit-identity hazards and derives the exact u64-wraparound rank of "
+      "every certificate bound formula.");
+
+  if (list_rules) {
+    for (const pathrouting::audit::RuleInfo& rule :
+         pathrouting::audit::all_rules()) {
+      if (!rule.id.starts_with("static.") &&
+          !rule.id.starts_with("analysis.")) {
+        continue;
+      }
+      std::printf("%-28s %.*s\n    %.*s\n", std::string(rule.id).c_str(),
+                  static_cast<int>(rule.paper_ref.size()),
+                  rule.paper_ref.data(),
+                  static_cast<int>(rule.summary.size()), rule.summary.data());
+    }
+    return 0;
+  }
+  if (envelopes) return run_envelopes(alg, check, json);
+  return run_lint(root, paths, baseline, write_baseline, json);
+}
