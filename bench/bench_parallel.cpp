@@ -9,6 +9,9 @@
 // exponent and loses to CAPS as P grows.
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -25,7 +28,21 @@ using support::fmt_fixed;
 using support::fmt_sci;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // E8c runs real data through the machine, so the per-processor
+  // memory is a sweep parameter, not a constant: shrink it to probe
+  // the within-memory flag, grow it for larger grids.
+  std::uint64_t summa_memory = 1ull << 30;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--summa-memory=", 15) == 0) {
+      summa_memory = std::strtoull(arg + 15, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: bench_parallel [--summa-memory=WORDS]\n");
+      return 2;
+    }
+  }
+
   bench::print_banner(
       "E8a: CAPS bandwidth vs P (Strassen, n = 2^12)",
       "Unlimited memory (all-BFS) follows the memory-independent bound\n"
@@ -105,7 +122,7 @@ int main() {
     const auto a = matmul::random_matrix<std::int64_t>(n, rng);
     const auto b = matmul::random_matrix<std::int64_t>(n, rng);
     for (const int grid : {2, 4, 8}) {
-      parallel::Machine machine(grid * grid, 1ull << 30);
+      parallel::Machine machine(grid * grid, summa_memory);
       const auto res = parallel::run_summa(a, b, grid, 4, machine);
       table.add_row({std::to_string(n), std::to_string(grid),
                      std::to_string(grid * grid), fmt_count(res.bandwidth_cost),

@@ -159,6 +159,27 @@ Wrapped wrap_pow(std::uint64_t base, int exp) {
   return r;
 }
 
+Wrapped machine_summa_total_words(std::uint64_t grid, std::uint64_t nb) {
+  if (grid < 2) return {};
+  return wrap_mul(
+      wrap_mul(Wrapped{2}, wrap_mul(Wrapped{grid}, Wrapped{grid})),
+      wrap_mul(Wrapped{grid - 1}, wrap_mul(Wrapped{nb}, Wrapped{nb})));
+}
+
+Wrapped machine_summa_bandwidth(std::uint64_t grid, std::uint64_t nb) {
+  if (grid < 2) return {};
+  const std::uint64_t slices = grid >= 3 ? 4 : 2;
+  return wrap_mul(wrap_mul(Wrapped{slices}, Wrapped{grid}),
+                  wrap_mul(Wrapped{nb}, Wrapped{nb}));
+}
+
+Wrapped machine_strassen_total_words(std::uint64_t b, std::uint64_t half) {
+  if (b < 2) return {};
+  return wrap_mul(Wrapped{3},
+                  wrap_mul(Wrapped{b - 1},
+                           wrap_mul(Wrapped{half}, Wrapped{half})));
+}
+
 std::uint64_t QuantityEnvelope::low_at(int k) const {
   PR_REQUIRE_MSG(k >= 1 && k <= value_kmax,
                  "envelope value queried outside the analyzed range");

@@ -65,6 +65,34 @@ struct Wrapped {
 [[nodiscard]] Wrapped wrap_mul(Wrapped x, Wrapped y);
 [[nodiscard]] Wrapped wrap_pow(std::uint64_t base, int exp);
 
+/// Machine-counter envelopes: the same two-track arithmetic applied to
+/// the simulated distributed machine's lifetime counters. Unlike the
+/// certificate engines, parallel::Machine does NOT wrap — its
+/// checked_add aborts at 2^64 — so here `wrapped` marks the problem
+/// sizes a sweep must not cross, and `low` is bit-identical to the
+/// counters the machine reports everywhere below that frontier
+/// (audit rule machine.superstep-conservation ties the counters to the
+/// per-superstep log; these forms tie them to the schedule).
+///
+/// SUMMA on a grid x grid torus with nb = n/grid block rows: each of
+/// the n/panel panel supersteps moves 2*grid*(grid-1) slices of
+/// nb*panel words, so total_words = 2*grid^2*(grid-1)*nb^2, and the
+/// per-superstep max traffic is 4 slices for grid >= 3 (a mid-ring
+/// processor sends and receives one slice in each of its two rings)
+/// and 2 for grid = 2, so bandwidth = 4*grid*nb^2 (resp. 2*grid*nb^2);
+/// both are 0 for grid = 1 (no ring hops).
+[[nodiscard]] Wrapped machine_summa_total_words(std::uint64_t grid,
+                                                std::uint64_t nb);
+[[nodiscard]] Wrapped machine_summa_bandwidth(std::uint64_t grid,
+                                              std::uint64_t nb);
+
+/// One level of the Strassen-like distribution over b products with
+/// half x half operand quadrants: phase 1 broadcasts 2*(b-1)*half^2
+/// words and phase 3 gathers (b-1)*half^2, so
+/// total_words = 3*(b-1)*half^2.
+[[nodiscard]] Wrapped machine_strassen_total_words(std::uint64_t b,
+                                                   std::uint64_t half);
+
 /// The envelope of one certificate quantity: its engine-identical
 /// values per rank plus the exact first rank where the underlying
 /// exact integer reaches 2^64.

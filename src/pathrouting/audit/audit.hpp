@@ -222,6 +222,41 @@ AuditReport audit_served_certificate(
     const ServedCertificateView& served,
     const RuleSelection& selection = RuleSelection::all());
 
+/// A simulated machine's per-superstep conservation log plus its
+/// lifetime counters ([16] Section 1 accounting). Spans only — the
+/// audit layer does not link pr_parallel, so the machine (and its
+/// tests and benches) can hand over parallel::Machine::step_sent()
+/// etc. directly.
+struct MachineSuperstepView {
+  /// Total words sent / received across all processors, and the
+  /// charged max per-processor traffic, one entry per counted
+  /// superstep (equal lengths).
+  std::span<const std::uint64_t> step_sent;
+  std::span<const std::uint64_t> step_received;
+  std::span<const std::uint64_t> step_max_traffic;
+  /// Lifetime counters the log must reproduce.
+  std::uint64_t bandwidth_cost = 0;
+  std::uint64_t total_words = 0;
+  std::uint64_t supersteps = 0;
+};
+
+/// machine.superstep-conservation: every word sent in a superstep is
+/// received in that superstep (point-to-point messages do not cross
+/// superstep boundaries and are never dropped), the charged max
+/// per-processor traffic is positive and bounded by the superstep's
+/// words-in-flight, and the lifetime counters are exactly the sums of
+/// the log. Findings attach the superstep index in `vertex`.
+AuditReport audit_machine_supersteps(
+    const MachineSuperstepView& machine,
+    const RuleSelection& selection = RuleSelection::all());
+
+/// The same rule's pair form: the class-aggregate and scalar paths (or
+/// any two machines that replayed the same schedule) must agree on
+/// every counter and every conservation-log entry.
+AuditReport audit_machine_pair(
+    const MachineSuperstepView& aggregate, const MachineSuperstepView& scalar,
+    const RuleSelection& selection = RuleSelection::all());
+
 /// One-stop audit used by pr_lint and the debug hooks: the CDAG
 /// structural suite plus, where applicable, Hall matchings (both
 /// sides), chain/concatenation routing at a small k, decode routing

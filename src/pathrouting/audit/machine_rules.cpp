@@ -1,0 +1,114 @@
+// The machine-model rule: BSP superstep accounting must conserve
+// words. The paper's parallel model ([16], Section 1) charges the max
+// per-processor traffic per superstep; a machine whose supersteps send
+// more words than are received (or whose lifetime counters drift from
+// its own per-superstep log) is mis-charging bandwidth, and every
+// scaling experiment built on it inherits the error. The pair form
+// pins the sparse class-aggregate path to the scalar oracle.
+#include <algorithm>
+#include <sstream>
+
+#include "pathrouting/audit/audit.hpp"
+#include "pathrouting/audit/internal.hpp"
+
+namespace pathrouting::audit {
+
+namespace {
+
+constexpr std::string_view kRule = "machine.superstep-conservation";
+
+void check_log(const MachineSuperstepView& machine,
+               internal::Findings& findings) {
+  const std::size_t steps = machine.step_sent.size();
+  if (machine.step_received.size() != steps ||
+      machine.step_max_traffic.size() != steps) {
+    findings.add(internal::error(
+        kRule, "conservation log arrays have mismatched lengths"));
+    return;
+  }
+  if (machine.supersteps != steps) {
+    findings.add(internal::error_counts(
+        kRule, "superstep counter disagrees with the log length",
+        machine.supersteps, steps));
+  }
+  std::uint64_t sum_max = 0;
+  std::uint64_t sum_sent = 0;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const std::uint64_t sent = machine.step_sent[i];
+    const std::uint64_t received = machine.step_received[i];
+    const std::uint64_t max_traffic = machine.step_max_traffic[i];
+    if (sent != received) {
+      findings.add(internal::error_counts(
+          kRule, "superstep words sent != words received", sent, received,
+          i));
+    }
+    if (max_traffic == 0 || max_traffic > sent + received) {
+      std::ostringstream os;
+      os << "charged max per-processor traffic " << max_traffic
+         << " is outside (0, sent+received = " << sent + received << "]";
+      findings.add(internal::error(kRule, os.str(), i));
+    }
+    sum_max += max_traffic;
+    sum_sent += sent;
+  }
+  if (machine.bandwidth_cost != sum_max) {
+    findings.add(internal::error_counts(
+        kRule, "bandwidth cost is not the sum of charged superstep maxima",
+        sum_max, machine.bandwidth_cost));
+  }
+  if (machine.total_words != sum_sent) {
+    findings.add(internal::error_counts(
+        kRule, "total words is not the sum of superstep sends", sum_sent,
+        machine.total_words));
+  }
+}
+
+}  // namespace
+
+AuditReport audit_machine_supersteps(const MachineSuperstepView& machine,
+                                     const RuleSelection& selection) {
+  AuditReport report;
+  internal::Findings findings;
+  check_log(machine, findings);
+  internal::flush(report, selection, kRule, std::move(findings));
+  return report;
+}
+
+AuditReport audit_machine_pair(const MachineSuperstepView& aggregate,
+                               const MachineSuperstepView& scalar,
+                               const RuleSelection& selection) {
+  AuditReport report;
+  internal::Findings findings;
+  check_log(aggregate, findings);
+  check_log(scalar, findings);
+  const auto counter = [&](const char* what, std::uint64_t agg,
+                           std::uint64_t sca) {
+    if (agg == sca) return;
+    std::ostringstream os;
+    os << "aggregate and scalar machines disagree on " << what;
+    findings.add(internal::error_counts(kRule, os.str(), sca, agg));
+  };
+  counter("bandwidth cost", aggregate.bandwidth_cost, scalar.bandwidth_cost);
+  counter("total words", aggregate.total_words, scalar.total_words);
+  counter("supersteps", aggregate.supersteps, scalar.supersteps);
+  counter("conservation-log length", aggregate.step_sent.size(),
+          scalar.step_sent.size());
+  const std::size_t steps =
+      std::min(aggregate.step_sent.size(), scalar.step_sent.size());
+  for (std::size_t i = 0; i < steps; ++i) {
+    if (aggregate.step_sent[i] != scalar.step_sent[i]) {
+      findings.add(internal::error_counts(
+          kRule, "aggregate and scalar superstep sends differ",
+          scalar.step_sent[i], aggregate.step_sent[i], i));
+    }
+    if (aggregate.step_max_traffic[i] != scalar.step_max_traffic[i]) {
+      findings.add(internal::error_counts(
+          kRule, "aggregate and scalar superstep maxima differ",
+          scalar.step_max_traffic[i], aggregate.step_max_traffic[i], i));
+    }
+  }
+  internal::flush(report, selection, kRule, std::move(findings));
+  return report;
+}
+
+}  // namespace pathrouting::audit

@@ -189,6 +189,14 @@ constexpr RuleInfo kRules[] = {
      "each certificate quantity match the engines' closed forms and the "
      "implicit verifier",
      "Lemma 3, Theorem 2, Claim 1 (prefix-product and decode formulas)"},
+
+    // Simulated distributed machine (parallel::Machine superstep log).
+    {"machine.superstep-conservation",
+     "every superstep's words sent equal its words received, the charged "
+     "max per-processor traffic lies in (0, words-in-flight], lifetime "
+     "bandwidth/total-words counters are exactly the log sums, and the "
+     "class-aggregate path agrees with the scalar oracle bit for bit",
+     "machine model bandwidth accounting ([16], Section 1)"},
 };
 
 bool matches(std::string_view id_or_prefix, std::string_view rule_id) {

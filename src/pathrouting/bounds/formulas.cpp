@@ -1,5 +1,6 @@
 #include "pathrouting/bounds/formulas.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "pathrouting/support/check.hpp"
@@ -85,6 +86,15 @@ double parallel_bandwidth_lb(double n, double m, double p, double w0) {
 
 double memory_independent_lb(double n, double p, double w0) {
   return n * n / std::pow(p, 2.0 / w0);
+}
+
+double perfect_scaling_pmax(double n, double m, double w0) {
+  return std::pow(n, w0) / std::pow(m, w0 / 2.0);
+}
+
+double strong_scaling_lb(double n, double m, double p, double w0) {
+  return std::max(parallel_bandwidth_lb(n, m, p, w0),
+                  memory_independent_lb(n, p, w0));
 }
 
 }  // namespace pathrouting::bounds

@@ -57,4 +57,18 @@ double parallel_bandwidth_lb(double n, double m, double p, double w0);
 /// (for per-rank load-balanced computations).
 double memory_independent_lb(double n, double p, double w0);
 
+/// Ballard-Demmel-Holtz-Schwartz-Lipshitz strong scaling (PAPERS.md,
+/// arXiv:1202.3177): the memory-dependent bound (n/sqrt(M))^{w0} M/P
+/// scales perfectly in P only while it dominates the memory-independent
+/// n^2/P^{2/w0}; the two cross at
+///   P_max = n^{w0} / M^{w0/2},
+/// beyond which adding processors cannot reduce per-processor traffic
+/// at the bound's rate (the P^{2/w0} falloff; w0 = 3 gives the
+/// classical P^{2/3} wall).
+double perfect_scaling_pmax(double n, double m, double w0);
+
+/// The combined BDHLS lower bound: max of the memory-dependent and
+/// memory-independent bandwidth bounds at (n, M, P).
+double strong_scaling_lb(double n, double m, double p, double w0);
+
 }  // namespace pathrouting::bounds

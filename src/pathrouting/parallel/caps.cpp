@@ -116,6 +116,22 @@ struct Simulator {
 
 }  // namespace
 
+namespace {
+
+/// base^exp with overflow-checked u64 arithmetic.
+std::uint64_t checked_pow(std::uint64_t base, int exp) {
+  std::uint64_t out = 1;
+  for (int i = 0; i < exp; ++i) out = checked_mul(out, base);
+  return out;
+}
+
+std::uint64_t ceil_div(std::uint64_t num, std::uint64_t den) {
+  PR_ASSERT(den >= 1);
+  return num / den + (num % den != 0 ? 1 : 0);
+}
+
+}  // namespace
+
 CapsResult simulate_caps(const BilinearAlgorithm& alg, int r,
                          const CapsOptions& options) {
   PR_REQUIRE(r >= 1);
@@ -134,6 +150,70 @@ CapsResult simulate_caps(const BilinearAlgorithm& alg, int r,
   result.peak_memory = 2.0 * s / p + d.peak;  // entry shares + excursion
   result.bfs_steps = d.bfs_steps;
   result.dfs_steps = d.dfs_steps;
+  return result;
+}
+
+CapsMachineResult simulate_caps_machine(const BilinearAlgorithm& alg, int r,
+                                        const CapsOptions& options,
+                                        Machine& machine) {
+  PR_REQUIRE(r >= 1);
+  PR_REQUIRE(options.bfs_levels >= 0);
+  PR_REQUIRE(options.bfs_levels <= r);
+  PR_REQUIRE(options.local_memory >= 1);
+  const auto a = static_cast<std::uint64_t>(alg.a());
+  const auto b = static_cast<std::uint64_t>(alg.b());
+  const std::uint64_t p = checked_pow(b, options.bfs_levels);
+  PR_REQUIRE(machine.procs() == p);
+  const auto mem = static_cast<double>(options.local_memory);
+
+  // The schedule is a single decision chain: the (level, bfs_remaining)
+  // state determines the step, a DFS step runs b identical copies of
+  // the rest of the chain in sequence (multiplying the superstep count
+  // by b), and a BFS step spends one level of the processor tree. All
+  // P processors are symmetric throughout, so each communication
+  // superstep is one whole-machine class record.
+  CapsMachineResult result;
+  result.procs = p;
+  std::uint64_t mult = 1;  // sequential repeats from DFS ancestors
+  int level = 0;
+  int m = options.bfs_levels;
+  while (m > 0) {
+    PR_REQUIRE_MSG(level < r, "recursion exhausted before P was spent");
+    const double s = std::pow(static_cast<double>(a), r - level);
+    const double g = std::pow(static_cast<double>(b), m);
+    const double share = 2.0 * s / g;
+    const double growth =
+        std::pow(static_cast<double>(b) / static_cast<double>(a), m);
+    const bool must_bfs = level + m >= r;
+    const bool bfs_fits = 3.0 * share * growth <= mem;
+    if (bfs_fits || must_bfs) {
+      // BFS: redistribute both encoded operands, then (post-children)
+      // gather the b product blocks. Per-processor shares (b-1)(s/a)/g
+      // round up to whole words per superstep.
+      const std::uint64_t sub = checked_pow(a, r - level - 1);
+      const std::uint64_t den = checked_pow(b, m);
+      const std::uint64_t w_redist =
+          ceil_div(checked_mul(2 * (b - 1), sub), den);
+      const std::uint64_t w_gather = ceil_div(checked_mul(b - 1, sub), den);
+      PR_REQUIRE_MSG(mult <= (1ull << 22),
+                     "DFS repetition exceeds the replay superstep budget");
+      for (std::uint64_t i = 0; i < mult; ++i) {
+        machine.send_class(p, w_redist);
+        machine.end_superstep();
+        machine.send_class(p, w_gather);
+        machine.end_superstep();
+      }
+      ++result.bfs_steps;
+      --m;
+    } else {
+      mult = checked_mul(mult, b);
+      ++result.dfs_steps;
+    }
+    ++level;
+  }
+  result.bandwidth_cost = machine.bandwidth_cost();
+  result.total_words = machine.total_words();
+  result.supersteps = machine.supersteps();
   return result;
 }
 

@@ -23,6 +23,7 @@
 #pragma once
 
 #include "pathrouting/bilinear/bilinear.hpp"
+#include "pathrouting/parallel/machine.hpp"
 
 namespace pathrouting::parallel {
 
@@ -52,5 +53,28 @@ struct CapsResult {
 /// small M the result may exceed it (reported via within_memory).
 CapsResult simulate_caps(const BilinearAlgorithm& alg, int r,
                          const CapsOptions& options);
+
+/// Integral counters from the CAPS superstep machine replay.
+struct CapsMachineResult {
+  std::uint64_t procs = 0;
+  std::uint64_t bandwidth_cost = 0;
+  std::uint64_t total_words = 0;
+  std::uint64_t supersteps = 0;
+  int bfs_steps = 0;
+  int dfs_steps = 0;
+};
+
+/// Replays the same CAPS schedule (identical BFS/DFS policy decisions
+/// as simulate_caps) through the Machine's class-aggregate path: all
+/// P = b^l processors are one symmetric class, every redistribute /
+/// gather superstep is a single send_class record, and fractional
+/// per-processor shares round *up* to whole words. The machine's u64
+/// bandwidth therefore brackets the double model from above by at most
+/// 3 words per superstep, while gaining exact conservation logs and
+/// overflow-checked arithmetic the double model cannot provide.
+/// `machine` must have exactly b^l processors.
+CapsMachineResult simulate_caps_machine(const BilinearAlgorithm& alg, int r,
+                                        const CapsOptions& options,
+                                        Machine& machine);
 
 }  // namespace pathrouting::parallel

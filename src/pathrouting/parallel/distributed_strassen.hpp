@@ -39,4 +39,14 @@ DistributedResult run_distributed_strassen_like(
     const matmul::Matrix<std::int64_t>& b, Machine& machine,
     std::size_t cutoff = 16);
 
+/// Accounting-level replay of the same two communication phases for an
+/// n x n problem (no data moves; `correct` is vacuously true). Inner
+/// block-rows are dealt by the floor split rows_p = floor(h(p+1)/b) -
+/// floor(hp/b), so processors fall into at most two classes (the
+/// floor(h/b)- and ceil(h/b)-row owners) per phase — each phase is
+/// O(1) send_class records, bit-identical in every machine counter to
+/// run_distributed_strassen_like on the same (alg, n).
+DistributedResult simulate_distributed_strassen_like(
+    const BilinearAlgorithm& alg, std::size_t n, Machine& machine);
+
 }  // namespace pathrouting::parallel

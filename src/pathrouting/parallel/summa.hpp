@@ -6,6 +6,12 @@
 //    is verified against a sequential product. Exercises the machine
 //    model end to end and realises the classical Theta(n^2/sqrt(P))
 //    bandwidth that fast algorithms beat.
+//  * simulate_summa: the same schedule at accounting level through the
+//    Machine's class-aggregate path — each panel superstep is nine
+//    (position-in-ring x position-in-ring) processor classes recorded
+//    in O(1), bit-identical in every machine counter to run_summa yet
+//    independent of the grid size (grids of 1024 x 1024 = 10^6
+//    processors cost the same as 2 x 2).
 //  * simulate_25d: accounting-level 2.5D (c-fold replication) cost
 //    model: 4n^2/sqrt(cP) panel traffic plus replication/reduction.
 #pragma once
@@ -30,6 +36,14 @@ struct SummaResult {
 SummaResult run_summa(const matmul::Matrix<std::int64_t>& a,
                       const matmul::Matrix<std::int64_t>& b, int grid,
                       std::size_t panel, Machine& machine);
+
+/// Accounting-level SUMMA on an n x n problem over a grid^2-processor
+/// machine: replays run_summa's communication schedule through
+/// send_class (no data moves, so `correct` is vacuously true). Word
+/// counts, supersteps, and the conservation log are bit-identical to
+/// run_summa on the same (n, grid, panel).
+SummaResult simulate_summa(std::size_t n, std::uint64_t grid,
+                           std::size_t panel, Machine& machine);
 
 struct Cost25D {
   double procs = 0;

@@ -28,6 +28,9 @@
 #include "pathrouting/analysis/static_lint.hpp"
 #include "pathrouting/bilinear/analysis.hpp"
 #include "pathrouting/bilinear/catalog.hpp"
+#include "pathrouting/parallel/distributed_strassen.hpp"
+#include "pathrouting/parallel/machine.hpp"
+#include "pathrouting/parallel/summa.hpp"
 #include "pathrouting/routing/chain_routing.hpp"
 #include "pathrouting/routing/decode_routing.hpp"
 #include "pathrouting/routing/memo_routing.hpp"
@@ -80,6 +83,50 @@ TEST(WrappedTest, PowMatchesEngineResidue) {
   EXPECT_EQ(p.low, residue);
   EXPECT_TRUE(p.wrapped);
   EXPECT_FALSE(wrap_pow(3, 40).wrapped);  // 3^40 < 2^64
+}
+
+TEST(WrappedTest, MachineCounterEnvelopesMatchTheMachine) {
+  // Below the wrap frontier the closed forms must be bit-identical to
+  // the counters the sparse machine accumulates through send_class.
+  {
+    parallel::Machine machine(16, 1ull << 30);
+    parallel::simulate_summa(32, 4, 2, machine);
+    const Wrapped words = machine_summa_total_words(4, 8);
+    const Wrapped bw = machine_summa_bandwidth(4, 8);
+    EXPECT_FALSE(words.wrapped);
+    EXPECT_EQ(words.low, machine.total_words());
+    EXPECT_FALSE(bw.wrapped);
+    EXPECT_EQ(bw.low, machine.bandwidth_cost());
+  }
+  {
+    // grid = 2 halves the per-processor slice count (no mid-ring
+    // positions), grid = 1 moves nothing.
+    parallel::Machine machine(4, 1ull << 30);
+    parallel::simulate_summa(16, 2, 2, machine);
+    EXPECT_EQ(machine_summa_total_words(2, 8).low, machine.total_words());
+    EXPECT_EQ(machine_summa_bandwidth(2, 8).low, machine.bandwidth_cost());
+    EXPECT_EQ(machine_summa_total_words(1, 8).low, 0u);
+  }
+  {
+    const auto alg = bilinear::strassen();
+    parallel::Machine machine(7, 1ull << 30);
+    parallel::simulate_distributed_strassen_like(alg, 16, machine);
+    const Wrapped words = machine_strassen_total_words(7, 8);
+    EXPECT_FALSE(words.wrapped);
+    EXPECT_EQ(words.low, machine.total_words());
+  }
+}
+
+TEST(WrappedTest, MachineCounterEnvelopesFlagTheWrapFrontier) {
+  // nb = 2^32 makes nb^2 exactly 2^64: the low word collapses to 0 but
+  // the flag records that the machine's checked_add would abort there.
+  const Wrapped square = machine_summa_bandwidth(3, 1ull << 32);
+  EXPECT_TRUE(square.wrapped);
+  EXPECT_EQ(square.low, 0u);
+  EXPECT_TRUE(machine_summa_total_words(1u << 20, 1ull << 20).wrapped);
+  EXPECT_FALSE(machine_summa_total_words(1u << 10, 1ull << 16).wrapped);
+  EXPECT_TRUE(machine_strassen_total_words(7, 1ull << 31).wrapped);
+  EXPECT_FALSE(machine_strassen_total_words(7, 1ull << 29).wrapped);
 }
 
 // --- Linter: seeded hazards (mutation self-test). ---

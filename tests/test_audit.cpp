@@ -16,6 +16,7 @@
 #include "pathrouting/bounds/disjoint_family.hpp"
 #include "pathrouting/cdag/cdag.hpp"
 #include "pathrouting/cdag/subcomputation.hpp"
+#include "pathrouting/parallel/machine.hpp"
 #include "pathrouting/routing/chain_routing.hpp"
 #include "pathrouting/routing/decode_routing.hpp"
 #include "pathrouting/routing/hall.hpp"
@@ -207,6 +208,136 @@ TEST(Audit, LegacyValidatorAgreesWithDiagnostics) {
   const AuditReport report = audit::audit_schedule(c.graph(), order);
   EXPECT_FALSE(report.ok());
   EXPECT_TRUE(report.has_finding(diags.front().rule));
+}
+
+// --- machine.superstep-conservation ------------------------------------
+
+// A corruptible copy of a machine's conservation log: spans in the
+// view alias the vectors here, so mutating a vector (or a counter)
+// mutates exactly one invariant.
+struct MachineLogCopy {
+  std::vector<std::uint64_t> sent;
+  std::vector<std::uint64_t> received;
+  std::vector<std::uint64_t> max_traffic;
+  std::uint64_t bandwidth_cost = 0;
+  std::uint64_t total_words = 0;
+  std::uint64_t supersteps = 0;
+
+  template <typename M>
+  explicit MachineLogCopy(const M& machine)
+      : sent(machine.step_sent().begin(), machine.step_sent().end()),
+        received(machine.step_received().begin(),
+                 machine.step_received().end()),
+        max_traffic(machine.step_max_traffic().begin(),
+                    machine.step_max_traffic().end()),
+        bandwidth_cost(machine.bandwidth_cost()),
+        total_words(machine.total_words()),
+        supersteps(machine.supersteps()) {}
+
+  [[nodiscard]] audit::MachineSuperstepView view() const {
+    return {sent, received, max_traffic, bandwidth_cost, total_words,
+            supersteps};
+  }
+};
+
+// A small three-superstep ring exchange on four processors.
+parallel::Machine ring_machine() {
+  parallel::Machine machine(4, 1u << 20);
+  for (int step = 0; step < 3; ++step) {
+    for (std::uint64_t p = 0; p < 4; ++p) {
+      machine.send(p, (p + 1) % 4, 5 + static_cast<std::uint64_t>(step));
+    }
+    machine.end_superstep();
+  }
+  return machine;
+}
+
+TEST(Audit, MachineConservationCleanLogPasses) {
+  const parallel::Machine machine = ring_machine();
+  const MachineLogCopy log(machine);
+  ASSERT_EQ(log.supersteps, 3u);
+  const AuditReport report = audit::audit_machine_supersteps(log.view());
+  EXPECT_TRUE(report.ok()) << report.to_text();
+  EXPECT_FALSE(report.rules_run().empty());
+}
+
+TEST(Audit, MachineConservationMutationsAreCaught) {
+  const parallel::Machine machine = ring_machine();
+  const MachineLogCopy clean(machine);
+  const auto expect_caught = [](const MachineLogCopy& log, const char* what) {
+    const AuditReport report = audit::audit_machine_supersteps(log.view());
+    EXPECT_FALSE(report.ok()) << what;
+    EXPECT_TRUE(report.has_finding("machine.superstep-conservation")) << what;
+  };
+
+  {
+    MachineLogCopy log = clean;
+    log.sent[1] += 1;  // also breaks the total-words sum: two findings
+    expect_caught(log, "sent != received");
+  }
+  {
+    MachineLogCopy log = clean;
+    log.max_traffic[0] = 0;
+    expect_caught(log, "charged max of zero on a counted superstep");
+  }
+  {
+    MachineLogCopy log = clean;
+    log.max_traffic[2] = log.sent[2] + log.received[2] + 1;
+    expect_caught(log, "charged max above the words in flight");
+  }
+  {
+    MachineLogCopy log = clean;
+    log.bandwidth_cost += 1;
+    expect_caught(log, "bandwidth counter drifts from the log sum");
+  }
+  {
+    MachineLogCopy log = clean;
+    log.total_words -= 1;
+    expect_caught(log, "total-words counter drifts from the log sum");
+  }
+  {
+    MachineLogCopy log = clean;
+    log.supersteps = 7;
+    expect_caught(log, "superstep counter disagrees with the log length");
+  }
+  {
+    MachineLogCopy log = clean;
+    log.received.pop_back();
+    expect_caught(log, "mismatched log array lengths");
+  }
+}
+
+TEST(Audit, MachinePairCleanAndMutatedOracle) {
+  // The sparse machine replays the ring via one symmetric class; the
+  // dense oracle replays it scalar send by scalar send.
+  parallel::Machine aggregate(4, 1u << 20);
+  parallel::DenseMachine scalar(4, 1u << 20);
+  for (int step = 0; step < 3; ++step) {
+    const std::uint64_t words = 5 + static_cast<std::uint64_t>(step);
+    aggregate.send_class(4, words);
+    for (std::uint64_t p = 0; p < 4; ++p) {
+      scalar.send(p, (p + 1) % 4, words);
+    }
+    aggregate.end_superstep();
+    scalar.end_superstep();
+  }
+  const MachineLogCopy agg(aggregate);
+  const MachineLogCopy sca(scalar);
+  EXPECT_TRUE(audit::audit_machine_pair(agg.view(), sca.view()).ok());
+
+  MachineLogCopy drifted = agg;
+  drifted.max_traffic[1] -= 1;
+  drifted.bandwidth_cost -= 1;  // keep the single-log invariants intact
+  const AuditReport report =
+      audit::audit_machine_pair(drifted.view(), sca.view());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has_finding("machine.superstep-conservation"));
+}
+
+TEST(Audit, MachineRuleIsRegistered) {
+  const auto* rule = audit::find_rule("machine.superstep-conservation");
+  ASSERT_NE(rule, nullptr);
+  EXPECT_GE(audit::all_rules().size(), 41u);
 }
 
 // Last on purpose: installing the hook makes every later Cdag

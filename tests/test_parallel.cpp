@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
+#include "pathrouting/audit/audit.hpp"
 #include "pathrouting/bilinear/catalog.hpp"
 #include "pathrouting/bounds/formulas.hpp"
 #include "pathrouting/parallel/caps.hpp"
@@ -228,6 +232,173 @@ TEST(CapsTest, GeneralisesToOtherBases) {
     EXPECT_DOUBLE_EQ(res.procs,
                      std::pow(static_cast<double>(alg.b()), 2.0))
         << name;
+  }
+}
+
+// --- Sparse machine vs oracles: bit-identity contracts. ---
+
+template <typename M>
+audit::MachineSuperstepView view_of(const M& machine) {
+  return {machine.step_sent(), machine.step_received(),
+          machine.step_max_traffic(), machine.bandwidth_cost(),
+          machine.total_words(), machine.supersteps()};
+}
+
+template <typename A, typename B>
+void expect_bit_identical(const A& a, const B& b, const char* what) {
+  EXPECT_EQ(a.bandwidth_cost(), b.bandwidth_cost()) << what;
+  EXPECT_EQ(a.total_words(), b.total_words()) << what;
+  EXPECT_EQ(a.supersteps(), b.supersteps()) << what;
+  const audit::AuditReport report =
+      audit::audit_machine_pair(view_of(a), view_of(b));
+  EXPECT_TRUE(report.ok()) << what << "\n" << report.to_text();
+}
+
+TEST(MachineTest, SparseMatchesDenseOracleOnRandomTraffic) {
+  // The epoch-stamped sparse accumulator must reproduce the dense
+  // O(P)-scan oracle word for word — counters AND the whole
+  // conservation log — on arbitrary scalar traffic, including self
+  // sends, zero-word sends, and empty supersteps, at every P.
+  for (const std::uint64_t procs : {1u, 2u, 3u, 5u, 8u, 16u, 33u, 64u}) {
+    support::Xoshiro256 rng(1000 + procs);
+    Machine sparse(procs, 1u << 20);
+    DenseMachine dense(procs, 1u << 20);
+    for (int step = 0; step < 20; ++step) {
+      const std::uint64_t sends = rng() % (2 * procs + 1);
+      for (std::uint64_t s = 0; s < sends; ++s) {
+        const std::uint64_t from = rng() % procs;
+        const std::uint64_t to = rng() % procs;
+        const std::uint64_t words = rng() % 100;  // 0 words stays free
+        sparse.send(from, to, words);
+        dense.send(from, to, words);
+      }
+      sparse.end_superstep();
+      dense.end_superstep();
+    }
+    expect_bit_identical(sparse, dense, "random traffic");
+  }
+}
+
+TEST(MachineTest, SendClassMatchesScalarLoopUnderRandomInterleavings) {
+  // Property test: a superstep assembled from disjoint processor
+  // classes — symmetric rings and sender/receiver pair groups — must
+  // cost exactly the same whether recorded as O(1) class aggregates or
+  // as the equivalent scalar send loop, in any arrival order.
+  constexpr std::uint64_t kProcs = 24;
+  for (std::uint64_t trial = 0; trial < 20; ++trial) {
+    support::Xoshiro256 rng(2000 + trial);
+    Machine aggregate(kProcs, 1u << 20);
+    Machine scalar(kProcs, 1u << 20);
+    for (int step = 0; step < 6; ++step) {
+      struct Send {
+        std::uint64_t from, to, words;
+      };
+      std::vector<Send> sends;
+      std::uint64_t base = 0;
+      while (base + 2 <= kProcs) {
+        const std::uint64_t words = 1 + rng() % 50;
+        if (rng() % 2 == 0) {
+          // Ring class: every member forwards `words` to its neighbor,
+          // so each sends and receives exactly `words`.
+          const std::uint64_t size =
+              std::min<std::uint64_t>(2 + rng() % 3, kProcs - base);
+          aggregate.send_class(size, words);
+          for (std::uint64_t i = 0; i < size; ++i) {
+            sends.push_back({base + i, base + (i + 1) % size, words});
+          }
+          base += size;
+        } else {
+          // Pair group: `size` senders, each with a distinct receiver —
+          // two one-sided classes on the aggregate machine.
+          const std::uint64_t size =
+              std::min<std::uint64_t>(1 + rng() % 2, (kProcs - base) / 2);
+          if (size == 0) break;
+          aggregate.send_class(size, words, 0);
+          aggregate.send_class(size, 0, words);
+          for (std::uint64_t i = 0; i < size; ++i) {
+            sends.push_back({base + i, base + size + i, words});
+          }
+          base += 2 * size;
+        }
+      }
+      // Fisher-Yates with the test rng: the scalar machine sees the
+      // superstep's messages in a random interleaving.
+      for (std::size_t i = sends.size(); i > 1; --i) {
+        std::swap(sends[i - 1], sends[rng() % i]);
+      }
+      for (const Send& s : sends) scalar.send(s.from, s.to, s.words);
+      aggregate.end_superstep();
+      scalar.end_superstep();
+    }
+    expect_bit_identical(aggregate, scalar, "class vs scalar loop");
+  }
+}
+
+TEST(SummaTest, SimulateMatchesRunBitForBit) {
+  support::Xoshiro256 rng(91);
+  const std::size_t n = 32;
+  const auto a = matmul::random_matrix<std::int64_t>(n, rng);
+  const auto b = matmul::random_matrix<std::int64_t>(n, rng);
+  for (const int grid : {1, 2, 4, 8}) {
+    Machine ran(grid * grid, 1u << 20);
+    Machine simulated(grid * grid, 1u << 20);
+    const SummaResult value = run_summa(a, b, grid, 2, ran);
+    const SummaResult model = simulate_summa(n, grid, 2, simulated);
+    ASSERT_TRUE(value.correct) << "grid " << grid;
+    EXPECT_EQ(model.bandwidth_cost, value.bandwidth_cost) << "grid " << grid;
+    EXPECT_EQ(model.total_words, value.total_words) << "grid " << grid;
+    EXPECT_EQ(model.supersteps, value.supersteps) << "grid " << grid;
+    expect_bit_identical(simulated, ran, "summa");
+  }
+}
+
+TEST(DistributedStrassenTest, SimulateMatchesRunBitForBit) {
+  support::Xoshiro256 rng(92);
+  for (const char* name : {"strassen", "winograd", "laderman"}) {
+    const auto alg = bilinear::by_name(name);
+    const std::size_t n0 = static_cast<std::size_t>(alg.n0());
+    const std::size_t n = n0 * n0 * 4;
+    const auto a = matmul::random_matrix<std::int64_t>(n, rng);
+    const auto b = matmul::random_matrix<std::int64_t>(n, rng);
+    Machine ran(alg.b(), 1ull << 30);
+    Machine simulated(alg.b(), 1ull << 30);
+    const auto value = run_distributed_strassen_like(alg, a, b, ran, 4);
+    const auto model = simulate_distributed_strassen_like(alg, n, simulated);
+    ASSERT_TRUE(value.correct) << name;
+    EXPECT_EQ(model.bandwidth_cost, value.bandwidth_cost) << name;
+    EXPECT_EQ(model.total_words, value.total_words) << name;
+    EXPECT_EQ(model.supersteps, value.supersteps) << name;
+    expect_bit_identical(simulated, ran, name);
+  }
+}
+
+TEST(CapsTest, MachineReplayBracketsTheDoubleModel) {
+  // The integral replay rounds each superstep's fractional share up,
+  // so it dominates the double model and exceeds it by at most ~3
+  // words per counted superstep.
+  const auto alg = bilinear::strassen();
+  const int r = 8;
+  for (const int l : {1, 2, 3}) {
+    for (const bool limited : {false, true}) {
+      const double n = std::pow(2.0, r);
+      const double p = std::pow(7.0, l);
+      const std::uint64_t mem =
+          limited ? static_cast<std::uint64_t>(9.0 * n * n / p)
+                  : (1ull << 62);
+      const CapsOptions options{.bfs_levels = l, .local_memory = mem};
+      const CapsResult model = simulate_caps(alg, r, options);
+      Machine machine(static_cast<std::uint64_t>(p), mem);
+      const CapsMachineResult replay =
+          simulate_caps_machine(alg, r, options, machine);
+      EXPECT_EQ(replay.bfs_steps, model.bfs_steps) << "l=" << l;
+      EXPECT_EQ(replay.dfs_steps, model.dfs_steps) << "l=" << l;
+      EXPECT_GT(replay.supersteps, 0u) << "l=" << l;
+      const double lo = model.bandwidth_cost - 1e-6;
+      const double hi = model.bandwidth_cost +
+                        3.0 * static_cast<double>(replay.supersteps) + 1e-6;
+      EXPECT_GE(static_cast<double>(replay.bandwidth_cost), lo) << "l=" << l;
+      EXPECT_LE(static_cast<double>(replay.bandwidth_cost), hi) << "l=" << l;
+    }
   }
 }
 

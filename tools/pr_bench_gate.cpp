@@ -50,6 +50,7 @@
 #include "pathrouting/obs/bench_record.hpp"
 #include "pathrouting/obs/export.hpp"
 #include "pathrouting/obs/obs.hpp"
+#include "pathrouting/parallel/scaling.hpp"
 #include "pathrouting/routing/concat_routing.hpp"
 #include "pathrouting/routing/decode_routing.hpp"
 #include "pathrouting/routing/memo_routing.hpp"
@@ -161,13 +162,20 @@ double seconds_of(const obs::BenchRecord& rec) {
 /// Fields that are run-dependent or derived, never compared exactly.
 /// Latency percentiles ("*_us") and throughput ("rps") are timing like
 /// "seconds" — the service bench enforces its own budgets on them.
+/// Derived doubles of the scaling sweep ("lb_*", "model_*", "omega0",
+/// "ratio_vs_lb") follow the machine counters they are computed from
+/// but go through libm, which the determinism contract does not cover.
 bool ignored_field(const std::string& key) {
   if (key.size() > 3 && key.compare(key.size() - 3, 3, "_us") == 0) {
     return true;
   }
+  if (key.compare(0, 3, "lb_") == 0 || key.compare(0, 6, "model_") == 0) {
+    return true;
+  }
   return key == "seconds" || key == "speedup" ||
          key == "counts_bit_identical" || key == "threads" ||
-         key == "commit" || key == "max_rss_bytes" || key == "rps";
+         key == "commit" || key == "max_rss_bytes" || key == "rps" ||
+         key == "omega0" || key == "ratio_vs_lb";
 }
 
 /// The certificate-service workloads the gate re-runs. The throughput
@@ -240,6 +248,23 @@ FreshRun run_decode(const bilinear::BilinearAlgorithm& alg,
       .set("bound", stats.bound)
       .set("ok", stats.ok())
       .set("seconds", run.seconds);
+  return run;
+}
+
+/// Re-derives a distributed_scaling record: rebuilds the sweep point's
+/// spec from the committed baseline fields and reruns it on a fresh
+/// sparse superstep machine — the u64 machine counters must match the
+/// baseline exactly.
+FreshRun run_distributed_scaling(const obs::BenchRecord& ref) {
+  const parallel::ScalingSpec spec = parallel::scaling_spec_from_record(ref);
+  const auto t0 = std::chrono::steady_clock::now();
+  const parallel::ScalingPoint point = parallel::run_scaling_point(spec);
+  FreshRun run;
+  run.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  parallel::fill_scaling_record(point, run.rec);
+  run.rec.set("seconds", run.seconds);
   return run;
 }
 
@@ -348,6 +373,12 @@ int main(int argc, char** argv) {
       // does not apply (the cold-miss k is the point of the workload).
       if (rec.text_or("engine", "") != "service") continue;
       k = static_cast<int>(rec.int_or("k", 0));
+    } else if (experiment == "distributed_scaling") {
+      // Scaling sweep points re-run at their recorded spec; "k" is the
+      // grid (summa) or BFS-level count (caps), not a recursion rank,
+      // so --kmax does not apply.
+      if (rec.text_or("engine", "") != "machine") continue;
+      k = static_cast<int>(rec.int_or("k", 0));
     } else {
       if (experiment != "chain_routing" && experiment != "decode_routing") {
         continue;
@@ -435,6 +466,8 @@ int main(int argc, char** argv) {
       fresh = run_service_cold(*wl.reference);
     } else if (service_experiment(wl.experiment)) {
       fresh = run_service_trace(wl.experiment, *wl.reference);
+    } else if (wl.experiment == "distributed_scaling") {
+      fresh = run_distributed_scaling(*wl.reference);
     } else {
       const auto alg = bilinear::by_name(wl.algorithm);
       if (wl.experiment == "decode_routing" &&
@@ -461,8 +494,9 @@ int main(int argc, char** argv) {
       fresh.rec.set("seconds", fresh.seconds);
       const char* hit_key = wl.experiment == "chain_routing" ? "l3_max_hits"
                             : wl.experiment == "decode_routing" ? "max_hits"
-                            : wl.experiment == "service_cold_miss"
-                                ? "chains"
+                            : wl.experiment == "service_cold_miss" ? "chains"
+                            : wl.experiment == "distributed_scaling"
+                                ? "bandwidth_cost"
                                 : "cache_hits";
       const obs::BenchValue* v = fresh.rec.find(hit_key);
       fresh.rec.set(hit_key,
