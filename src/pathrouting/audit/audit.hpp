@@ -222,6 +222,42 @@ AuditReport audit_served_certificate(
     const ServedCertificateView& served,
     const RuleSelection& selection = RuleSelection::all());
 
+/// A schedule-search optimality certificate: the witness schedule, the
+/// claimed Belady cost, and the claimed root lower bound. Spans only —
+/// the rule rebuilds everything it checks (it re-simulates the witness
+/// and re-derives the bound independently), so a certificate can come
+/// from a bench baseline, a golden record, or a live search run.
+struct SearchCertificateView {
+  const cdag::Graph* graph = nullptr;
+  std::span<const VertexId> schedule;           // the witness
+  std::span<const std::uint8_t> output_mask;    // size num_vertices
+  std::uint64_t cache_size = 0;                 // M, in values
+  std::uint64_t claimed_io = 0;                 // Belady reads + writes
+  std::uint64_t claimed_lower_bound = 0;        // root bound of the search
+  /// The certificate claims the witness is optimal because its cost
+  /// met the root bound (search::Proof::kBoundMet). When false, only
+  /// the consistency clauses run (re-simulation, bound re-derivation,
+  /// cost >= bound).
+  bool claims_bound_met_optimal = false;
+  /// Theorem-1 term of the root bound: a^r multiplications of an
+  /// (a;b) algorithm at recursion depth r. a = 0 disables the term
+  /// (the structural bound alone is re-derived).
+  std::uint64_t theorem1_a = 0;
+  std::uint64_t theorem1_b = 0;
+  int theorem1_r = 0;
+};
+
+/// search.certified-optimal: independently re-establishes everything a
+/// certified-optimal claim rests on — the witness is a clean complete
+/// topological schedule, its Belady re-simulation reproduces the
+/// claimed I/O exactly, the root lower bound re-derives (partial-state
+/// bound at the empty prefix max-combined with the Theorem-1 closed
+/// form) to the claimed value, the cost dominates the bound, and a
+/// bound-met optimality claim means cost == bound.
+AuditReport audit_search_certificate(
+    const SearchCertificateView& cert,
+    const RuleSelection& selection = RuleSelection::all());
+
 /// A simulated machine's per-superstep conservation log plus its
 /// lifetime counters ([16] Section 1 accounting). Spans only — the
 /// audit layer does not link pr_parallel, so the machine (and its

@@ -197,6 +197,17 @@ constexpr RuleInfo kRules[] = {
      "bandwidth/total-words counters are exactly the log sums, and the "
      "class-aggregate path agrees with the scalar oracle bit for bit",
      "machine model bandwidth accounting ([16], Section 1)"},
+
+    // Schedule-space search (search::branch_and_bound certificates).
+    {"search.certified-optimal",
+     "a certified-optimal pebbling's witness is a clean complete "
+     "topological schedule whose Belady re-simulation reproduces the "
+     "claimed I/O exactly, the root lower bound re-derives (empty-prefix "
+     "partial-state bound max-combined with the Theorem-1 closed form) "
+     "to the claimed value, the cost dominates the bound, and a "
+     "bound-met optimality claim means cost == bound",
+     "Hong-Kung partition argument; Theorem 1 / Section 6 segment "
+     "inequality"},
 };
 
 bool matches(std::string_view id_or_prefix, std::string_view rule_id) {

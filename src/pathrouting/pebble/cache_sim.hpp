@@ -17,6 +17,11 @@
 // write counts. Belady's policy (evict the value used furthest in the
 // future, preferring dead values) is the strong baseline; LRU is the
 // practical comparison for the ablation experiments.
+//
+// Victim ties (equal eviction key) break deterministically to the
+// lowest VertexId (policies.hpp). Counts are therefore a pure function
+// of (graph, schedule, M, policy) on every platform — the contract the
+// golden corpus and the schedule-search certificates pin.
 #pragma once
 
 #include <cstdint>

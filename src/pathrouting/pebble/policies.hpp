@@ -4,6 +4,16 @@
 // stale entries are discarded at pop time. The simulator tells the
 // policy the *next use step* of each cached value; "dead" values (no
 // future use) are preferred victims for both policies.
+//
+// Victim ties (equal policy key) break to the LOWEST VertexId. This is
+// a documented determinism rule, not an accident of heap layout: the
+// golden corpus and the schedule-search certificates pin exact
+// read/write counts, so the victim choice must be a pure function of
+// the schedule on every std-lib implementation. Belady hits real ties
+// constantly (all dead values share the key kNeverUsed, and two
+// operands of one future step share its index); LRU's clock is unique
+// per touch, but the rule is applied uniformly so both policies stay
+// covered by the same contract (see tests/test_pebble.cpp).
 #pragma once
 
 #include <cstdint>
@@ -18,6 +28,26 @@ using cdag::VertexId;
 
 inline constexpr std::uint64_t kNeverUsed = static_cast<std::uint64_t>(-1);
 
+/// Heap order for BeladyPolicy: the top is the entry with the LARGEST
+/// key (furthest next use); equal keys surface the lowest VertexId.
+struct FurthestThenLowestId {
+  bool operator()(const std::pair<std::uint64_t, VertexId>& a,
+                  const std::pair<std::uint64_t, VertexId>& b) const {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second > b.second;
+  }
+};
+
+/// Heap order for LruPolicy: the top is the entry with the SMALLEST
+/// key (oldest touch); equal keys surface the lowest VertexId.
+struct OldestThenLowestId {
+  bool operator()(const std::pair<std::uint64_t, VertexId>& a,
+                  const std::pair<std::uint64_t, VertexId>& b) const {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second > b.second;
+  }
+};
+
 /// Belady / MIN: evict the value whose next use is furthest away.
 class BeladyPolicy {
  public:
@@ -29,8 +59,9 @@ class BeladyPolicy {
   }
 
   /// Returns the victim: the cached, unpinned vertex with the furthest
-  /// next use. Stale entries (key changed or evicted) are discarded;
-  /// entries for pinned-but-cached vertices are kept for later.
+  /// next use (ties to the lowest id). Stale entries (key changed or
+  /// evicted) are discarded; entries for pinned-but-cached vertices are
+  /// kept for later.
   template <typename Cached, typename Pinned>
   VertexId pick(const Cached& cached, const Pinned& pinned) {
     VertexId victim = cdag::kInvalidVertex;
@@ -52,8 +83,12 @@ class BeladyPolicy {
   }
 
  private:
-  // Max-heap on next-use step: furthest first (kNeverUsed sorts first).
-  std::priority_queue<std::pair<std::uint64_t, VertexId>> heap_;
+  // Max-heap on next-use step: furthest first (kNeverUsed sorts first),
+  // lowest id on ties.
+  std::priority_queue<std::pair<std::uint64_t, VertexId>,
+                      std::vector<std::pair<std::uint64_t, VertexId>>,
+                      FurthestThenLowestId>
+      heap_;
   std::vector<std::pair<std::uint64_t, VertexId>> deferred_;
   std::vector<std::uint64_t> key_;
 };
@@ -89,10 +124,10 @@ class LruPolicy {
   }
 
  private:
-  // Min-heap on last-touch time: oldest first.
+  // Min-heap on last-touch time: oldest first, lowest id on ties.
   std::priority_queue<std::pair<std::uint64_t, VertexId>,
                       std::vector<std::pair<std::uint64_t, VertexId>>,
-                      std::greater<>>
+                      OldestThenLowestId>
       heap_;
   std::vector<std::pair<std::uint64_t, VertexId>> deferred_;
   std::vector<std::uint64_t> key_;

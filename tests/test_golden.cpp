@@ -31,6 +31,7 @@
 #include "pathrouting/routing/concat_routing.hpp"
 #include "pathrouting/routing/decode_routing.hpp"
 #include "pathrouting/routing/memo_routing.hpp"
+#include "pathrouting/search/sweep.hpp"
 #include "pathrouting/support/digest.hpp"
 
 #ifndef PR_GOLDEN_DIR
@@ -203,5 +204,68 @@ INSTANTIATE_TEST_SUITE_P(Corpus, GoldenTest,
                          [](const auto& info) {
                            return info.param.algorithm;
                          });
+
+/// The schedule-search corpus: certified-optimal records (graph
+/// digest, M, optimal reads/writes, witness digest, proof) plus the
+/// best-found gap points of the same sweeps. Every field is a pure
+/// function of (algorithm, r, M, budget, seed) under the determinism
+/// contract, so a diff is a behavioural change in the optimizer, the
+/// bound, or the pebble simulator. Regenerate like the routing corpus:
+///   PR_GOLDEN_REGEN=1 ./build/tests/test_golden
+std::string search_golden_text() {
+  std::ostringstream os;
+  os << "pathrouting-search-golden-v1\n";
+  struct Case {
+    const char* algorithm;
+    int r;
+    std::uint64_t m;
+    std::uint64_t budget;
+  };
+  constexpr Case kCases[] = {
+      {"strassen", 1, 6, 40000},  {"strassen", 1, 8, 40000},
+      {"strassen", 1, 16, 40000}, {"strassen", 1, 40, 40000},
+      {"classical2", 1, 4, 40000}, {"classical2", 1, 8, 40000},
+      {"classical2", 1, 36, 40000},
+      {"winograd", 1, 8, 40000},  {"winograd", 1, 40, 40000},
+      {"strassen", 2, 64, 4000},  {"strassen", 2, 300, 4000},
+  };
+  for (const Case& c : kCases) {
+    search::SweepSpec spec;
+    spec.algorithm = c.algorithm;
+    spec.r = c.r;
+    spec.m = c.m;
+    spec.node_budget = c.budget;
+    const search::SweepPoint p = search::run_search_point(spec);
+    os << "record alg " << c.algorithm << " r " << c.r << " m " << c.m
+       << " graph_fnv " << p.graph_fnv << " reads " << p.searched_reads
+       << " writes " << p.searched_writes << " io " << p.searched_io
+       << " lower_bound " << p.lower_bound << " witness_fnv "
+       << p.witness_fnv << " proof " << search::proof_name(p.proof) << "\n";
+  }
+  return os.str();
+}
+
+TEST(SearchGoldenTest, CertifiedOptimaMatchCheckedInCorpus) {
+  const std::string path = std::string(PR_GOLDEN_DIR) + "/search.golden";
+  const std::string fresh = search_golden_text();
+
+  const char* regen = std::getenv("PR_GOLDEN_REGEN");
+  if (regen != nullptr && std::string(regen) == "1") {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << fresh;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run with PR_GOLDEN_REGEN=1 to create)";
+  std::ostringstream stored;
+  stored << in.rdbuf();
+  EXPECT_EQ(stored.str(), fresh)
+      << "schedule-search certificates diverged from the corpus; if the "
+         "change is intentional, regenerate with PR_GOLDEN_REGEN=1 and "
+         "review the diff";
+}
 
 }  // namespace

@@ -206,3 +206,62 @@ TEST(PebbleTest, KOuterLoopOrdersPayForPartialSumReloads) {
 }
 
 }  // namespace loop_order_tests
+
+namespace tie_break_tests {
+
+using namespace pathrouting;          // NOLINT
+using namespace pathrouting::pebble;  // NOLINT
+using cdag::Graph;
+using cdag::VertexId;
+
+/// A DAG on which the documented lowest-VertexId victim tie-break is
+/// observable in the totals: inputs 0,1; 2 = f(0,1), 3 = f(0),
+/// 4 = f(0,3), 5 = f(0), 6 = f(1,2,3); outputs are the sinks 4,5,6.
+Graph tie_witness() {
+  std::vector<std::uint32_t> off = {0, 0, 0, 2, 3, 5, 6, 9};
+  std::vector<VertexId> adj = {0, 1, 0, 0, 3, 0, 1, 2, 3};
+  return Graph(std::move(off), std::move(adj));
+}
+
+TEST(PebbleTest, BeladyVictimTiesBreakToLowestVertexId) {
+  // At M = 4 with the ascending order [2,3,4,5,6], Belady hits a
+  // victim tie between equally-distant values; the documented rule
+  // (policies.hpp) evicts the lowest VertexId, which here keeps a
+  // dirty value cached and saves one spill. The legacy unspecified
+  // heap order (highest id on ties) paid 4 writes on this graph —
+  // this test pins the contract, not an accident of the heap.
+  const Graph g = tie_witness();
+  const std::vector<VertexId> order = {2, 3, 4, 5, 6};
+  const auto res = simulate(g, order, {.cache_size = 4},
+                            [](VertexId v) { return v >= 4; });
+  EXPECT_EQ(res.reads, 3u);
+  EXPECT_EQ(res.writes, 3u);
+}
+
+TEST(PebbleTest, LruExactCountsOnCatalogDfs) {
+  // LRU on the Strassen G_1 DFS order, exact counts at two cache
+  // sizes: together with the Belady counts these pin the full
+  // deterministic (policy, tie-break) contract on a catalog graph.
+  const cdag::Cdag cdag(bilinear::by_name("strassen"), 1,
+                        {.with_coefficients = false});
+  const auto is_out = [&](VertexId v) { return cdag.layout().is_output(v); };
+  const auto dfs = schedule::dfs_schedule(cdag);
+  const auto lru8 =
+      simulate(cdag.graph(), dfs,
+               {.cache_size = 8, .eviction = Eviction::Lru}, is_out);
+  EXPECT_EQ(lru8.reads, 28u);
+  EXPECT_EQ(lru8.writes, 10u);
+  const auto bel8 = simulate(cdag.graph(), dfs, {.cache_size = 8}, is_out);
+  EXPECT_EQ(bel8.reads, 15u);
+  EXPECT_EQ(bel8.writes, 8u);
+  const auto lru6 =
+      simulate(cdag.graph(), dfs,
+               {.cache_size = 6, .eviction = Eviction::Lru}, is_out);
+  EXPECT_EQ(lru6.reads, 29u);
+  EXPECT_EQ(lru6.writes, 10u);
+  const auto bel6 = simulate(cdag.graph(), dfs, {.cache_size = 6}, is_out);
+  EXPECT_EQ(bel6.reads, 19u);
+  EXPECT_EQ(bel6.writes, 8u);
+}
+
+}  // namespace tie_break_tests

@@ -54,6 +54,7 @@
 #include "pathrouting/routing/concat_routing.hpp"
 #include "pathrouting/routing/decode_routing.hpp"
 #include "pathrouting/routing/memo_routing.hpp"
+#include "pathrouting/search/sweep.hpp"
 #include "pathrouting/service/replay.hpp"
 #include "pathrouting/service/service.hpp"
 #include "pathrouting/support/parallel.hpp"
@@ -268,6 +269,24 @@ FreshRun run_distributed_scaling(const obs::BenchRecord& ref) {
   return run;
 }
 
+/// Re-derives a schedule_search record: rebuilds the sweep spec from
+/// the committed baseline fields and reruns the whole pipeline (DFS /
+/// BFS baselines, local search, branch-and-bound) — every u64 counter,
+/// the certification verdict, and the witness digest must match the
+/// baseline exactly.
+FreshRun run_schedule_search(const obs::BenchRecord& ref) {
+  const search::SweepSpec spec = search::search_spec_from_record(ref);
+  const auto t0 = std::chrono::steady_clock::now();
+  const search::SweepPoint point = search::run_search_point(spec);
+  FreshRun run;
+  run.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  search::fill_search_record(point, run.rec);
+  run.rec.set("seconds", run.seconds);
+  return run;
+}
+
 /// A throwaway store directory for the service replays, removed when
 /// the gate exits.
 std::string gate_store_dir() {
@@ -365,9 +384,22 @@ int main(int argc, char** argv) {
   std::vector<Workload> workloads;
   std::map<std::string, std::size_t> index;
   int skipped_k = 0;
+  // The search bench's roll-up record: re-checked after the loop
+  // against counters accumulated over the fresh schedule_search runs.
+  const obs::BenchRecord* search_summary = nullptr;
   for (const obs::BenchRecord& rec : baseline.records) {
     const std::string experiment = rec.text_or("experiment", "");
     int k = 0;
+    if (experiment == "schedule_search_summary") {
+      if (search_summary != nullptr) {
+        std::fprintf(stderr,
+                     "pr_bench_gate: baseline has more than one "
+                     "schedule_search_summary record\n");
+        return 2;
+      }
+      search_summary = &rec;
+      continue;
+    }
     if (service_experiment(experiment)) {
       // Service workloads are re-run at their recorded size; --kmax
       // does not apply (the cold-miss k is the point of the workload).
@@ -378,6 +410,12 @@ int main(int argc, char** argv) {
       // grid (summa) or BFS-level count (caps), not a recursion rank,
       // so --kmax does not apply.
       if (rec.text_or("engine", "") != "machine") continue;
+      k = static_cast<int>(rec.int_or("k", 0));
+    } else if (experiment == "schedule_search") {
+      // Search points re-run at their recorded spec; "k" is the
+      // recursion depth r of G_r, gated by its own budget rather than
+      // --kmax (the committed matrix is already smoke-sized).
+      if (rec.text_or("engine", "") != "search") continue;
       k = static_cast<int>(rec.int_or("k", 0));
     } else {
       if (experiment != "chain_routing" && experiment != "decode_routing") {
@@ -397,6 +435,12 @@ int main(int argc, char** argv) {
     key += algorithm;
     key += '/';
     key += std::to_string(k);
+    if (experiment == "schedule_search") {
+      // The search sweeps M at fixed (algorithm, r): the cache size is
+      // part of the workload identity.
+      key += "/m";
+      key += std::to_string(rec.int_or("m", 0));
+    }
     const auto [it, inserted] = index.emplace(key, workloads.size());
     if (inserted) {
       workloads.push_back(
@@ -460,6 +504,8 @@ int main(int argc, char** argv) {
 
   int count_failures = 0;
   int slow_failures = 0;
+  std::uint64_t fresh_search_instances = 0;
+  std::uint64_t fresh_search_certified = 0;
   for (const Workload& wl : workloads) {
     FreshRun fresh;
     if (wl.experiment == "service_cold_miss") {
@@ -468,6 +514,11 @@ int main(int argc, char** argv) {
       fresh = run_service_trace(wl.experiment, *wl.reference);
     } else if (wl.experiment == "distributed_scaling") {
       fresh = run_distributed_scaling(*wl.reference);
+    } else if (wl.experiment == "schedule_search") {
+      fresh = run_schedule_search(*wl.reference);
+      ++fresh_search_instances;
+      const obs::BenchValue* cert = fresh.rec.find("certified");
+      if (cert != nullptr && cert->bool_value) ++fresh_search_certified;
     } else {
       const auto alg = bilinear::by_name(wl.algorithm);
       if (wl.experiment == "decode_routing" &&
@@ -497,6 +548,8 @@ int main(int argc, char** argv) {
                             : wl.experiment == "service_cold_miss" ? "chains"
                             : wl.experiment == "distributed_scaling"
                                 ? "bandwidth_cost"
+                            : wl.experiment == "schedule_search"
+                                ? "searched_io"
                                 : "cache_hits";
       const obs::BenchValue* v = fresh.rec.find(hit_key);
       fresh.rec.set(hit_key,
@@ -551,6 +604,40 @@ int main(int argc, char** argv) {
                      .set("seconds", fresh.seconds)
                      .set("ratio", ratio);
     if (!mismatched.empty()) rrec.set("fields_mismatched", mismatched);
+  }
+
+  // Roll-up check: the baseline's certified-optimal count must be
+  // exactly reproduced by the fresh runs — a silently lost certificate
+  // is a determinism break even if no single record mismatched.
+  if (search_summary != nullptr) {
+    const std::uint64_t base_instances =
+        static_cast<std::uint64_t>(search_summary->int_or("instances", 0));
+    const std::uint64_t base_certified = static_cast<std::uint64_t>(
+        search_summary->int_or("certified_count", 0));
+    if (opt.pessimize) ++fresh_search_certified;
+    const bool summary_ok = base_instances == fresh_search_instances &&
+                            base_certified == fresh_search_certified;
+    if (!summary_ok) {
+      std::printf(
+          "FAIL schedule_search_summary: instances baseline=%llu fresh=%llu, "
+          "certified_count baseline=%llu fresh=%llu\n",
+          static_cast<unsigned long long>(base_instances),
+          static_cast<unsigned long long>(fresh_search_instances),
+          static_cast<unsigned long long>(base_certified),
+          static_cast<unsigned long long>(fresh_search_certified));
+      ++count_failures;
+    } else {
+      std::printf("ok   schedule_search_summary (%llu instances, %llu "
+                  "certified optimal)\n",
+                  static_cast<unsigned long long>(fresh_search_instances),
+                  static_cast<unsigned long long>(fresh_search_certified));
+    }
+    report.records.emplace_back();
+    report.records.back()
+        .set("experiment", "schedule_search_summary")
+        .set("instances", fresh_search_instances)
+        .set("certified_count", fresh_search_certified)
+        .set("status", summary_ok ? "ok" : "count-mismatch");
   }
 
   obs::finalize_records(report, git_commit());
